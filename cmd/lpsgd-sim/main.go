@@ -1,0 +1,60 @@
+// Command lpsgd-sim prices one training configuration with the
+// calibrated performance model: which network, which machine, which
+// communication primitive, which gradient precision, how many GPUs.
+//
+// Examples:
+//
+//	lpsgd-sim -network AlexNet -machine EC2-P2 -primitive MPI -precision qsgd4 -gpus 8
+//	lpsgd-sim -network VGG19 -machine DGX-1 -primitive NCCL -gpus 8 -all-precisions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		network   = flag.String("network", "AlexNet", "network: AlexNet, VGG19, BN-Inception, ResNet50, ResNet152, ResNet110, LSTM")
+		machine   = flag.String("machine", "EC2-P2", "machine: EC2-P2 or DGX-1")
+		primitive = flag.String("primitive", "MPI", "communication primitive: MPI or NCCL")
+		precision = flag.String("precision", "32bit", "gradient precision: 32bit, qsgd2/4/8/16, 1bit, 1bit*")
+		gpus      = flag.Int("gpus", 8, "GPU count")
+		batch     = flag.Int("batch", 0, "global batch override (0 = paper's Figure 4)")
+		allPrec   = flag.Bool("all-precisions", false, "sweep the paper's precision ladder")
+	)
+	flag.Parse()
+
+	labels := []string{*precision}
+	if *allPrec {
+		labels = harness.PrecisionLabels
+		if *primitive == "NCCL" {
+			labels = harness.NCCLPrecisionLabels
+		}
+	}
+
+	t := report.New(
+		fmt.Sprintf("%s on %s, %s, %d GPUs", *network, *machine, *primitive, *gpus),
+		"precision", "samples/s", "iter_ms", "compute_ms", "quant_ms", "comm_ms",
+		"epoch_h", "wire_MB", "ratio_vs_raw")
+	for _, label := range labels {
+		r, err := core.Estimate(core.EstimateOptions{
+			Network: *network, Machine: *machine, Primitive: *primitive,
+			Precision: label, GPUs: *gpus, Batch: *batch,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		t.Addf("%s\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.2f\t%.1f\t%.2f",
+			label, r.SamplesPerSec, 1e3*r.IterSec, 1e3*r.ComputeSec,
+			1e3*r.QuantSec, 1e3*r.CommSec, r.EpochHours(),
+			float64(r.WireBytes)/1e6, float64(r.RawBytes)/float64(r.WireBytes))
+	}
+	t.Render(os.Stdout)
+}

@@ -1,0 +1,132 @@
+// Command lpsgd-train runs real quantised data-parallel training on one
+// of the synthetic tasks and reports accuracy per epoch — the
+// reproduction's equivalent of launching a CNTK training job with a
+// chosen gradient precision.
+//
+// Examples:
+//
+//	lpsgd-train -task image -codec qsgd4 -workers 8 -epochs 20
+//	lpsgd-train -task sequence -codec 1bit -workers 2 -nccl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/harness"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		task    = flag.String("task", "image", "task: image or sequence")
+		codec   = flag.String("codec", "32bit", "gradient codec: 32bit, qsgd2/4/8/16, 1bit, 1bit*")
+		workers = flag.Int("workers", 4, "simulated GPU count")
+		epochs  = flag.Int("epochs", 12, "training epochs")
+		batch   = flag.Int("batch", 64, "global minibatch size")
+		lr      = flag.Float64("lr", 0.05, "learning rate")
+		seed    = flag.Uint64("seed", 17, "random seed")
+		useNCCL = flag.Bool("nccl", false, "use the NCCL ring instead of MPI reduce-and-broadcast")
+		trainN  = flag.Int("train-samples", 768, "training set size")
+		testN   = flag.Int("test-samples", 384, "test set size")
+		saveTo  = flag.String("save", "", "write a checkpoint of the trained model to this file")
+		loadFrm = flag.String("load", "", "initialise weights from this checkpoint before training")
+	)
+	flag.Parse()
+
+	c, err := harness.CodecByLabel(*codec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	opts := core.TrainOptions{
+		Codec:     c,
+		Workers:   *workers,
+		UseNCCL:   *useNCCL,
+		BatchSize: *batch,
+		Epochs:    *epochs,
+		LR:        float32(*lr),
+		Seed:      *seed,
+	}
+	switch *task {
+	case "image":
+		opts.Train, opts.Test = data.MakeImages(data.ImageConfig{
+			Classes: 10, Channels: 3, H: 12, W: 12,
+			TrainN: *trainN, TestN: *testN, Noise: 2.0, Shift: true, Seed: *seed,
+		})
+		opts.Model = harness.ImageModel(10)
+	case "sequence":
+		opts.Train, opts.Test = data.MakeSequences(data.SequenceConfig{
+			Classes: 6, Frames: 12, Features: 8,
+			TrainN: *trainN, TestN: *testN, Noise: 1.0, Seed: *seed,
+		})
+		opts.Model = harness.SequenceModel(12, 8, 6)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown task %q (want image or sequence)\n", *task)
+		os.Exit(2)
+	}
+
+	session, err := core.NewSession(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *loadFrm != "" {
+		f, err := os.Open(*loadFrm)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		err = session.Trainer().LoadCheckpoint(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "load checkpoint: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("resumed from %s\n", *loadFrm)
+	}
+	h, err := session.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *saveTo != "" {
+		f, err := os.Create(*saveTo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		err = session.Trainer().SaveCheckpoint(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "save checkpoint: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("checkpoint written to %s\n", *saveTo)
+	}
+
+	prim := "MPI"
+	if *useNCCL {
+		prim = "NCCL"
+	}
+	t := report.New(
+		fmt.Sprintf("%s task, codec=%s, %d workers, %s", *task, *codec, *workers, prim),
+		"epoch", "train_loss", "test_acc_%", "lr", "wire_MB", "elapsed")
+	for _, e := range h.Epochs {
+		acc := "-"
+		if e.TestAccuracy >= 0 {
+			acc = fmt.Sprintf("%.1f", 100*e.TestAccuracy)
+		}
+		t.Addf("%d\t%.4f\t%s\t%.4f\t%.1f\t%s",
+			e.Epoch, e.TrainLoss, acc, e.LR, float64(e.WireBytes)/1e6, e.Elapsed.Round(1e6))
+	}
+	t.Note("final accuracy %.2f%%, best %.2f%%, total wire %.1f MB",
+		100*h.FinalAccuracy, 100*h.BestAccuracy, float64(h.TotalWireBytes)/1e6)
+	t.Render(os.Stdout)
+}

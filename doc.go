@@ -1,0 +1,14 @@
+// Package repro is a pure-Go reproduction of "Synchronous Multi-GPU
+// Deep Learning with Low-Precision Communication: An Experimental
+// Study" (Grubic, Tam, Alistarh, Zhang; EDBT 2018).
+//
+// The library lives under internal/: quant (the low-precision gradient
+// codecs — the paper's primary contribution), nn/tensor/data (the
+// deep-learning substrate), comm/parallel (the synchronous data-parallel
+// engine with MPI-style and NCCL-style aggregation), workload/simulate
+// (the calibrated performance model of the paper's machines) and
+// harness (one runner per table and figure). See README.md for a tour,
+// DESIGN.md for the system inventory, and EXPERIMENTS.md for the
+// paper-versus-reproduction comparison. The top-level bench_test.go
+// regenerates every figure as a Go benchmark.
+package repro

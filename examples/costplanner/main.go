@@ -1,0 +1,56 @@
+// Costplanner is the budget-aware training planner the paper's §5.4
+// sketches ("an automatic management system that is both budget-aware
+// and error tolerance-aware"): given a dollar budget, it uses the
+// calibrated performance model to pick the network, EC2 instance, GPU
+// count and gradient precision that maximise accuracy within budget.
+//
+// Run with:
+//
+//	go run ./examples/costplanner -budget 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func main() {
+	budget := flag.Float64("budget", 1000, "training budget in dollars")
+	flag.Parse()
+
+	t := report.New(
+		fmt.Sprintf("cheapest full-recipe training per network (budget $%.0f)", *budget),
+		"network", "top1_%", "instance", "gpus", "precision", "hours", "cost_$", "within_budget")
+	var best *harness.CostAccuracyRow
+	for _, net := range []workload.Network{workload.AlexNet, workload.ResNet50, workload.ResNet152} {
+		row, err := harness.CheapestTraining(net)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ok := "no"
+		if row.CostDollars <= *budget {
+			ok = "yes"
+			if best == nil || row.Top1 > best.Top1 {
+				r := row
+				best = &r
+			}
+		}
+		t.Addf("%s\t%.1f\t%s\t%d\t%s\t%.0f\t%.0f\t%s",
+			row.Network, row.Top1, row.Instance, row.GPUs, row.Precision,
+			row.TrainHours, row.CostDollars, ok)
+	}
+	t.Render(os.Stdout)
+
+	if best == nil {
+		fmt.Printf("\nNo network trains to its published accuracy within $%.0f; AlexNet is the cheapest entry point.\n", *budget)
+		return
+	}
+	fmt.Printf("\nRecommendation: train %s on %s (%d GPU(s), %s) for ≈$%.0f → %.1f%% top-1.\n",
+		best.Network, best.Instance, best.GPUs, best.Precision, best.CostDollars, best.Top1)
+}

@@ -1,0 +1,41 @@
+// Imageclassify reproduces the spirit of the paper's Figure 5(a)–(d) at
+// laptop scale: a convolutional classifier trained with synchronous
+// data-parallel SGD across 4 simulated GPUs under every gradient
+// precision the paper studies, showing that 1bitSGD and QSGD 4/8-bit
+// match full precision while 2-bit QSGD and large 1bitSGD* buckets
+// degrade.
+//
+// Run with:
+//
+//	go run ./examples/imageclassify            # quick (~30 s)
+//	go run ./examples/imageclassify -full      # sharper curves
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	full := flag.Bool("full", false, "longer, sharper configuration")
+	ext := flag.Bool("ext", false, "compare the extension codecs (2-norm/uniform/exponential QSGD, sparse top-k) instead of the paper ladder")
+	flag.Parse()
+
+	opts := harness.AccuracyOptions{Epochs: 12}
+	if *full {
+		opts = harness.AccuracyOptions{Epochs: 30, TrainN: 2048, TestN: 768}
+	}
+	if *ext {
+		opts.Codecs = harness.ExtensionCodecs()
+	}
+	study, err := harness.RunImageAccuracy(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	study.Table().Render(os.Stdout)
+	study.CurvesTable().Render(os.Stdout)
+	study.ConvergenceTable(0.9).Render(os.Stdout)
+}

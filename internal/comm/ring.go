@@ -1,0 +1,200 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Ring implements the NCCL-style ring allreduce of §2.4.2: the vector is
+// cut into K chunks; a reduce-scatter phase rotates partial sums around
+// the ring for K−1 steps, then an allgather phase rotates the finished
+// chunks for another K−1 steps. Each peer transmits 2·(K−1)/K of the
+// buffer — the bandwidth-optimal collective NCCL builds on GPU rings.
+//
+// Faithful to NCCL, the reduction semantics are full-precision float32
+// sums: there is no codec hook. (The paper's "NCCL low-precision"
+// numbers are simulated by sending fewer bytes; see SimulatedRing.)
+type Ring struct {
+	fabric Transport
+}
+
+// NewRing builds the primitive over the fabric.
+func NewRing(f Transport) *Ring { return &Ring{fabric: f} }
+
+// Name implements Reducer.
+func (r *Ring) Name() string { return "nccl-ring" }
+
+// WireBytesPerExchange returns the bytes one allreduce of n float32
+// values puts on the fabric across all peers: K · 2(K−1)/K · 4n.
+func (r *Ring) WireBytesPerExchange(n int) int64 {
+	k := int64(r.fabric.K())
+	if k == 1 {
+		return 0
+	}
+	// Each of the 2(K−1) steps moves every chunk boundary exactly once
+	// per peer; summed over peers each step moves the whole vector once.
+	return 2 * (k - 1) * int64(4*n)
+}
+
+// chunkRange returns the element range of chunk c when n elements are
+// cut into k chunks.
+func chunkRange(n, k, c int) (lo, hi int) {
+	lo = c * n / k
+	hi = (c + 1) * n / k
+	return lo, hi
+}
+
+// Reduce implements Reducer. After it returns on all peers, g holds the
+// full-precision sum; every peer's copy is bit-identical because each
+// chunk's final value is computed once and propagated as bytes.
+func (r *Ring) Reduce(rank, _ int, g []float32) error {
+	k := r.fabric.K()
+	if k == 1 {
+		return nil
+	}
+	n := len(g)
+	right := (rank + 1) % k
+	left := (rank - 1 + k) % k
+
+	sendChunk := func(c int) {
+		lo, hi := chunkRange(n, k, c)
+		buf := make([]byte, 4*(hi-lo))
+		for i := lo; i < hi; i++ {
+			binary.LittleEndian.PutUint32(buf[4*(i-lo):], math.Float32bits(g[i]))
+		}
+		r.fabric.Send(rank, right, buf)
+	}
+	recvChunk := func(c int, add bool) error {
+		lo, hi := chunkRange(n, k, c)
+		buf := r.fabric.Recv(left, rank)
+		if len(buf) != 4*(hi-lo) {
+			return fmt.Errorf("comm: ring chunk %d has %d bytes, want %d", c, len(buf), 4*(hi-lo))
+		}
+		for i := lo; i < hi; i++ {
+			v := math.Float32frombits(binary.LittleEndian.Uint32(buf[4*(i-lo):]))
+			if add {
+				g[i] += v
+			} else {
+				g[i] = v
+			}
+		}
+		return nil
+	}
+
+	// Reduce-scatter: after step s, the chunk received has s+2 partial
+	// contributions; after K−1 steps rank r owns the complete chunk
+	// (r+1) mod K.
+	for step := 0; step < k-1; step++ {
+		sendChunk(((rank-step)%k + k) % k)
+		if err := recvChunk(((rank-step-1)%k+k)%k, true); err != nil {
+			return err
+		}
+	}
+	// Allgather: rotate finished chunks around the ring.
+	for step := 0; step < k-1; step++ {
+		sendChunk(((rank-step+1)%k + k) % k)
+		if err := recvChunk(((rank-step)%k+k)%k, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SimulatedRing reproduces the paper's NCCL low-precision *simulation*
+// (§4.4): NCCL cannot sum quantised payloads, so the authors measure a
+// hypothetical low-precision NCCL by sending exactly the byte volume a
+// quantised allreduce would send. Here the gradient values are reduced
+// exactly (via the full-precision ring) so that training remains
+// meaningful, while SimulatedBytes reports the low-precision wire
+// volume used for performance accounting — the same separation of
+// semantics and cost the paper makes ("the GPUs will converge at a lower
+// rate or could diverge, but this is irrelevant for the experiment").
+type SimulatedRing struct {
+	ring *Ring
+	// BytesFraction scales the true fp32 volume to the simulated one
+	// (e.g. 4-bit QSGD with bucket 512 gives ≈ 507/4096).
+	BytesFraction float64
+	simulated     int64
+}
+
+// NewSimulatedRing wraps a ring with a simulated wire-volume fraction.
+func NewSimulatedRing(f Transport, fraction float64) *SimulatedRing {
+	if fraction <= 0 || fraction > 1 {
+		panic(fmt.Sprintf("comm: simulated fraction %v outside (0,1]", fraction))
+	}
+	return &SimulatedRing{ring: NewRing(f), BytesFraction: fraction}
+}
+
+// Name implements Reducer.
+func (s *SimulatedRing) Name() string { return "nccl-ring-sim" }
+
+// Reduce implements Reducer.
+func (s *SimulatedRing) Reduce(rank, tensorID int, g []float32) error {
+	if err := s.ring.Reduce(rank, tensorID, g); err != nil {
+		return err
+	}
+	if rank == 0 {
+		s.simulated += int64(float64(s.ring.WireBytesPerExchange(len(g))) * s.BytesFraction)
+	}
+	return nil
+}
+
+// SimulatedBytes returns the cumulative wire volume a low-precision NCCL
+// would have transmitted.
+func (s *SimulatedRing) SimulatedBytes() int64 { return s.simulated }
+
+// AllGather is the naive quadratic-traffic oracle: every peer broadcasts
+// its full vector and everyone sums all K copies in rank order. It is
+// used in tests as the correctness reference for the optimised
+// primitives.
+type AllGather struct {
+	fabric Transport
+}
+
+// NewAllGather builds the oracle reducer.
+func NewAllGather(f Transport) *AllGather { return &AllGather{fabric: f} }
+
+// Name implements Reducer.
+func (a *AllGather) Name() string { return "allgather" }
+
+// Reduce implements Reducer.
+func (a *AllGather) Reduce(rank, _ int, g []float32) error {
+	k := a.fabric.K()
+	if k == 1 {
+		return nil
+	}
+	n := len(g)
+	buf := make([]byte, 4*n)
+	for i, v := range g {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	for p := 0; p < k; p++ {
+		if p != rank {
+			a.fabric.Send(rank, p, buf)
+		}
+	}
+	// Sum contributions in rank order for cross-peer determinism.
+	sum := make([]float64, n)
+	mine := make([]float32, n)
+	copy(mine, g)
+	for p := 0; p < k; p++ {
+		if p == rank {
+			for i, v := range mine {
+				sum[i] += float64(v)
+			}
+			continue
+		}
+		in := a.fabric.Recv(p, rank)
+		if len(in) != 4*n {
+			return fmt.Errorf("comm: allgather message %d bytes, want %d", len(in), 4*n)
+		}
+		for i := 0; i < n; i++ {
+			sum[i] += float64(math.Float32frombits(binary.LittleEndian.Uint32(in[4*i:])))
+		}
+	}
+	for i := range g {
+		g[i] = float32(sum[i])
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// TCPFabric connects K peers through real loopback TCP sockets, one
+// connection per directed link, with length-prefixed frames. It is the
+// closest stdlib-only analogue of the MPI transport the paper's CNTK
+// uses: bytes cross a real kernel boundary (socket buffers, copies,
+// framing) instead of being handed over via channels. The aggregation
+// primitives run unchanged over either fabric because both satisfy
+// Transport.
+//
+// Frame format per message: uint32 little-endian payload length, then
+// the payload bytes.
+type TCPFabric struct {
+	k int
+	// wconns[from*k+to] is the sender-side end of the link's TCP
+	// stream; rconns the receiver-side end.
+	wconns []net.Conn
+	rconns []net.Conn
+	wmu    []sync.Mutex
+	rmu    []sync.Mutex
+	bytes  atomic.Int64
+	sends  atomic.Int64
+}
+
+// NewTCPFabric builds a fully connected loopback mesh between k peers.
+func NewTCPFabric(k int) (*TCPFabric, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("comm: tcp fabric needs at least one peer, got %d", k)
+	}
+	f := &TCPFabric{
+		k:      k,
+		wconns: make([]net.Conn, k*k),
+		rconns: make([]net.Conn, k*k),
+		wmu:    make([]sync.Mutex, k*k),
+		rmu:    make([]sync.Mutex, k*k),
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("comm: tcp fabric listen: %w", err)
+	}
+	defer ln.Close()
+
+	// The acceptor slots each incoming connection by an 8-byte
+	// (from, to) preamble written by the dialler.
+	nLinks := k * (k - 1)
+	acceptErr := make(chan error, 1)
+	go func() {
+		for i := 0; i < nLinks; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				acceptErr <- err
+				return
+			}
+			var hdr [8]byte
+			if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+				acceptErr <- err
+				return
+			}
+			from := int(binary.LittleEndian.Uint32(hdr[0:]))
+			to := int(binary.LittleEndian.Uint32(hdr[4:]))
+			if from < 0 || from >= k || to < 0 || to >= k || from == to {
+				acceptErr <- fmt.Errorf("comm: tcp fabric bad preamble %d->%d", from, to)
+				return
+			}
+			f.rconns[from*k+to] = conn
+		}
+		acceptErr <- nil
+	}()
+
+	addr := ln.Addr().String()
+	for from := 0; from < k; from++ {
+		for to := 0; to < k; to++ {
+			if from == to {
+				continue
+			}
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				f.Close()
+				return nil, fmt.Errorf("comm: tcp fabric dial: %w", err)
+			}
+			var hdr [8]byte
+			binary.LittleEndian.PutUint32(hdr[0:], uint32(from))
+			binary.LittleEndian.PutUint32(hdr[4:], uint32(to))
+			if _, err := conn.Write(hdr[:]); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("comm: tcp fabric preamble: %w", err)
+			}
+			f.wconns[from*k+to] = conn
+		}
+	}
+	if err := <-acceptErr; err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// K implements Transport.
+func (f *TCPFabric) K() int { return f.k }
+
+func (f *TCPFabric) link(from, to int) int {
+	if from < 0 || from >= f.k || to < 0 || to >= f.k {
+		panic(fmt.Sprintf("comm: peer out of range (%d->%d of %d)", from, to, f.k))
+	}
+	if from == to {
+		panic("comm: self-send")
+	}
+	return from*f.k + to
+}
+
+// Send implements Transport. Frames are written under a per-link mutex
+// so concurrent senders on the same link cannot interleave.
+func (f *TCPFabric) Send(from, to int, payload []byte) {
+	l := f.link(from, to)
+	f.wmu[l].Lock()
+	defer f.wmu[l].Unlock()
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	conn := f.wconns[l]
+	if _, err := conn.Write(hdr[:]); err != nil {
+		panic(fmt.Sprintf("comm: tcp send header %d->%d: %v", from, to, err))
+	}
+	if len(payload) > 0 {
+		if _, err := conn.Write(payload); err != nil {
+			panic(fmt.Sprintf("comm: tcp send payload %d->%d: %v", from, to, err))
+		}
+	}
+	f.bytes.Add(int64(len(payload)))
+	f.sends.Add(1)
+}
+
+// Recv implements Transport.
+func (f *TCPFabric) Recv(from, to int) []byte {
+	l := f.link(from, to)
+	f.rmu[l].Lock()
+	defer f.rmu[l].Unlock()
+	conn := f.rconns[l]
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		panic(fmt.Sprintf("comm: tcp recv header %d->%d: %v", from, to, err))
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	buf := make([]byte, n)
+	if n > 0 {
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			panic(fmt.Sprintf("comm: tcp recv payload %d->%d: %v", from, to, err))
+		}
+	}
+	return buf
+}
+
+// TotalBytes implements Transport.
+func (f *TCPFabric) TotalBytes() int64 { return f.bytes.Load() }
+
+// TotalMessages implements Transport.
+func (f *TCPFabric) TotalMessages() int64 { return f.sends.Load() }
+
+// Close shuts down every connection.
+func (f *TCPFabric) Close() error {
+	var first error
+	for _, conns := range [][]net.Conn{f.wconns, f.rconns} {
+		for _, c := range conns {
+			if c != nil {
+				if err := c.Close(); err != nil && first == nil {
+					first = err
+				}
+			}
+		}
+	}
+	return first
+}

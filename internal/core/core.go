@@ -1,0 +1,224 @@
+// Package core is the public face of the reproduction library. It ties
+// the paper's primary contribution — low-precision gradient codecs
+// (1bitSGD, reshaped 1bitSGD*, QSGD) driving synchronous data-parallel
+// SGD — to the substrates underneath: the neural-network stack, the
+// in-process communication fabric with MPI-style and NCCL-style
+// aggregation, and the calibrated performance simulator.
+//
+// Typical use:
+//
+//	study, _ := core.TrainQuantised(core.TrainOptions{
+//	    Model:   myBuilder,      // func(*rng.RNG) *nn.Network
+//	    Codec:   core.QSGD(4, 512),
+//	    Workers: 8,
+//	    ...
+//	})
+//
+// or, for performance questions:
+//
+//	r, _ := core.Estimate(core.EstimateOptions{
+//	    Network: "AlexNet", Machine: "EC2-P2",
+//	    Primitive: "MPI", Precision: "qsgd4", GPUs: 8,
+//	})
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/parallel"
+	"repro/internal/quant"
+	"repro/internal/rng"
+	"repro/internal/simulate"
+	"repro/internal/workload"
+)
+
+// Codec is the gradient-compression interface (see internal/quant).
+type Codec = quant.Codec
+
+// FullPrecision returns the 32-bit identity codec.
+func FullPrecision() Codec { return quant.FP32{} }
+
+// OneBitSGD returns CNTK's classic column-wise 1bitSGD codec with error
+// feedback.
+func OneBitSGD() Codec { return quant.OneBit{} }
+
+// OneBitSGDReshaped returns the paper's bucket-reshaped 1bitSGD* codec.
+func OneBitSGDReshaped(bucket int) Codec { return quant.NewOneBitReshaped(bucket) }
+
+// QSGD returns the stochastic quantisation codec with bits ∈ {2,4,8,16}
+// and the given bucket size, using max-norm scaling (the paper's
+// accuracy-preferred choice).
+func QSGD(bits, bucket int) Codec { return quant.NewQSGD(bits, bucket, quant.MaxNorm) }
+
+// CodecByName resolves the paper's row labels ("32bit", "qsgd4",
+// "1bit*", ...).
+func CodecByName(name string) (Codec, error) { return quant.ByName(name) }
+
+// TrainOptions configures a real quantised data-parallel training run.
+type TrainOptions struct {
+	// Model builds one replica; it must be deterministic in its RNG.
+	Model func(r *rng.RNG) *nn.Network
+	// Train and Test are the datasets.
+	Train, Test *data.Dataset
+	// Codec compresses gradients (nil = full precision).
+	Codec Codec
+	// Workers is the simulated GPU count.
+	Workers int
+	// UseNCCL selects the ring-allreduce primitive instead of MPI
+	// reduce-and-broadcast.
+	UseNCCL bool
+	// BatchSize is the global minibatch.
+	BatchSize int
+	// Epochs to run.
+	Epochs int
+	// LR is the (constant) learning rate; use Schedule for more.
+	LR float32
+	// Schedule overrides LR when non-nil.
+	Schedule nn.Schedule
+	// Momentum defaults to the paper's 0.9.
+	Momentum float32
+	// Seed fixes all randomness.
+	Seed uint64
+}
+
+// Session is a configured training run whose trainer (and therefore
+// model, checkpointing and evaluation) is accessible before and after
+// Run.
+type Session struct {
+	opts    TrainOptions
+	trainer *parallel.Trainer
+}
+
+// NewSession validates opts and builds the replicas, fabric and
+// reducer without starting training.
+func NewSession(opts TrainOptions) (*Session, error) {
+	if opts.Model == nil {
+		return nil, fmt.Errorf("core: TrainOptions.Model is required")
+	}
+	if opts.Train == nil || opts.Test == nil {
+		return nil, fmt.Errorf("core: TrainOptions.Train and Test are required")
+	}
+	prim := parallel.MPI
+	if opts.UseNCCL {
+		prim = parallel.NCCL
+	}
+	sched := opts.Schedule
+	if sched == nil {
+		lr := opts.LR
+		if lr == 0 {
+			lr = 0.05
+		}
+		sched = nn.ConstantLR(lr)
+	}
+	momentum := opts.Momentum
+	if momentum == 0 {
+		momentum = 0.9
+	}
+	tr, err := parallel.NewTrainer(opts.Model, parallel.Config{
+		Workers:   opts.Workers,
+		Codec:     opts.Codec,
+		Primitive: prim,
+		BatchSize: opts.BatchSize,
+		Epochs:    opts.Epochs,
+		Schedule:  sched,
+		Momentum:  momentum,
+		Seed:      opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Session{opts: opts, trainer: tr}, nil
+}
+
+// Trainer exposes the underlying engine (model access, checkpointing,
+// evaluation).
+func (s *Session) Trainer() *parallel.Trainer { return s.trainer }
+
+// Run executes the configured training and returns its history.
+func (s *Session) Run() (*parallel.History, error) {
+	return s.trainer.Run(s.opts.Train, s.opts.Test)
+}
+
+// TrainQuantised runs synchronous data-parallel SGD with low-precision
+// gradient exchange and returns the per-epoch history.
+func TrainQuantised(opts TrainOptions) (*parallel.History, error) {
+	s, err := NewSession(opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// EstimateOptions selects a performance-simulator configuration by
+// name, mirroring the paper's experiment axes.
+type EstimateOptions struct {
+	// Network is a Figure 3 name: AlexNet, VGG19, BN-Inception,
+	// ResNet50, ResNet152, ResNet110, LSTM.
+	Network string
+	// Machine is EC2-P2 or DGX-1.
+	Machine string
+	// Primitive is MPI or NCCL.
+	Primitive string
+	// Precision is a paper row label: 32bit, qsgd16/8/4/2, 1bit, 1bit*.
+	Precision string
+	// GPUs is the device count.
+	GPUs int
+	// Batch overrides Figure 4 when positive.
+	Batch int
+}
+
+// Estimate prices one configuration with the calibrated cost model.
+func Estimate(opts EstimateOptions) (simulate.Result, error) {
+	net, err := workload.NetworkByName(opts.Network)
+	if err != nil {
+		return simulate.Result{}, err
+	}
+	m, err := workload.MachineByName(opts.Machine)
+	if err != nil {
+		return simulate.Result{}, err
+	}
+	var prim simulate.Primitive
+	switch strings.ToUpper(opts.Primitive) {
+	case "MPI", "":
+		prim = simulate.MPI
+	case "NCCL":
+		prim = simulate.NCCL
+	default:
+		return simulate.Result{}, fmt.Errorf("core: unknown primitive %q", opts.Primitive)
+	}
+	precision := opts.Precision
+	if precision == "" {
+		precision = "32bit"
+	}
+	codec, err := quant.ByName(translateLabel(precision))
+	if err != nil {
+		return simulate.Result{}, err
+	}
+	return simulate.Run(simulate.Config{
+		Network:       net,
+		Machine:       m,
+		Primitive:     prim,
+		Codec:         codec,
+		GPUs:          opts.GPUs,
+		BatchOverride: opts.Batch,
+	})
+}
+
+// translateLabel accepts both registry names and paper labels.
+func translateLabel(label string) string {
+	switch label {
+	case "qsgd2":
+		return "qsgd2"
+	case "qsgd4":
+		return "qsgd4"
+	case "qsgd8":
+		return "qsgd8"
+	case "qsgd16":
+		return "qsgd16"
+	default:
+		return label
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+func testData() (*data.Dataset, *data.Dataset) {
+	return data.MakeImages(data.ImageConfig{
+		Classes: 3, Channels: 1, H: 4, W: 4,
+		TrainN: 192, TestN: 96, Noise: 0.5, Seed: 3,
+	})
+}
+
+func testModel(r *rng.RNG) *nn.Network {
+	return nn.MustNetwork(
+		nn.NewDense("d1", 16, 24, r),
+		nn.NewReLU("r1"),
+		nn.NewDense("d2", 24, 3, r),
+	)
+}
+
+func TestTrainQuantisedEndToEnd(t *testing.T) {
+	train, test := testData()
+	h, err := TrainQuantised(TrainOptions{
+		Model: testModel, Train: train, Test: test,
+		Codec: QSGD(4, 512), Workers: 4,
+		BatchSize: 32, Epochs: 6, LR: 0.1, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.FinalAccuracy < 0.8 {
+		t.Fatalf("end-to-end accuracy %v", h.FinalAccuracy)
+	}
+	if h.TotalWireBytes == 0 {
+		t.Fatal("no bytes moved")
+	}
+}
+
+func TestTrainQuantisedNCCL(t *testing.T) {
+	train, test := testData()
+	h, err := TrainQuantised(TrainOptions{
+		Model: testModel, Train: train, Test: test,
+		Codec: OneBitSGDReshaped(64), Workers: 2, UseNCCL: true,
+		BatchSize: 32, Epochs: 3, LR: 0.1, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Epochs) != 3 {
+		t.Fatal("wrong epoch count")
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	train, test := testData()
+	if _, err := TrainQuantised(TrainOptions{Train: train, Test: test}); err == nil {
+		t.Error("expected error without model")
+	}
+	if _, err := TrainQuantised(TrainOptions{Model: testModel}); err == nil {
+		t.Error("expected error without data")
+	}
+}
+
+func TestCodecConstructors(t *testing.T) {
+	if FullPrecision().Name() != "32bit" {
+		t.Error("FullPrecision name")
+	}
+	if OneBitSGD().Name() != "1bit" {
+		t.Error("OneBitSGD name")
+	}
+	if OneBitSGDReshaped(64).Name() != "1bit*64" {
+		t.Error("reshaped name")
+	}
+	if QSGD(4, 512).Name() != "qsgd4b512" {
+		t.Error("QSGD name")
+	}
+	if _, err := CodecByName("qsgd8"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimate(t *testing.T) {
+	r, err := Estimate(EstimateOptions{
+		Network: "AlexNet", Machine: "EC2-P2",
+		Primitive: "MPI", Precision: "qsgd4", GPUs: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SamplesPerSec < 100 {
+		t.Fatalf("implausible throughput %v", r.SamplesPerSec)
+	}
+	if r.Codec != "qsgd4b512" {
+		t.Fatalf("codec %q", r.Codec)
+	}
+}
+
+func TestEstimateDefaults(t *testing.T) {
+	r, err := Estimate(EstimateOptions{Network: "ResNet50", Machine: "DGX-1", GPUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Primitive != "MPI" || r.Codec != "32bit" {
+		t.Fatalf("defaults wrong: %s %s", r.Primitive, r.Codec)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	cases := []EstimateOptions{
+		{Network: "Nope", Machine: "EC2-P2", GPUs: 2},
+		{Network: "AlexNet", Machine: "Nope", GPUs: 2},
+		{Network: "AlexNet", Machine: "EC2-P2", Primitive: "RDMA", GPUs: 2},
+		{Network: "AlexNet", Machine: "EC2-P2", Precision: "qsgd3", GPUs: 2},
+		{Network: "AlexNet", Machine: "EC2-P2", Primitive: "NCCL", GPUs: 16},
+	}
+	for i, opts := range cases {
+		if _, err := Estimate(opts); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestSessionCheckpointRoundtrip(t *testing.T) {
+	train, test := testData()
+	opts := TrainOptions{
+		Model: testModel, Train: train, Test: test,
+		Codec: QSGD(8, 512), Workers: 2,
+		BatchSize: 32, Epochs: 3, LR: 0.1, Seed: 21,
+	}
+	s1, err := NewSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s1.Trainer().SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh session loaded from the checkpoint must evaluate to the
+	// same accuracy without training.
+	s2, err := NewSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Trainer().LoadCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a1 := s1.Trainer().Evaluate(test)
+	a2 := s2.Trainer().Evaluate(test)
+	if a1 != a2 {
+		t.Fatalf("checkpointed model evaluates differently: %v vs %v", a1, a2)
+	}
+	if !s2.Trainer().ReplicasInSync() {
+		t.Fatal("LoadCheckpoint broke replica sync")
+	}
+}

@@ -1,0 +1,197 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/parallel"
+	"repro/internal/quant"
+)
+
+// imageStudy runs the quick Figure 5 image panel once and caches it for
+// the assertions below (the run is deterministic).
+var imageStudyCache *AccuracyStudy
+
+func imageStudy(t *testing.T) *AccuracyStudy {
+	t.Helper()
+	if imageStudyCache == nil {
+		s, err := RunImageAccuracy(AccuracyOptions{Epochs: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		imageStudyCache = s
+	}
+	return imageStudyCache
+}
+
+func best(t *testing.T, s *AccuracyStudy, label string) float64 {
+	t.Helper()
+	r := s.Find(label)
+	if r == nil {
+		t.Fatalf("missing curve %q", label)
+	}
+	return r.History.BestAccuracy
+}
+
+// TestFig5QuantisedMatchesFullPrecision reproduces the paper's central
+// accuracy finding: 1bitSGD and QSGD 4/8-bit reach the same accuracy as
+// full precision (within a small margin).
+func TestFig5QuantisedMatchesFullPrecision(t *testing.T) {
+	s := imageStudy(t)
+	fp := best(t, s, "32bit")
+	for _, label := range []string{"1bitSGD", "QSGD 4bit", "QSGD 8bit"} {
+		if acc := best(t, s, label); acc < fp-0.01 {
+			t.Errorf("%s best accuracy %.3f more than 1pt below fp32 %.3f", label, acc, fp)
+		}
+	}
+}
+
+// TestFig5TwoBitDegrades reproduces "quantizing too aggressively can
+// lead to significant accuracy loss": 2-bit QSGD loses at least one
+// accuracy point on the image task.
+func TestFig5TwoBitDegrades(t *testing.T) {
+	s := imageStudy(t)
+	fp := best(t, s, "32bit")
+	q2 := best(t, s, "QSGD 2bit")
+	if q2 > fp-0.01 {
+		t.Errorf("2-bit QSGD best %.3f not ≥1pt below fp32 %.3f", q2, fp)
+	}
+}
+
+// TestFig5BucketSizeMatters reproduces the bucket-size sensitivity of
+// reshaped 1bitSGD: bucket 512 is visibly worse than bucket 64.
+func TestFig5BucketSizeMatters(t *testing.T) {
+	s := imageStudy(t)
+	d64 := best(t, s, "1bitSGD* (d=64)")
+	d512 := best(t, s, "1bitSGD* (d=512)")
+	if d512 > d64-0.01 {
+		t.Errorf("bucket 512 best %.3f not ≥1pt below bucket 64 %.3f", d512, d64)
+	}
+}
+
+// TestFig5WireVolumeOrdering: the wire bytes of the runs must follow
+// the codec compression ratios.
+func TestFig5WireVolumeOrdering(t *testing.T) {
+	s := imageStudy(t)
+	order := []string{"1bitSGD* (d=64)", "QSGD 2bit", "QSGD 4bit", "QSGD 8bit", "32bit"}
+	var prev int64 = -1
+	for _, label := range order {
+		r := s.Find(label)
+		if r == nil {
+			t.Fatalf("missing %q", label)
+		}
+		if r.History.TotalWireBytes <= prev {
+			t.Fatalf("wire bytes not increasing at %q", label)
+		}
+		prev = r.History.TotalWireBytes
+	}
+}
+
+// TestFig5SequenceLSTMRobust reproduces Figure 5(e): the LSTM task
+// tolerates even the most aggressive quantisation (paper: LSTMs "appear
+// to be able to handle quantization to very low precision").
+func TestFig5SequenceLSTMRobust(t *testing.T) {
+	s, err := RunSequenceAccuracy(AccuracyOptions{Epochs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := best(t, s, "32bit")
+	if fp < 0.85 {
+		t.Fatalf("LSTM baseline too weak: %.3f", fp)
+	}
+	for _, r := range s.Results {
+		if r.History.BestAccuracy < fp-0.02 {
+			t.Errorf("%s best %.3f more than 2pt below fp32 %.3f on the LSTM task",
+				r.Label, r.History.BestAccuracy, fp)
+		}
+	}
+}
+
+func TestFig5Tables(t *testing.T) {
+	s := imageStudy(t)
+	tb := s.Table()
+	if len(tb.Rows) != len(Fig5Codecs()) {
+		t.Fatalf("summary table has %d rows", len(tb.Rows))
+	}
+	curves := s.CurvesTable()
+	if len(curves.Rows) != 12 {
+		t.Fatalf("curves table has %d epochs, want 12", len(curves.Rows))
+	}
+	if len(curves.Header) != len(Fig5Codecs())+1 {
+		t.Fatalf("curves header has %d columns", len(curves.Header))
+	}
+}
+
+func TestAccuracyOptionsCustomCodecs(t *testing.T) {
+	s, err := RunImageAccuracy(AccuracyOptions{
+		Epochs: 2, TrainN: 128, TestN: 64, BatchSize: 32,
+		Codecs: []LabelledCodec{{"32bit", nil}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Results) != 1 || s.Results[0].Label != "32bit" {
+		t.Fatal("custom codec list not honoured")
+	}
+}
+
+// TestInceptionModelTrainsQuantised: the Concat-based mini-Inception
+// learns the image task under 4-bit gradients (the paper's
+// computation-dominated architecture in miniature).
+func TestInceptionModelTrainsQuantised(t *testing.T) {
+	train, test := data.MakeImages(data.ImageConfig{
+		Classes: 4, Channels: 3, H: 12, W: 12,
+		TrainN: 256, TestN: 128, Noise: 1.0, Shift: true, Seed: 23,
+	})
+	tr, err := parallel.NewTrainer(InceptionModel(4), parallel.Config{
+		Workers: 2, Codec: quant.NewQSGD(4, 512, quant.MaxNorm),
+		BatchSize: 32, Epochs: 8, Schedule: nn.ConstantLR(0.05),
+		Momentum: 0.9, Seed: 24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := tr.Run(train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.BestAccuracy < 0.8 {
+		t.Fatalf("mini-Inception accuracy %v", h.BestAccuracy)
+	}
+	if !tr.ReplicasInSync() {
+		t.Fatal("replicas diverged")
+	}
+}
+
+// TestExtensionCodecsTrain: the variants beyond the paper's main ladder
+// — 2-norm / uniform / exponential QSGD and sparse top-k with error
+// feedback — all train the image task. Top-k at 1% density is expected
+// to lag (the paper's related-work discussion: ImageNet-class tasks
+// needed >10% density), so it only has to clear a weak bar.
+func TestExtensionCodecsTrain(t *testing.T) {
+	s, err := RunImageAccuracy(AccuracyOptions{
+		Epochs: 12, Codecs: ExtensionCodecs(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := best(t, s, "32bit")
+	for _, r := range s.Results {
+		bar := fp - 0.03
+		if r.Label == "TopK 1%" {
+			bar = 0.5
+		}
+		if r.History.BestAccuracy < bar {
+			t.Errorf("%s best %.3f below bar %.3f (fp32 %.3f)",
+				r.Label, r.History.BestAccuracy, bar, fp)
+		}
+	}
+	// The index overhead must still leave top-k 10% cheaper on the wire
+	// than full precision by ~5x.
+	fpWire := s.Find("32bit").History.TotalWireBytes
+	tkWire := s.Find("TopK 10%").History.TotalWireBytes
+	if ratio := float64(fpWire) / float64(tkWire); ratio < 4 || ratio > 6 {
+		t.Errorf("TopK 10%% wire reduction %.1fx, want ≈5x (8B per survivor)", ratio)
+	}
+}

@@ -1,0 +1,63 @@
+package harness
+
+import "testing"
+
+// TestAllClaimsHold: every §5 headline claim must be reproduced — this
+// is the single test that summarises the whole performance study.
+func TestAllClaimsHold(t *testing.T) {
+	claims, err := Claims()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(claims) < 8 {
+		t.Fatalf("only %d claims evaluated", len(claims))
+	}
+	for _, c := range claims {
+		if !c.Holds {
+			t.Errorf("claim %q does not hold (ours %.2f, paper %.2f)", c.Name, c.Ours, c.Paper)
+		}
+	}
+}
+
+// TestClaimsCloseToPaper: where the paper's tables imply a number, the
+// reproduced ratio must land within 2× of it.
+func TestClaimsCloseToPaper(t *testing.T) {
+	claims, err := Claims()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range claims {
+		if c.Paper <= 0 {
+			continue
+		}
+		ratio := c.Ours / c.Paper
+		if ratio < 0.5 || ratio > 2 {
+			t.Errorf("claim %q: ours %.2f vs paper %.2f (off by %.2fx)",
+				c.Name, c.Ours, c.Paper, ratio)
+		}
+	}
+}
+
+func TestClaimsTableRenders(t *testing.T) {
+	tb, err := ClaimsTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < 8 {
+		t.Fatalf("claims table has %d rows", len(tb.Rows))
+	}
+}
+
+func TestConvergenceTable(t *testing.T) {
+	s := imageStudy(t)
+	tb := s.ConvergenceTable(0.9)
+	if len(tb.Rows) != len(Fig5Codecs()) {
+		t.Fatalf("convergence table has %d rows", len(tb.Rows))
+	}
+	// Full precision must reach 90% on this task within the quick run.
+	for _, row := range tb.Rows {
+		if row[0] == "32bit" && row[1] == "-" {
+			t.Fatal("fp32 never reached 90% — task drifted")
+		}
+	}
+}

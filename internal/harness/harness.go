@@ -1,0 +1,74 @@
+// Package harness assembles the reproduction's experiments: one runner
+// per table and figure of the paper, each emitting a report.Table that
+// mirrors the original's rows and, where the paper published numbers,
+// a side-by-side comparison.
+//
+// Figure index
+//
+//	Fig 5 (a–e)   RunImageAccuracy / RunSequenceAccuracy — real training
+//	Fig 6–9       EpochTimeTable — simulated epoch hours per codec
+//	Fig 10–11     ThroughputTable — simulated vs paper samples/sec
+//	Fig 12–15     ScalabilityTable — speedup vs 1 GPU
+//	Fig 16 left   CostAccuracyTable — dollars to published accuracy
+//	Fig 16 right  SpeedupSweepTable — speedup vs MB/GFLOPS
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/quant"
+	"repro/internal/simulate"
+	"repro/internal/workload"
+)
+
+// PrecisionLabels is the paper's precision ladder in presentation order
+// (Figures 6–10 column order).
+var PrecisionLabels = []string{"32bit", "qsgd16", "qsgd8", "qsgd4", "qsgd2", "1bit*", "1bit"}
+
+// NCCLPrecisionLabels is the ladder for NCCL figures (no 1-bit rows:
+// NCCL cannot carry them, per the paper).
+var NCCLPrecisionLabels = []string{"32bit", "qsgd16", "qsgd8", "qsgd4", "qsgd2"}
+
+// CodecByLabel maps a paper row label to the codec with the paper's
+// tuned bucket size (§4.4).
+func CodecByLabel(label string) (quant.Codec, error) {
+	switch label {
+	case "32bit":
+		return quant.FP32{}, nil
+	case "1bit":
+		return quant.OneBit{}, nil
+	case "1bit*":
+		return quant.NewOneBitReshaped(64), nil
+	case "qsgd2":
+		return quant.NewQSGD(2, 128, quant.MaxNorm), nil
+	case "qsgd4":
+		return quant.NewQSGD(4, 512, quant.MaxNorm), nil
+	case "qsgd8":
+		return quant.NewQSGD(8, 512, quant.MaxNorm), nil
+	case "qsgd16":
+		return quant.NewQSGD(16, 8192, quant.MaxNorm), nil
+	}
+	return nil, fmt.Errorf("harness: unknown precision label %q", label)
+}
+
+// mustCodec panics on unknown labels (used with the static ladders).
+func mustCodec(label string) quant.Codec {
+	c, err := CodecByLabel(label)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// simRun wraps simulate.Run for a (net, machine, prim, label, gpus)
+// tuple.
+func simRun(net workload.Network, m workload.Machine, prim simulate.Primitive,
+	label string, gpus int) (simulate.Result, error) {
+	c, err := CodecByLabel(label)
+	if err != nil {
+		return simulate.Result{}, err
+	}
+	return simulate.Run(simulate.Config{
+		Network: net, Machine: m, Primitive: prim, Codec: c, GPUs: gpus,
+	})
+}

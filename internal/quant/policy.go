@@ -1,0 +1,135 @@
+package quant
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TensorInfo names one gradient tensor of a model together with its CNTK
+// layout shape. The workload package produces inventories of these for
+// every network in the study.
+type TensorInfo struct {
+	Name  string
+	Shape Shape
+}
+
+// Plan assigns a codec to every gradient tensor of a model, implementing
+// the paper's small-matrix exemption (§3.2.2): tensors whose element
+// count falls below a threshold are sent at full precision, because for
+// them quantisation costs kernel time without saving meaningful
+// bandwidth. The threshold is chosen so that at least MinFraction of all
+// parameters remain quantised (the paper uses >99 %).
+type Plan struct {
+	// Quantised is the codec used for large tensors.
+	Quantised Codec
+	// Fallback is used below the threshold (always full precision).
+	Fallback Codec
+	// Threshold is the minimum element count for quantisation.
+	Threshold int
+	// MinFraction is the requested quantised-parameter fraction.
+	MinFraction float64
+
+	tensors []TensorInfo
+	codecs  []Codec
+}
+
+// NewPlan builds the codec assignment for the given tensor inventory.
+// It picks the largest threshold that still quantises at least minFrac of
+// all parameters; with minFrac ≥ 1 every tensor is quantised. A full-
+// precision base codec yields a plan that sends everything raw.
+func NewPlan(c Codec, tensors []TensorInfo, minFrac float64) *Plan {
+	p := &Plan{
+		Quantised:   c,
+		Fallback:    FP32{},
+		MinFraction: minFrac,
+		tensors:     tensors,
+		codecs:      make([]Codec, len(tensors)),
+	}
+	if _, isFP := c.(FP32); isFP {
+		for i := range p.codecs {
+			p.codecs[i] = c
+		}
+		return p
+	}
+	var total int64
+	sizes := make([]int, len(tensors))
+	for i, t := range tensors {
+		sizes[i] = t.Shape.Len()
+		total += int64(sizes[i])
+	}
+	// Candidate thresholds are the distinct tensor sizes; pick the
+	// largest one whose cumulative quantised mass still meets minFrac.
+	uniq := append([]int(nil), sizes...)
+	sort.Ints(uniq)
+	threshold := 0
+	for i := len(uniq) - 1; i >= 0; i-- {
+		cand := uniq[i]
+		var quantised int64
+		for _, s := range sizes {
+			if s >= cand {
+				quantised += int64(s)
+			}
+		}
+		if total == 0 || float64(quantised) >= minFrac*float64(total) {
+			threshold = cand
+			break
+		}
+	}
+	p.Threshold = threshold
+	for i, s := range sizes {
+		if s >= threshold {
+			p.codecs[i] = c
+		} else {
+			p.codecs[i] = p.Fallback
+		}
+	}
+	return p
+}
+
+// CodecFor returns the codec assigned to tensor index i.
+func (p *Plan) CodecFor(i int) Codec {
+	if i < 0 || i >= len(p.codecs) {
+		panic(fmt.Sprintf("quant: plan has no tensor %d", i))
+	}
+	return p.codecs[i]
+}
+
+// NumTensors returns the number of tensors in the plan.
+func (p *Plan) NumTensors() int { return len(p.codecs) }
+
+// QuantisedFraction returns the fraction of parameters that travel
+// through the quantised codec.
+func (p *Plan) QuantisedFraction() float64 {
+	var total, quantised int64
+	for i, t := range p.tensors {
+		n := int64(t.Shape.Len())
+		total += n
+		if p.codecs[i] == p.Quantised {
+			quantised += n
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(quantised) / float64(total)
+}
+
+// WireBytes returns the total encoded bytes for one full gradient
+// exchange message set (each tensor encoded once under its assigned
+// codec).
+func (p *Plan) WireBytes() int64 {
+	var total int64
+	for i, t := range p.tensors {
+		total += int64(p.codecs[i].EncodedBytes(t.Shape.Len(), t.Shape))
+	}
+	return total
+}
+
+// RawBytes returns the total float32 bytes of all tensors.
+func (p *Plan) RawBytes() int64 {
+	var total int64
+	for _, t := range p.tensors {
+		total += int64(4 * t.Shape.Len())
+	}
+	return total
+}

@@ -1,0 +1,123 @@
+package quant
+
+import (
+	"testing"
+)
+
+func inventory() []TensorInfo {
+	// A caricature of a convnet: a couple of giant FC matrices, several
+	// medium conv kernels, and many tiny bias/batch-norm vectors.
+	return []TensorInfo{
+		{Name: "fc6.W", Shape: Shape{Rows: 4096, Cols: 9216}},
+		{Name: "fc7.W", Shape: Shape{Rows: 4096, Cols: 4096}},
+		{Name: "conv1.W", Shape: Shape{Rows: 11, Cols: 11 * 3 * 96}},
+		{Name: "conv2.W", Shape: Shape{Rows: 5, Cols: 5 * 96 * 256}},
+		{Name: "conv1.b", Shape: Shape{Rows: 96, Cols: 1}},
+		{Name: "conv2.b", Shape: Shape{Rows: 256, Cols: 1}},
+		{Name: "bn1.scale", Shape: Shape{Rows: 96, Cols: 1}},
+		{Name: "bn1.bias", Shape: Shape{Rows: 96, Cols: 1}},
+	}
+}
+
+func TestPlanQuantisesAtLeastMinFraction(t *testing.T) {
+	p := NewPlan(NewQSGD(4, 512, MaxNorm), inventory(), 0.99)
+	if f := p.QuantisedFraction(); f < 0.99 {
+		t.Fatalf("quantised fraction %v < 0.99", f)
+	}
+}
+
+func TestPlanExemptsSmallTensors(t *testing.T) {
+	p := NewPlan(NewQSGD(4, 512, MaxNorm), inventory(), 0.99)
+	small := 0
+	for i, ti := range inventory() {
+		if _, isFP := p.CodecFor(i).(FP32); isFP {
+			small++
+			if ti.Shape.Len() >= p.Threshold {
+				t.Errorf("tensor %s exempted despite size %d >= threshold %d",
+					ti.Name, ti.Shape.Len(), p.Threshold)
+			}
+		}
+	}
+	if small == 0 {
+		t.Fatal("expected some small tensors to be exempted")
+	}
+}
+
+func TestPlanThresholdMaximal(t *testing.T) {
+	// The chosen threshold should be as large as possible: raising it to
+	// the next distinct size must violate the fraction constraint.
+	inv := inventory()
+	p := NewPlan(NewQSGD(4, 512, MaxNorm), inv, 0.99)
+	var total int64
+	for _, ti := range inv {
+		total += int64(ti.Shape.Len())
+	}
+	next := int(^uint(0) >> 1)
+	for _, ti := range inv {
+		if n := ti.Shape.Len(); n > p.Threshold && n < next {
+			next = n
+		}
+	}
+	if next == int(^uint(0)>>1) {
+		return // threshold already at max size
+	}
+	var quantised int64
+	for _, ti := range inv {
+		if ti.Shape.Len() >= next {
+			quantised += int64(ti.Shape.Len())
+		}
+	}
+	if float64(quantised) >= 0.99*float64(total) {
+		t.Fatalf("threshold %d not maximal: %d would still satisfy 99%%", p.Threshold, next)
+	}
+}
+
+func TestPlanFullPrecisionPassThrough(t *testing.T) {
+	p := NewPlan(FP32{}, inventory(), 0.99)
+	for i := range inventory() {
+		if _, isFP := p.CodecFor(i).(FP32); !isFP {
+			t.Fatalf("fp32 plan assigned non-fp32 codec to tensor %d", i)
+		}
+	}
+	if p.WireBytes() != p.RawBytes() {
+		t.Fatal("fp32 plan should have wire == raw bytes")
+	}
+}
+
+func TestPlanMinFracOneQuantisesEverything(t *testing.T) {
+	p := NewPlan(NewQSGD(8, 512, MaxNorm), inventory(), 1.0)
+	if f := p.QuantisedFraction(); f != 1 {
+		t.Fatalf("fraction = %v, want 1", f)
+	}
+}
+
+func TestPlanWireBytesSmaller(t *testing.T) {
+	p := NewPlan(NewQSGD(4, 512, MaxNorm), inventory(), 0.99)
+	if p.WireBytes() >= p.RawBytes() {
+		t.Fatalf("4-bit plan did not compress: wire %d raw %d", p.WireBytes(), p.RawBytes())
+	}
+	ratio := float64(p.RawBytes()) / float64(p.WireBytes())
+	if ratio < 6 || ratio > 8 {
+		t.Fatalf("4-bit whole-model ratio %v outside plausible [6,8]", ratio)
+	}
+}
+
+func TestPlanEmptyInventory(t *testing.T) {
+	p := NewPlan(NewQSGD(4, 512, MaxNorm), nil, 0.99)
+	if p.NumTensors() != 0 {
+		t.Fatal("empty inventory should have zero tensors")
+	}
+	if p.QuantisedFraction() != 1 {
+		t.Fatal("vacuous fraction should be 1")
+	}
+}
+
+func TestPlanCodecForPanicsOutOfRange(t *testing.T) {
+	p := NewPlan(NewQSGD(4, 512, MaxNorm), inventory(), 0.99)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.CodecFor(999)
+}

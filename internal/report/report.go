@@ -1,0 +1,115 @@
+// Package report renders experiment results as aligned text tables and
+// CSV, the two output formats of the reproduction's harness and
+// command-line tools.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of cells with a header row.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes are printed under the table.
+	Notes []string
+}
+
+// New returns an empty table.
+func New(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// Add appends one row; the cell count should match the header.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Addf appends one row of formatted values.
+func (t *Table) Addf(format string, args ...any) {
+	t.Add(strings.Split(fmt.Sprintf(format, args...), "\t")...)
+}
+
+// Note appends a footnote line.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// widths computes the column widths over header and rows.
+func (t *Table) widths() []int {
+	w := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		w[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i >= len(w) {
+				w = append(w, 0)
+			}
+			if len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	return w
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "## %s\n", t.Title)
+	}
+	widths := t.widths()
+	line := func(cells []string) {
+		parts := make([]string, 0, len(widths))
+		for i, width := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts = append(parts, fmt.Sprintf("%-*s", width, c))
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(widths))
+	for i, width := range widths {
+		sep[i] = strings.Repeat("-", width)
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// CSV writes the table as comma-separated values (quotes cells that
+// contain commas or quotes).
+func (t *Table) CSV(w io.Writer) {
+	writeRow := func(cells []string) {
+		esc := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			esc[i] = c
+		}
+		fmt.Fprintln(w, strings.Join(esc, ","))
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}

@@ -1,0 +1,58 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := New("demo", "name", "value")
+	tb.Add("a", "1")
+	tb.Add("longer-name", "22")
+	out := tb.String()
+	if !strings.Contains(out, "## demo") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	// Header and separator must be equally wide.
+	if len(lines[1]) != len(lines[2]) {
+		t.Fatalf("misaligned separator:\n%s", out)
+	}
+}
+
+func TestAddf(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.Addf("%d\t%.2f", 7, 3.14159)
+	if tb.Rows[0][0] != "7" || tb.Rows[0][1] != "3.14" {
+		t.Fatalf("Addf produced %v", tb.Rows[0])
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := New("", "x", "y")
+	tb.Add(`va"l`, "a,b")
+	var sb strings.Builder
+	tb.CSV(&sb)
+	want := "x,y\n\"va\"\"l\",\"a,b\"\n"
+	if sb.String() != want {
+		t.Fatalf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestNotes(t *testing.T) {
+	tb := New("", "a")
+	tb.Note("hello %d", 5)
+	if !strings.Contains(tb.String(), "note: hello 5") {
+		t.Fatal("note missing")
+	}
+}
+
+func TestRaggedRows(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.Add("1", "2", "3") // extra cell must not panic
+	tb.Add("only")
+	_ = tb.String()
+}

@@ -1,0 +1,120 @@
+package tensor
+
+import "fmt"
+
+// ConvShape describes a 2-D convolution over NCHW inputs. It carries the
+// geometry needed by Im2col/Col2im and by the convolution layer in
+// internal/nn.
+type ConvShape struct {
+	InC, InH, InW    int // input channels, height, width
+	OutC             int // output channels (number of filters)
+	KH, KW           int // kernel height, width
+	StrideH, StrideW int
+	PadH, PadW       int
+}
+
+// OutH returns the output height.
+func (c ConvShape) OutH() int { return (c.InH+2*c.PadH-c.KH)/c.StrideH + 1 }
+
+// OutW returns the output width.
+func (c ConvShape) OutW() int { return (c.InW+2*c.PadW-c.KW)/c.StrideW + 1 }
+
+// PatchLen returns the length of one im2col column: InC*KH*KW.
+func (c ConvShape) PatchLen() int { return c.InC * c.KH * c.KW }
+
+// Validate reports a descriptive error when the geometry is inconsistent.
+func (c ConvShape) Validate() error {
+	if c.InC <= 0 || c.InH <= 0 || c.InW <= 0 || c.OutC <= 0 {
+		return fmt.Errorf("tensor: conv shape has non-positive dims: %+v", c)
+	}
+	if c.KH <= 0 || c.KW <= 0 || c.StrideH <= 0 || c.StrideW <= 0 {
+		return fmt.Errorf("tensor: conv kernel/stride non-positive: %+v", c)
+	}
+	if c.PadH < 0 || c.PadW < 0 {
+		return fmt.Errorf("tensor: conv negative padding: %+v", c)
+	}
+	if c.OutH() <= 0 || c.OutW() <= 0 {
+		return fmt.Errorf("tensor: conv output empty: %+v", c)
+	}
+	return nil
+}
+
+// Im2col expands a single image (CHW layout, length InC*InH*InW) into the
+// dst matrix with shape (InC*KH*KW) × (OutH*OutW): column p holds the
+// receptive field of output position p. dst must be pre-allocated.
+//
+// This is the standard lowering that turns convolution into GEMM, the same
+// strategy cuDNN uses for its GEMM-based algorithms.
+func Im2col(c ConvShape, img []float32, dst *Matrix) {
+	oh, ow := c.OutH(), c.OutW()
+	if len(img) != c.InC*c.InH*c.InW {
+		panic("tensor: Im2col image size mismatch")
+	}
+	if dst.Rows != c.PatchLen() || dst.Cols != oh*ow {
+		panic("tensor: Im2col dst shape mismatch")
+	}
+	for ch := 0; ch < c.InC; ch++ {
+		chOff := ch * c.InH * c.InW
+		for kh := 0; kh < c.KH; kh++ {
+			for kw := 0; kw < c.KW; kw++ {
+				row := ((ch*c.KH)+kh)*c.KW + kw
+				drow := dst.Row(row)
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*c.StrideH - c.PadH + kh
+					base := oy * ow
+					if iy < 0 || iy >= c.InH {
+						for ox := 0; ox < ow; ox++ {
+							drow[base+ox] = 0
+						}
+						continue
+					}
+					irow := chOff + iy*c.InW
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*c.StrideW - c.PadW + kw
+						if ix < 0 || ix >= c.InW {
+							drow[base+ox] = 0
+						} else {
+							drow[base+ox] = img[irow+ix]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2im accumulates the columns of src (shape (InC*KH*KW) × (OutH*OutW))
+// back into an image gradient (CHW layout). dst must be pre-zeroed by the
+// caller when accumulation across calls is not desired.
+func Col2im(c ConvShape, src *Matrix, dst []float32) {
+	oh, ow := c.OutH(), c.OutW()
+	if len(dst) != c.InC*c.InH*c.InW {
+		panic("tensor: Col2im image size mismatch")
+	}
+	if src.Rows != c.PatchLen() || src.Cols != oh*ow {
+		panic("tensor: Col2im src shape mismatch")
+	}
+	for ch := 0; ch < c.InC; ch++ {
+		chOff := ch * c.InH * c.InW
+		for kh := 0; kh < c.KH; kh++ {
+			for kw := 0; kw < c.KW; kw++ {
+				row := ((ch*c.KH)+kh)*c.KW + kw
+				srow := src.Row(row)
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*c.StrideH - c.PadH + kh
+					if iy < 0 || iy >= c.InH {
+						continue
+					}
+					irow := chOff + iy*c.InW
+					base := oy * ow
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*c.StrideW - c.PadW + kw
+						if ix >= 0 && ix < c.InW {
+							dst[irow+ix] += srow[base+ox]
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/quant"
+)
+
+// Dataset mirrors one row of the paper's Figure 1.
+type Dataset struct {
+	Name    string
+	TrainN  int
+	ValN    int
+	SizeGB  float64
+	Classes int
+	Task    string
+}
+
+// Datasets is the paper's Figure 1.
+var Datasets = []Dataset{
+	{Name: "ImageNet", TrainN: 1_300_000, ValN: 50_000, SizeGB: 145, Classes: 1000, Task: "Image"},
+	{Name: "CIFAR-10", TrainN: 50_000, ValN: 10_000, SizeGB: 1, Classes: 10, Task: "Image"},
+	{Name: "AN4", TrainN: 948, ValN: 130, SizeGB: 0.064, Classes: 0, Task: "Speech"},
+}
+
+// DatasetByName returns the named Figure 1 entry.
+func DatasetByName(name string) (Dataset, error) {
+	for _, d := range Datasets {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("workload: unknown dataset %q", name)
+}
+
+// Network is one of the paper's training workloads: Figure 3's
+// statistics, Figure 4's batch sizes, a complete gradient-tensor
+// inventory, and the calibration anchors the performance model needs.
+type Network struct {
+	// Name as the paper writes it.
+	Name string
+	// Dataset names the Figure 1 entry it trains on.
+	Dataset string
+	// Tensors is the full gradient-matrix inventory in CNTK layout.
+	Tensors []quant.TensorInfo
+	// FwdGFLOPs is the forward-pass cost per sample; training cost is
+	// modelled as 3× (forward + two-pass backward).
+	FwdGFLOPs float64
+	// Epochs and BaseLR are Figure 3's training recipe.
+	Epochs int
+	BaseLR float64
+	// BatchByGPUs is Figure 4: global minibatch per GPU count (0 marks
+	// configurations the paper did not run).
+	BatchByGPUs map[int]int
+	// ThroughputK80 is the measured 1-GPU samples/second on the K80
+	// (Figure 10's single-GPU column) — the compute-side calibration
+	// anchor for the simulator.
+	ThroughputK80 float64
+	// SmallBatchBoost is the per-sample speedup when the per-GPU batch
+	// drops to 16 or below — the super-linear VGG19 artefact of §5.2
+	// ("Super-Linear Scaling"). 1 means no effect.
+	SmallBatchBoost float64
+	// PublishedTop1 is the paper-era top-1 accuracy (used by the
+	// Figure 16 cost/accuracy analysis).
+	PublishedTop1 float64
+}
+
+// Params returns the total parameter count.
+func (n Network) Params() int64 { return TotalParams(n.Tensors) }
+
+// ModelBytes returns the float32 gradient volume (4·params).
+func (n Network) ModelBytes() int64 { return 4 * n.Params() }
+
+// TrainGFLOPs returns the modelled per-sample training cost.
+func (n Network) TrainGFLOPs() float64 { return 3 * n.FwdGFLOPs }
+
+// BatchFor returns Figure 4's global batch for k GPUs, and whether the
+// paper ran that configuration.
+func (n Network) BatchFor(k int) (int, bool) {
+	b, ok := n.BatchByGPUs[k]
+	return b, ok && b > 0
+}
+
+// SampleSpeedup returns the per-sample throughput multiplier at the
+// given per-GPU batch, capturing the small-batch caching effect.
+func (n Network) SampleSpeedup(perGPUBatch int) float64 {
+	if perGPUBatch <= 16 && n.SmallBatchBoost > 1 {
+		return n.SmallBatchBoost
+	}
+	return 1
+}
+
+// MBPerGFLOP returns the communication-to-computation ratio of Figure 16
+// (right): model megabytes per training GFLOP.
+func (n Network) MBPerGFLOP() float64 {
+	return float64(n.ModelBytes()) / 1e6 / n.TrainGFLOPs()
+}
+
+// DatasetSamples returns the samples per training epoch.
+func (n Network) DatasetSamples() int {
+	d, err := DatasetByName(n.Dataset)
+	if err != nil {
+		return 0
+	}
+	return d.TrainN
+}
+
+// The model zoo (Figures 3 and 4, plus calibration anchors).
+var (
+	// AlexNet: 62 M parameters, communication-dominated.
+	AlexNet = Network{
+		Name: "AlexNet", Dataset: "ImageNet",
+		Tensors: alexNetTensors(), FwdGFLOPs: 0.72,
+		Epochs: 112, BaseLR: 0.07,
+		BatchByGPUs:   map[int]int{1: 256, 2: 256, 4: 256, 8: 256, 16: 256},
+		ThroughputK80: 240.80, SmallBatchBoost: 1, PublishedTop1: 57.1,
+	}
+	// VGG19: 143 M parameters, the heaviest communicator.
+	VGG19 = Network{
+		Name: "VGG19", Dataset: "ImageNet",
+		Tensors: vgg19Tensors(), FwdGFLOPs: 19.6,
+		Epochs: 80, BaseLR: 0.1,
+		BatchByGPUs:   map[int]int{1: 32, 2: 64, 4: 128, 8: 128, 16: 128},
+		ThroughputK80: 12.40, SmallBatchBoost: 2.1, PublishedTop1: 71.1,
+	}
+	// BNInception: 11 M parameters, computation-dominated.
+	BNInception = Network{
+		Name: "BN-Inception", Dataset: "ImageNet",
+		Tensors: bnInceptionTensors(), FwdGFLOPs: 2.0,
+		Epochs: 300, BaseLR: 3.6,
+		BatchByGPUs:   map[int]int{1: 64, 2: 128, 4: 256, 8: 256, 16: 256},
+		ThroughputK80: 88.30, SmallBatchBoost: 1, PublishedTop1: 71.9,
+	}
+	// ResNet50: 25 M parameters, balanced.
+	ResNet50 = Network{
+		Name: "ResNet50", Dataset: "ImageNet",
+		Tensors: resnetImageNetTensors([4]int{3, 4, 6, 3}), FwdGFLOPs: 3.9,
+		Epochs: 120, BaseLR: 1,
+		BatchByGPUs:   map[int]int{1: 32, 2: 64, 4: 128, 8: 256, 16: 256},
+		ThroughputK80: 47.20, SmallBatchBoost: 1, PublishedTop1: 72.4,
+	}
+	// ResNet152: 60 M parameters, heavy compute and heavy communication.
+	ResNet152 = Network{
+		Name: "ResNet152", Dataset: "ImageNet",
+		Tensors: resnetImageNetTensors([4]int{3, 8, 36, 3}), FwdGFLOPs: 11.3,
+		Epochs: 120, BaseLR: 1,
+		BatchByGPUs:   map[int]int{1: 16, 2: 32, 4: 64, 8: 128, 16: 256},
+		ThroughputK80: 16.90, SmallBatchBoost: 1, PublishedTop1: 74.4,
+	}
+	// ResNet110: the CIFAR-10 model, 1.7 M parameters.
+	ResNet110 = Network{
+		Name: "ResNet110", Dataset: "CIFAR-10",
+		Tensors: resnet110Tensors(), FwdGFLOPs: 0.26,
+		Epochs: 160, BaseLR: 0.1,
+		BatchByGPUs:   map[int]int{1: 128, 2: 128, 4: 128, 8: 128, 16: 128},
+		ThroughputK80: 343.70, SmallBatchBoost: 1, PublishedTop1: 93.6,
+	}
+	// LSTMSpeech: the AN4 acoustic model, 13 M parameters.
+	LSTMSpeech = Network{
+		Name: "LSTM", Dataset: "AN4",
+		Tensors: lstmTensors(), FwdGFLOPs: 1.1,
+		Epochs: 20, BaseLR: 0.5,
+		BatchByGPUs:   map[int]int{1: 16, 2: 16},
+		ThroughputK80: 12, SmallBatchBoost: 1, PublishedTop1: 0,
+	}
+)
+
+// Networks returns the full zoo in the paper's presentation order.
+func Networks() []Network {
+	return []Network{AlexNet, VGG19, BNInception, ResNet50, ResNet152, ResNet110, LSTMSpeech}
+}
+
+// PerformanceNetworks returns the networks appearing in the performance
+// figures (Figures 6–15): the ImageNet five plus ResNet110.
+func PerformanceNetworks() []Network {
+	return []Network{AlexNet, VGG19, ResNet152, ResNet50, BNInception, ResNet110}
+}
+
+// NetworkByName returns the named zoo entry.
+func NetworkByName(name string) (Network, error) {
+	for _, n := range Networks() {
+		if n.Name == name {
+			return n, nil
+		}
+	}
+	return Network{}, fmt.Errorf("workload: unknown network %q", name)
+}

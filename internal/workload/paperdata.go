@@ -1,0 +1,141 @@
+package workload
+
+// This file embeds the paper's measured throughput tables (Figures 10
+// and 11) verbatim. They serve two purposes: the single-GPU column
+// calibrates the simulator's compute model, and the full tables are the
+// ground truth that EXPERIMENTS.md compares the simulator's output
+// against, row by row.
+
+// PaperRow is one (network, precision) row of a throughput table:
+// samples/second at 1, 2, 4, 8 and 16 GPUs. Zero marks configurations
+// the paper does not report ("/" in the tables).
+type PaperRow struct {
+	Network   string
+	Precision string // 32bit, qsgd16, qsgd8, qsgd4, qsgd2, 1bit, 1bit*
+	Bucket    int    // 0 when not applicable
+	Samples   [5]float64
+}
+
+// GPUCounts are the column headers of Figures 10–11.
+var GPUCounts = [5]int{1, 2, 4, 8, 16}
+
+// PaperFig10MPI is Figure 10: samples/second with MPI on the EC2 P2
+// instance.
+var PaperFig10MPI = []PaperRow{
+	{"AlexNet", "32bit", 0, [5]float64{240.80, 301.45, 328.00, 272.90, 192.10}},
+	{"AlexNet", "qsgd16", 8192, [5]float64{0, 388.80, 508.80, 500.90, 335.60}},
+	{"AlexNet", "qsgd8", 512, [5]float64{0, 424.90, 544.60, 739.10, 535.00}},
+	{"AlexNet", "qsgd4", 512, [5]float64{0, 466.50, 598.70, 964.90, 748.50}},
+	{"AlexNet", "qsgd2", 128, [5]float64{0, 449.20, 609.15, 1076.50, 889.80}},
+	{"AlexNet", "1bit", 0, [5]float64{0, 424.05, 564.30, 971.10, 849.40}},
+	{"AlexNet", "1bit*", 64, [5]float64{0, 370.80, 476.50, 761.20, 712.70}},
+
+	{"ResNet50", "32bit", 0, [5]float64{47.20, 80.80, 142.40, 247.90, 272.30}},
+	{"ResNet50", "qsgd16", 8192, [5]float64{0, 90.20, 156.30, 275.80, 348.70}},
+	{"ResNet50", "qsgd8", 512, [5]float64{0, 92.60, 162.70, 313.70, 416.80}},
+	{"ResNet50", "qsgd4", 512, [5]float64{0, 93.90, 165.70, 326.10, 461.20}},
+	{"ResNet50", "qsgd2", 128, [5]float64{0, 93.30, 178.35, 330.45, 472.25}},
+	{"ResNet50", "1bit", 0, [5]float64{0, 45.10, 81.70, 160.15, 155.20}},
+	{"ResNet50", "1bit*", 64, [5]float64{0, 88.10, 156.50, 296.70, 442.40}},
+
+	{"ResNet110", "32bit", 0, [5]float64{343.70, 555.00, 957.70, 1229.10, 831.60}},
+	{"ResNet110", "qsgd16", 8192, [5]float64{0, 551.00, 942.70, 1164.20, 763.40}},
+	{"ResNet110", "qsgd8", 512, [5]float64{0, 550.20, 960.10, 1193.10, 759.70}},
+	{"ResNet110", "qsgd4", 512, [5]float64{0, 571.10, 957.40, 1257.10, 784.30}},
+	{"ResNet110", "qsgd2", 128, [5]float64{0, 557.20, 973.10, 1227.90, 780.40}},
+	{"ResNet110", "1bit", 0, [5]float64{0, 465.60, 643.30, 610.90, 406.90}},
+	{"ResNet110", "1bit*", 64, [5]float64{0, 550.40, 884.80, 1156.70, 757.70}},
+
+	{"ResNet152", "32bit", 0, [5]float64{16.90, 26.10, 45.00, 73.90, 113.50}},
+	{"ResNet152", "qsgd16", 8192, [5]float64{0, 31.20, 54.50, 95.50, 151.00}},
+	{"ResNet152", "qsgd8", 512, [5]float64{0, 32.80, 62.70, 109.20, 182.50}},
+	{"ResNet152", "qsgd4", 512, [5]float64{0, 33.60, 60.20, 121.90, 203.20}},
+	{"ResNet152", "qsgd2", 128, [5]float64{0, 33.50, 64.35, 123.55, 208.50}},
+	{"ResNet152", "1bit", 0, [5]float64{0, 10.55, 22.10, 41.40, 63.15}},
+	{"ResNet152", "1bit*", 64, [5]float64{0, 30.40, 55.50, 108.10, 193.50}},
+
+	{"VGG19", "32bit", 0, [5]float64{12.40, 20.40, 36.30, 53.95, 40.60}},
+	{"VGG19", "qsgd16", 8192, [5]float64{0, 24.80, 46.40, 35.80, 67.80}},
+	{"VGG19", "qsgd8", 512, [5]float64{0, 24.20, 47.50, 119.50, 106.60}},
+	{"VGG19", "qsgd4", 512, [5]float64{0, 27.00, 52.30, 151.65, 143.80}},
+	{"VGG19", "qsgd2", 128, [5]float64{0, 24.60, 49.35, 160.35, 170.50}},
+	{"VGG19", "1bit", 0, [5]float64{0, 22.20, 43.15, 117.35, 120.60}},
+	{"VGG19", "1bit*", 64, [5]float64{0, 22.90, 44.80, 99.15, 134.30}},
+
+	{"BN-Inception", "32bit", 0, [5]float64{88.30, 164.80, 316.75, 473.75, 500.40}},
+	{"BN-Inception", "qsgd16", 8192, [5]float64{0, 171.80, 337.10, 482.70, 592.30}},
+	{"BN-Inception", "qsgd8", 512, [5]float64{0, 173.60, 342.50, 552.90, 696.30}},
+	{"BN-Inception", "qsgd4", 512, [5]float64{0, 174.80, 346.90, 593.40, 743.30}},
+	{"BN-Inception", "qsgd2", 128, [5]float64{0, 173.40, 343.70, 591.80, 747.50}},
+	{"BN-Inception", "1bit", 0, [5]float64{0, 127.60, 236.25, 336.15, 321.30}},
+	{"BN-Inception", "1bit*", 64, [5]float64{0, 170.30, 335.10, 480.50, 700.40}},
+}
+
+// PaperFig11NCCL is Figure 11: samples/second with NCCL on the EC2 P2
+// instance (NCCL tops out at 8 GPUs; low precision is the paper's
+// byte-volume simulation).
+var PaperFig11NCCL = []PaperRow{
+	{"AlexNet", "32bit", 0, [5]float64{240.80, 458.20, 625.00, 1138.30, 0}},
+	{"AlexNet", "qsgd16", 8192, [5]float64{0, 462.80, 632.10, 1157.60, 0}},
+	{"AlexNet", "qsgd8", 512, [5]float64{0, 458.40, 641.80, 1214.80, 0}},
+	{"AlexNet", "qsgd4", 512, [5]float64{0, 471.90, 659.40, 1247.70, 0}},
+	{"AlexNet", "qsgd2", 128, [5]float64{0, 471.00, 661.60, 1229.70, 0}},
+
+	{"ResNet50", "32bit", 0, [5]float64{47.20, 93.80, 164.80, 291.10, 0}},
+	{"ResNet50", "qsgd16", 8192, [5]float64{0, 93.70, 164.50, 324.20, 0}},
+	{"ResNet50", "qsgd8", 512, [5]float64{0, 94.00, 165.80, 297.40, 0}},
+	{"ResNet50", "qsgd4", 512, [5]float64{0, 95.60, 167.90, 298.40, 0}},
+	{"ResNet50", "qsgd2", 128, [5]float64{0, 95.50, 168.20, 304.10, 0}},
+
+	{"ResNet152", "32bit", 0, [5]float64{16.90, 33.60, 60.10, 112.10, 0}},
+	{"ResNet152", "qsgd16", 8192, [5]float64{0, 33.40, 59.80, 112.20, 0}},
+	{"ResNet152", "qsgd8", 512, [5]float64{0, 33.70, 60.80, 115.10, 0}},
+	{"ResNet152", "qsgd4", 512, [5]float64{0, 34.20, 62.10, 118.70, 0}},
+	{"ResNet152", "qsgd2", 128, [5]float64{0, 34.30, 62.20, 119.90, 0}},
+
+	{"VGG19", "32bit", 0, [5]float64{12.40, 24.90, 48.70, 163.10, 0}},
+	{"VGG19", "qsgd16", 8192, [5]float64{0, 24.90, 49.10, 168.00, 0}},
+	{"VGG19", "qsgd8", 512, [5]float64{0, 25.50, 50.50, 175.20, 0}},
+	{"VGG19", "qsgd4", 512, [5]float64{0, 25.60, 51.00, 179.50, 0}},
+	{"VGG19", "qsgd2", 128, [5]float64{0, 25.60, 51.10, 177.80, 0}},
+
+	{"BN-Inception", "32bit", 0, [5]float64{88.30, 175.30, 342.00, 486.70, 0}},
+	{"BN-Inception", "qsgd16", 8192, [5]float64{0, 174.30, 342.70, 497.10, 0}},
+	{"BN-Inception", "qsgd8", 512, [5]float64{0, 174.50, 345.30, 510.10, 0}},
+	{"BN-Inception", "qsgd4", 512, [5]float64{0, 178.60, 349.00, 598.90, 0}},
+	{"BN-Inception", "qsgd2", 128, [5]float64{0, 177.20, 349.00, 608.20, 0}},
+}
+
+// PaperRowsFor filters a table by network name.
+func PaperRowsFor(table []PaperRow, network string) []PaperRow {
+	var out []PaperRow
+	for _, r := range table {
+		if r.Network == network {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// PaperThroughput looks up one cell of a table. It returns 0, false when
+// the paper does not report that configuration.
+func PaperThroughput(table []PaperRow, network, precision string, gpus int) (float64, bool) {
+	col := -1
+	for i, k := range GPUCounts {
+		if k == gpus {
+			col = i
+		}
+	}
+	if col < 0 {
+		return 0, false
+	}
+	for _, r := range table {
+		if r.Network == network && r.Precision == precision {
+			if v := r.Samples[col]; v > 0 {
+				return v, true
+			}
+			return 0, false
+		}
+	}
+	return 0, false
+}

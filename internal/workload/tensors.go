@@ -1,0 +1,239 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/quant"
+)
+
+// The inventory builders below enumerate every gradient matrix of each
+// network in CNTK tensor layout: the first tensor dimension is the wire
+// "row" count and the remaining dimensions flatten into columns
+// (paper §3.2, "Reshaped 1bitSGD"). A kW×kH convolution over inC→outC
+// channels therefore becomes a matrix of shape [kW, kH·inC·outC] — rows
+// of height 1–11 — which is precisely why classic column-wise 1bitSGD
+// compresses convolutions poorly.
+
+// convT returns the weight tensor of a convolution in CNTK layout.
+func convT(name string, kw, kh, inC, outC int) quant.TensorInfo {
+	return quant.TensorInfo{
+		Name:  name + ".W",
+		Shape: quant.Shape{Rows: kw, Cols: kh * inC * outC},
+	}
+}
+
+// biasT returns a length-n bias/affine vector tensor.
+func biasT(name string, n int) quant.TensorInfo {
+	return quant.TensorInfo{Name: name, Shape: quant.Shape{Rows: n, Cols: 1}}
+}
+
+// denseT returns a dense weight tensor with the output dimension first.
+func denseT(name string, in, out int) quant.TensorInfo {
+	return quant.TensorInfo{Name: name + ".W", Shape: quant.Shape{Rows: out, Cols: in}}
+}
+
+// bnT returns the two affine tensors of a batch-norm layer.
+func bnT(name string, c int) []quant.TensorInfo {
+	return []quant.TensorInfo{biasT(name+".scale", c), biasT(name+".bias", c)}
+}
+
+// TotalParams sums the element counts of an inventory.
+func TotalParams(tensors []quant.TensorInfo) int64 {
+	var total int64
+	for _, t := range tensors {
+		total += int64(t.Shape.Len())
+	}
+	return total
+}
+
+// alexNetTensors builds the AlexNet inventory (≈62 M parameters): five
+// convolutions and three enormous fully connected layers, the
+// communication-dominated archetype of the study.
+func alexNetTensors() []quant.TensorInfo {
+	var ts []quant.TensorInfo
+	add := func(t quant.TensorInfo) { ts = append(ts, t) }
+	add(convT("conv1", 11, 11, 3, 96))
+	add(biasT("conv1.b", 96))
+	add(convT("conv2", 5, 5, 96, 256))
+	add(biasT("conv2.b", 256))
+	add(convT("conv3", 3, 3, 256, 384))
+	add(biasT("conv3.b", 384))
+	add(convT("conv4", 3, 3, 384, 384))
+	add(biasT("conv4.b", 384))
+	add(convT("conv5", 3, 3, 384, 256))
+	add(biasT("conv5.b", 256))
+	add(denseT("fc6", 9216, 4096))
+	add(biasT("fc6.b", 4096))
+	add(denseT("fc7", 4096, 4096))
+	add(biasT("fc7.b", 4096))
+	add(denseT("fc8", 4096, 1000))
+	add(biasT("fc8.b", 1000))
+	return ts
+}
+
+// vgg19Tensors builds the VGG-19 inventory (≈143 M parameters), the
+// largest model in the study.
+func vgg19Tensors() []quant.TensorInfo {
+	cfg := []struct{ in, out, count int }{
+		{3, 64, 1}, {64, 64, 1},
+		{64, 128, 1}, {128, 128, 1},
+		{128, 256, 1}, {256, 256, 3},
+		{256, 512, 1}, {512, 512, 3},
+		{512, 512, 4},
+	}
+	var ts []quant.TensorInfo
+	idx := 1
+	for _, c := range cfg {
+		for i := 0; i < c.count; i++ {
+			name := fmt.Sprintf("conv%d", idx)
+			ts = append(ts, convT(name, 3, 3, c.in, c.out))
+			ts = append(ts, biasT(name+".b", c.out))
+			idx++
+		}
+	}
+	ts = append(ts, denseT("fc6", 25088, 4096), biasT("fc6.b", 4096))
+	ts = append(ts, denseT("fc7", 4096, 4096), biasT("fc7.b", 4096))
+	ts = append(ts, denseT("fc8", 4096, 1000), biasT("fc8.b", 1000))
+	return ts
+}
+
+// bottleneckTensors emits one ResNet bottleneck block (1×1, 3×3, 1×1
+// convolutions plus batch norms, with an optional projection shortcut).
+func bottleneckTensors(name string, inC, midC, outC int, project bool) []quant.TensorInfo {
+	var ts []quant.TensorInfo
+	ts = append(ts, convT(name+".a", 1, 1, inC, midC))
+	ts = append(ts, bnT(name+".a.bn", midC)...)
+	ts = append(ts, convT(name+".b", 3, 3, midC, midC))
+	ts = append(ts, bnT(name+".b.bn", midC)...)
+	ts = append(ts, convT(name+".c", 1, 1, midC, outC))
+	ts = append(ts, bnT(name+".c.bn", outC)...)
+	if project {
+		ts = append(ts, convT(name+".proj", 1, 1, inC, outC))
+		ts = append(ts, bnT(name+".proj.bn", outC)...)
+	}
+	return ts
+}
+
+// resnetImageNetTensors builds a bottleneck ResNet inventory for
+// ImageNet. stages gives the block count per stage; ResNet-50 is
+// {3,4,6,3} (≈25 M), ResNet-152 is {3,8,36,3} (≈60 M).
+func resnetImageNetTensors(stages [4]int) []quant.TensorInfo {
+	var ts []quant.TensorInfo
+	ts = append(ts, convT("conv1", 7, 7, 3, 64))
+	ts = append(ts, bnT("conv1.bn", 64)...)
+	mids := [4]int{64, 128, 256, 512}
+	in := 64
+	for s := 0; s < 4; s++ {
+		out := mids[s] * 4
+		for b := 0; b < stages[s]; b++ {
+			name := fmt.Sprintf("stage%d.block%d", s+1, b+1)
+			ts = append(ts, bottleneckTensors(name, in, mids[s], out, b == 0)...)
+			in = out
+		}
+	}
+	ts = append(ts, denseT("fc", 2048, 1000), biasT("fc.b", 1000))
+	return ts
+}
+
+// resnet110Tensors builds the CIFAR ResNet-110 inventory (basic 3×3
+// blocks, 18 per stage, widths 16/32/64; ≈1.7 M parameters).
+func resnet110Tensors() []quant.TensorInfo {
+	var ts []quant.TensorInfo
+	ts = append(ts, convT("conv1", 3, 3, 3, 16))
+	ts = append(ts, bnT("conv1.bn", 16)...)
+	widths := [3]int{16, 32, 64}
+	in := 16
+	for s := 0; s < 3; s++ {
+		w := widths[s]
+		for b := 0; b < 18; b++ {
+			name := fmt.Sprintf("stage%d.block%d", s+1, b+1)
+			ts = append(ts, convT(name+".a", 3, 3, in, w))
+			ts = append(ts, bnT(name+".a.bn", w)...)
+			ts = append(ts, convT(name+".b", 3, 3, w, w))
+			ts = append(ts, bnT(name+".b.bn", w)...)
+			if in != w {
+				ts = append(ts, convT(name+".proj", 1, 1, in, w))
+				ts = append(ts, bnT(name+".proj.bn", w)...)
+			}
+			in = w
+		}
+	}
+	ts = append(ts, denseT("fc", 64, 10), biasT("fc.b", 10))
+	return ts
+}
+
+// inceptionModule emits one BN-Inception module with the four standard
+// towers (1×1; 1×1→3×3; 1×1→3×3→3×3; pool→1×1).
+func inceptionModule(name string, inC, t1, r3, t3, r33, t33, pool int) []quant.TensorInfo {
+	var ts []quant.TensorInfo
+	add := func(n string, kw, kh, i, o int) {
+		ts = append(ts, convT(n, kw, kh, i, o))
+		ts = append(ts, bnT(n+".bn", o)...)
+	}
+	if t1 > 0 {
+		add(name+".t1", 1, 1, inC, t1)
+	}
+	add(name+".t3r", 1, 1, inC, r3)
+	add(name+".t3", 3, 3, r3, t3)
+	add(name+".t33r", 1, 1, inC, r33)
+	add(name+".t33a", 3, 3, r33, t33)
+	add(name+".t33b", 3, 3, t33, t33)
+	if pool > 0 {
+		add(name+".pool", 1, 1, inC, pool)
+	}
+	return ts
+}
+
+// bnInceptionTensors builds the BN-Inception (GoogLeNet with batch
+// normalisation) inventory, ≈11 M parameters — the study's
+// computation-dominated, parameter-light network.
+func bnInceptionTensors() []quant.TensorInfo {
+	var ts []quant.TensorInfo
+	ts = append(ts, convT("conv1", 7, 7, 3, 64))
+	ts = append(ts, bnT("conv1.bn", 64)...)
+	ts = append(ts, convT("conv2r", 1, 1, 64, 64))
+	ts = append(ts, bnT("conv2r.bn", 64)...)
+	ts = append(ts, convT("conv2", 3, 3, 64, 192))
+	ts = append(ts, bnT("conv2.bn", 192)...)
+	mods := []struct {
+		name string
+		inC, t1, r3, t3, r33, t33,
+		pool int
+	}{
+		{"inc3a", 192, 64, 64, 64, 64, 96, 32},
+		{"inc3b", 256, 64, 64, 96, 64, 96, 64},
+		{"inc3c", 320, 0, 128, 160, 64, 96, 0},
+		{"inc4a", 576, 224, 64, 96, 96, 128, 128},
+		{"inc4b", 576, 192, 96, 128, 96, 128, 128},
+		{"inc4c", 576, 160, 128, 160, 128, 160, 128},
+		{"inc4d", 608, 96, 128, 192, 160, 192, 128},
+		{"inc4e", 608, 0, 128, 192, 192, 256, 0},
+		{"inc5a", 1056, 352, 192, 320, 160, 224, 128},
+		{"inc5b", 1024, 352, 192, 320, 192, 224, 128},
+	}
+	for _, m := range mods {
+		ts = append(ts, inceptionModule(m.name, m.inC, m.t1, m.r3, m.t3, m.r33, m.t33, m.pool)...)
+	}
+	ts = append(ts, denseT("fc", 1024, 1000), biasT("fc.b", 1000))
+	return ts
+}
+
+// lstmTensors builds the AN4 speech model: three stacked LSTMs of
+// hidden size 768 over 80-dimensional acoustic features, ≈13 M
+// parameters. Fused gate matrices use CNTK layout (4H rows).
+func lstmTensors() []quant.TensorInfo {
+	const d, h, labels = 80, 768, 132
+	var ts []quant.TensorInfo
+	in := d
+	for l := 1; l <= 3; l++ {
+		name := fmt.Sprintf("lstm%d", l)
+		ts = append(ts, quant.TensorInfo{Name: name + ".Wx",
+			Shape: quant.Shape{Rows: 4 * h, Cols: in}})
+		ts = append(ts, quant.TensorInfo{Name: name + ".Wh",
+			Shape: quant.Shape{Rows: 4 * h, Cols: h}})
+		ts = append(ts, biasT(name+".b", 4*h))
+		in = h
+	}
+	ts = append(ts, denseT("out", h, labels), biasT("out.b", labels))
+	return ts
+}
