@@ -1,6 +1,6 @@
 // Benchmarks that regenerate every table and figure of the paper's
 // evaluation, one benchmark per exhibit, plus ablation benches for the
-// design choices DESIGN.md calls out. Run with:
+// substitutions the reproduction makes. Run with:
 //
 //	go test -bench=. -benchmem
 //
@@ -14,12 +14,12 @@ package repro
 import (
 	"testing"
 
-	"repro/internal/comm"
+	"repro/comm"
 	"repro/internal/harness"
-	"repro/internal/quant"
-	"repro/internal/rng"
 	"repro/internal/simulate"
 	"repro/internal/workload"
+	"repro/quant"
+	"repro/rng"
 )
 
 // --- Figure 5: accuracy under low-precision gradients (real training) ---
@@ -184,7 +184,7 @@ func BenchmarkFig16_SpeedupVsRatio(b *testing.B) {
 	b.ReportMetric(last, "asymptotic_speedup")
 }
 
-// --- Ablations (DESIGN.md §4) ---
+// --- Ablations: the reproduction's own design choices ---
 
 // BenchmarkAblation_BucketSize measures how QSGD encode cost and wire
 // size move with bucket size — the accuracy/overhead lever of §5.1.

@@ -16,9 +16,9 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/quant"
 	"repro/internal/report"
-	"repro/internal/rng"
+	"repro/quant"
+	"repro/rng"
 )
 
 func main() {

@@ -14,16 +14,16 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/data"
+	"repro/data"
 	"repro/internal/harness"
 	"repro/internal/report"
+	"repro/lpsgd"
 )
 
 func main() {
 	var (
 		task    = flag.String("task", "image", "task: image or sequence")
-		codec   = flag.String("codec", "32bit", "gradient codec: 32bit, qsgd2/4/8/16, 1bit, 1bit*")
+		codec   = flag.String("codec", "32bit", "gradient codec (quant.Parse grammar): 32bit, qsgd2/4/8/16, qsgd4b512, 1bit, 1bit*64, topk0.01, ...")
 		workers = flag.Int("workers", 4, "simulated GPU count")
 		epochs  = flag.Int("epochs", 12, "training epochs")
 		batch   = flag.Int("batch", 64, "global minibatch size")
@@ -37,51 +37,53 @@ func main() {
 	)
 	flag.Parse()
 
-	c, err := harness.CodecByLabel(*codec)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-
-	opts := core.TrainOptions{
-		Codec:     c,
-		Workers:   *workers,
-		UseNCCL:   *useNCCL,
-		BatchSize: *batch,
-		Epochs:    *epochs,
-		LR:        float32(*lr),
-		Seed:      *seed,
-	}
+	var (
+		model       lpsgd.BuildFunc
+		train, test *data.Dataset
+	)
 	switch *task {
 	case "image":
-		opts.Train, opts.Test = data.MakeImages(data.ImageConfig{
+		train, test = data.MakeImages(data.ImageConfig{
 			Classes: 10, Channels: 3, H: 12, W: 12,
 			TrainN: *trainN, TestN: *testN, Noise: 2.0, Shift: true, Seed: *seed,
 		})
-		opts.Model = harness.ImageModel(10)
+		model = harness.ImageModel(10)
 	case "sequence":
-		opts.Train, opts.Test = data.MakeSequences(data.SequenceConfig{
+		train, test = data.MakeSequences(data.SequenceConfig{
 			Classes: 6, Frames: 12, Features: 8,
 			TrainN: *trainN, TestN: *testN, Noise: 1.0, Seed: *seed,
 		})
-		opts.Model = harness.SequenceModel(12, 8, 6)
+		model = harness.SequenceModel(12, 8, 6)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown task %q (want image or sequence)\n", *task)
 		os.Exit(2)
 	}
 
-	session, err := core.NewSession(opts)
+	primitive := lpsgd.MPI
+	if *useNCCL {
+		primitive = lpsgd.NCCL
+	}
+	trainer, err := lpsgd.NewTrainer(model,
+		lpsgd.WithCodec(*codec),
+		lpsgd.WithWorkers(*workers),
+		lpsgd.WithPrimitive(primitive),
+		lpsgd.WithBatchSize(*batch),
+		lpsgd.WithEpochs(*epochs),
+		lpsgd.WithLearningRate(float32(*lr)),
+		lpsgd.WithSeed(*seed),
+	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	defer trainer.Close()
 	if *loadFrm != "" {
 		f, err := os.Open(*loadFrm)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		err = session.Trainer().LoadCheckpoint(f)
+		err = trainer.LoadCheckpoint(f)
 		f.Close()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "load checkpoint: %v\n", err)
@@ -89,7 +91,7 @@ func main() {
 		}
 		fmt.Printf("resumed from %s\n", *loadFrm)
 	}
-	h, err := session.Run()
+	h, err := trainer.Run(train, test)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -100,7 +102,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		err = session.Trainer().SaveCheckpoint(f)
+		err = trainer.SaveCheckpoint(f)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}

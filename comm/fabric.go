@@ -1,0 +1,129 @@
+// Package comm is the communication substrate of the reproduction: an
+// in-process message-passing fabric standing in for the PCIe/NVLink
+// interconnect, plus the two gradient-aggregation primitives the paper
+// compares — the MPI-style reduce-and-broadcast pattern (§2.4.1), which
+// can carry quantised payloads, and the NCCL-style ring allreduce
+// (§2.4.2), whose reduction semantics are hardwired to full-precision
+// sums exactly as NCCL's are.
+//
+// Every byte that crosses a link is counted, so tests and experiments can
+// verify that the quantised wire volumes match quant.Codec.EncodedBytes —
+// the quantity the performance model prices. Framed transports (those
+// whose payloads leave the process, e.g. TCPFabric) additionally carry
+// one self-describing quant frame header per message; the reducers'
+// WireBytesPerExchange predictions account for it.
+package comm
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Fabric is a reliable, ordered, in-process interconnect between K peers.
+// Each directed link is an independent FIFO; sends copy their payload, so
+// callers may reuse encode buffers immediately.
+type Fabric struct {
+	k     int
+	links []chan []byte // links[from*k+to]
+	bytes []atomic.Int64
+	sends []atomic.Int64
+}
+
+// linkBuffer is the per-link channel capacity. The aggregation patterns
+// in this package keep at most a handful of messages in flight per link;
+// a generous buffer lets fast workers run ahead without deadlock.
+const linkBuffer = 32
+
+// NewFabric connects k peers. It panics if k is not positive.
+func NewFabric(k int) *Fabric {
+	if k <= 0 {
+		panic(fmt.Sprintf("comm: fabric needs at least one peer, got %d", k))
+	}
+	f := &Fabric{
+		k:     k,
+		links: make([]chan []byte, k*k),
+		bytes: make([]atomic.Int64, k*k),
+		sends: make([]atomic.Int64, k*k),
+	}
+	for i := range f.links {
+		f.links[i] = make(chan []byte, linkBuffer)
+	}
+	return f
+}
+
+// K returns the number of peers.
+func (f *Fabric) K() int { return f.k }
+
+// Framed implements Transport: channel payloads stay in-process, so the
+// headerless fast path applies.
+func (f *Fabric) Framed() bool { return false }
+
+func (f *Fabric) link(from, to int) int {
+	if from < 0 || from >= f.k || to < 0 || to >= f.k {
+		panic(fmt.Sprintf("comm: peer out of range (%d->%d of %d)", from, to, f.k))
+	}
+	if from == to {
+		panic("comm: self-send")
+	}
+	return from*f.k + to
+}
+
+// Send transmits payload from peer `from` to peer `to`, copying it. It
+// blocks only when the link buffer is full.
+func (f *Fabric) Send(from, to int, payload []byte) {
+	l := f.link(from, to)
+	msg := append([]byte(nil), payload...)
+	f.bytes[l].Add(int64(len(msg)))
+	f.sends[l].Add(1)
+	f.links[l] <- msg
+}
+
+// Recv blocks until a message from peer `from` arrives at peer `to` and
+// returns it in FIFO order.
+func (f *Fabric) Recv(from, to int) []byte {
+	return <-f.links[f.link(from, to)]
+}
+
+// BytesOnLink returns the cumulative bytes sent from -> to.
+func (f *Fabric) BytesOnLink(from, to int) int64 {
+	return f.bytes[f.link(from, to)].Load()
+}
+
+// TotalBytes returns the cumulative bytes across all links.
+func (f *Fabric) TotalBytes() int64 {
+	var total int64
+	for i := range f.bytes {
+		total += f.bytes[i].Load()
+	}
+	return total
+}
+
+// TotalMessages returns the cumulative message count across all links.
+func (f *Fabric) TotalMessages() int64 {
+	var total int64
+	for i := range f.sends {
+		total += f.sends[i].Load()
+	}
+	return total
+}
+
+// ResetCounters zeroes the byte and message counters (links keep any
+// in-flight messages).
+func (f *Fabric) ResetCounters() {
+	for i := range f.bytes {
+		f.bytes[i].Store(0)
+		f.sends[i].Store(0)
+	}
+}
+
+// Reducer synchronously aggregates equal-length gradient vectors across
+// the K peers of a fabric: after all peers return from Reduce for the
+// same tensor, every peer's g holds the (possibly re-quantised) sum of
+// all peers' inputs. Reduce must be called by all K peers, each from its
+// own goroutine, with tensors presented in the same order everywhere.
+type Reducer interface {
+	// Name identifies the primitive ("mpi-rb", "nccl-ring", ...).
+	Name() string
+	// Reduce aggregates tensor tensorID in place for the given rank.
+	Reduce(rank, tensorID int, g []float32) error
+}

@@ -1,0 +1,295 @@
+package comm
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/quant"
+)
+
+// TensorSpec describes one gradient tensor to a Reducer: its flat length,
+// its CNTK wire shape (which fixes quantisation-group boundaries) and the
+// codec that carries it.
+type TensorSpec struct {
+	Name  string
+	N     int
+	Wire  quant.Shape
+	Codec quant.Codec
+}
+
+// stripe is a contiguous, group-aligned range of one tensor owned by one
+// peer during reduce-and-broadcast.
+type stripe struct{ off, n int }
+
+// splitStripes partitions n elements into k stripes aligned to group
+// boundaries, as the paper's "model of dimension n is split into n/K
+// consecutive ranges" with the constraint that a quantisation group is
+// never torn across owners.
+func splitStripes(n, group, k int) []stripe {
+	groups := 0
+	if n > 0 {
+		groups = (n + group - 1) / group
+	}
+	out := make([]stripe, k)
+	prev := 0
+	for i := 0; i < k; i++ {
+		// Even split of groups with remainder spread over the first few.
+		g := groups / k
+		if i < groups%k {
+			g++
+		}
+		end := prev + g*group
+		if end > n {
+			end = n
+		}
+		out[i] = stripe{off: prev, n: end - prev}
+		prev = end
+	}
+	return out
+}
+
+// ReduceBroadcast implements the MPI reduce-and-broadcast aggregation of
+// §2.4.1 with optional quantisation: every peer encodes each stripe of
+// its gradient with the tensor's codec and sends it to the stripe's
+// owner; the owner decodes and sums all K contributions, re-encodes the
+// aggregate (with its own error-feedback state, as CNTK's 1bitSGD does),
+// and broadcasts it; every peer — including the owner — then decodes the
+// broadcast, so all replicas remain bit-identical.
+//
+// Over a framed transport (Transport.Framed, e.g. TCPFabric) every
+// message is wrapped in the self-describing quant frame format, so the
+// peers need no out-of-band agreement on codecs or shapes; over an
+// in-process fabric the headerless fast path is used. The decoded
+// values — and therefore the training trajectory — are identical either
+// way.
+type ReduceBroadcast struct {
+	fabric  Transport
+	framed  bool
+	specs   []TensorSpec
+	stripes [][]stripe
+	workers []*rbWorker
+}
+
+type rbWorker struct {
+	// stripeEnc[t][o] encodes this worker's stripe o of tensor t.
+	stripeEnc [][]quant.Encoder
+	// aggEnc[t] re-encodes the aggregate of this worker's own stripe.
+	aggEnc []quant.Encoder
+	// scratch decode buffer, sized to the largest stripe.
+	tmp   []float32
+	accum []float32
+	// frame is the scratch buffer frames are assembled in (framed mode).
+	frame bytes.Buffer
+}
+
+// NewReduceBroadcast builds the primitive for the given tensors over the
+// fabric. seed separates the stochastic quantisation streams of
+// different experiments.
+func NewReduceBroadcast(f Transport, specs []TensorSpec, seed uint64) *ReduceBroadcast {
+	k := f.K()
+	rb := &ReduceBroadcast{
+		fabric:  f,
+		framed:  f.Framed(),
+		specs:   specs,
+		stripes: make([][]stripe, len(specs)),
+		workers: make([]*rbWorker, k),
+	}
+	maxStripe := 0
+	for t, spec := range specs {
+		g := spec.Codec.GroupSize(spec.Wire)
+		rb.stripes[t] = splitStripes(spec.N, g, k)
+		for _, st := range rb.stripes[t] {
+			if st.n > maxStripe {
+				maxStripe = st.n
+			}
+		}
+	}
+	for w := 0; w < k; w++ {
+		ws := &rbWorker{
+			stripeEnc: make([][]quant.Encoder, len(specs)),
+			aggEnc:    make([]quant.Encoder, len(specs)),
+			tmp:       make([]float32, maxStripe),
+			accum:     make([]float32, maxStripe),
+		}
+		for t, spec := range specs {
+			ws.stripeEnc[t] = make([]quant.Encoder, k)
+			for o := 0; o < k; o++ {
+				st := rb.stripes[t][o]
+				if st.n == 0 {
+					continue
+				}
+				ws.stripeEnc[t][o] = spec.Codec.NewEncoder(st.n, spec.Wire,
+					mixSeed(seed, uint64(w), uint64(t), uint64(o)))
+			}
+			if own := rb.stripes[t][w]; own.n > 0 {
+				ws.aggEnc[t] = spec.Codec.NewEncoder(own.n, spec.Wire,
+					mixSeed(seed, uint64(w), uint64(t), 1<<32))
+			}
+		}
+		rb.workers[w] = ws
+	}
+	return rb
+}
+
+// mixSeed derives a distinct stream seed from identifying coordinates.
+func mixSeed(parts ...uint64) uint64 {
+	var z uint64 = 0x9e3779b97f4a7c15
+	for _, p := range parts {
+		z ^= p + 0x9e3779b97f4a7c15 + (z << 6) + (z >> 2)
+		z *= 0xbf58476d1ce4e5b9
+	}
+	return z
+}
+
+// Name implements Reducer.
+func (rb *ReduceBroadcast) Name() string { return "mpi-rb" }
+
+// WireBytesPerExchange returns the bytes one full gradient exchange puts
+// on the fabric: for every tensor, each of the K peers sends K−1 encoded
+// stripes and each owner broadcasts its aggregate to K−1 peers. Over a
+// framed transport every message additionally carries the
+// self-describing frame header.
+func (rb *ReduceBroadcast) WireBytesPerExchange() int64 {
+	k := rb.fabric.K()
+	var total int64
+	for t, spec := range rb.specs {
+		var overhead int64
+		if rb.framed {
+			overhead = int64(quant.FrameOverhead(spec.Codec.Name()))
+		}
+		for o := 0; o < k; o++ {
+			st := rb.stripes[t][o]
+			if st.n == 0 {
+				continue
+			}
+			msg := int64(spec.Codec.EncodedBytes(st.n, spec.Wire)) + overhead
+			total += msg * int64(k-1) // gather to owner
+			total += msg * int64(k-1) // broadcast from owner
+		}
+	}
+	return total
+}
+
+// Reduce implements Reducer.
+func (rb *ReduceBroadcast) Reduce(rank, tensorID int, g []float32) error {
+	if tensorID < 0 || tensorID >= len(rb.specs) {
+		return fmt.Errorf("comm: unknown tensor %d", tensorID)
+	}
+	spec := rb.specs[tensorID]
+	if len(g) != spec.N {
+		return fmt.Errorf("comm: tensor %s has %d elements, got %d", spec.Name, spec.N, len(g))
+	}
+	k := rb.fabric.K()
+	if k == 1 {
+		return nil
+	}
+	ws := rb.workers[rank]
+	stripes := rb.stripes[tensorID]
+
+	// Phase 1: encode each stripe and ship it to its owner. The local
+	// stripe is encoded too (the sender-side residual must advance
+	// uniformly) but stays local, so it always takes the headerless fast
+	// path; remote stripes are framed when the transport requires it.
+	var ownWire []byte
+	for o := 0; o < k; o++ {
+		st := stripes[o]
+		if st.n == 0 {
+			continue
+		}
+		enc := ws.stripeEnc[tensorID][o]
+		src := g[st.off : st.off+st.n]
+		if o == rank {
+			ownWire = append(ownWire[:0], enc.Encode(src)...)
+		} else if err := rb.sendEncoded(ws, enc, rank, o, src); err != nil {
+			return fmt.Errorf("comm: send stripe of %s to %d: %w", spec.Name, o, err)
+		}
+	}
+
+	// Phase 2: owners decode and sum all contributions, re-encode the
+	// aggregate, and broadcast it.
+	if own := stripes[rank]; own.n > 0 {
+		accum := ws.accum[:own.n]
+		if err := spec.Codec.Decode(ownWire, own.n, spec.Wire, accum); err != nil {
+			return fmt.Errorf("comm: decode own stripe of %s: %w", spec.Name, err)
+		}
+		tmp := ws.tmp[:own.n]
+		for p := 0; p < k; p++ {
+			if p == rank {
+				continue
+			}
+			wire := rb.fabric.Recv(p, rank)
+			if err := rb.decodeWire(spec, wire, own.n, tmp); err != nil {
+				return fmt.Errorf("comm: decode stripe of %s from %d: %w", spec.Name, p, err)
+			}
+			for i, v := range tmp {
+				accum[i] += v
+			}
+		}
+		// The owner adopts the decoded broadcast, not the raw sum, so
+		// every replica sees identical bytes.
+		dst := g[own.off : own.off+own.n]
+		if rb.framed {
+			ws.frame.Reset()
+			if _, err := ws.aggEnc[tensorID].EncodeTo(&ws.frame, accum); err != nil {
+				return fmt.Errorf("comm: frame aggregate of %s: %w", spec.Name, err)
+			}
+			for p := 0; p < k; p++ {
+				if p != rank {
+					rb.fabric.Send(rank, p, ws.frame.Bytes())
+				}
+			}
+			if _, err := quant.DecodeFramed(ws.frame.Bytes(), dst); err != nil {
+				return fmt.Errorf("comm: decode own aggregate of %s: %w", spec.Name, err)
+			}
+		} else {
+			aggWire := ws.aggEnc[tensorID].Encode(accum)
+			for p := 0; p < k; p++ {
+				if p != rank {
+					rb.fabric.Send(rank, p, aggWire)
+				}
+			}
+			if err := spec.Codec.Decode(aggWire, own.n, spec.Wire, dst); err != nil {
+				return fmt.Errorf("comm: decode own aggregate of %s: %w", spec.Name, err)
+			}
+		}
+	}
+
+	// Phase 3: receive the aggregated stripes owned by the other peers.
+	for o := 0; o < k; o++ {
+		st := stripes[o]
+		if o == rank || st.n == 0 {
+			continue
+		}
+		wire := rb.fabric.Recv(o, rank)
+		if err := rb.decodeWire(spec, wire, st.n, g[st.off:st.off+st.n]); err != nil {
+			return fmt.Errorf("comm: decode aggregate of %s from %d: %w", spec.Name, o, err)
+		}
+	}
+	return nil
+}
+
+// sendEncoded encodes src with enc and ships it from -> to, wrapping it
+// in a self-describing frame when the transport demands one.
+func (rb *ReduceBroadcast) sendEncoded(ws *rbWorker, enc quant.Encoder, from, to int, src []float32) error {
+	if !rb.framed {
+		rb.fabric.Send(from, to, enc.Encode(src))
+		return nil
+	}
+	ws.frame.Reset()
+	if _, err := enc.EncodeTo(&ws.frame, src); err != nil {
+		return err
+	}
+	rb.fabric.Send(from, to, ws.frame.Bytes())
+	return nil
+}
+
+// decodeWire decodes one received message of n elements into dst. On a
+// framed transport the message describes itself — codec, shape and
+// length all come from its header, with no reference to spec.
+func (rb *ReduceBroadcast) decodeWire(spec TensorSpec, wire []byte, n int, dst []float32) error {
+	if rb.framed {
+		_, err := quant.DecodeFramed(wire, dst)
+		return err
+	}
+	return spec.Codec.Decode(wire, n, spec.Wire, dst)
+}

@@ -1,0 +1,245 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// TCPFabric connects K peers through real loopback TCP sockets, one
+// connection per directed link, with length-prefixed frames. It is the
+// closest stdlib-only analogue of the MPI transport the paper's CNTK
+// uses: bytes cross a real kernel boundary (socket buffers, copies,
+// framing) instead of being handed over via channels. The aggregation
+// primitives run unchanged over either fabric because both satisfy
+// Transport.
+//
+// Each link has a dedicated writer goroutine fed by a buffered queue,
+// so Send enqueues a copy and returns like Fabric.Send does instead of
+// blocking on the socket write. Without this, peers that all write
+// before reading (the aggregation patterns do) would deadlock as soon
+// as one message outgrew the kernel's socket buffers.
+//
+// Frame format per message: uint32 little-endian payload length, then
+// the payload bytes.
+type TCPFabric struct {
+	k int
+	// wconns[from*k+to] is the sender-side end of the link's TCP
+	// stream; rconns the receiver-side end.
+	wconns []net.Conn
+	rconns []net.Conn
+	// queues[from*k+to] feeds the link's writer goroutine.
+	queues  []chan []byte
+	writers sync.WaitGroup
+	rmu     []sync.Mutex
+	bytes   atomic.Int64
+	sends   atomic.Int64
+	closed  atomic.Bool
+}
+
+// NewTCPFabric builds a fully connected loopback mesh between k peers.
+func NewTCPFabric(k int) (*TCPFabric, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("comm: tcp fabric needs at least one peer, got %d", k)
+	}
+	f := &TCPFabric{
+		k:      k,
+		wconns: make([]net.Conn, k*k),
+		rconns: make([]net.Conn, k*k),
+		queues: make([]chan []byte, k*k),
+		rmu:    make([]sync.Mutex, k*k),
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("comm: tcp fabric listen: %w", err)
+	}
+	defer ln.Close()
+
+	// The acceptor slots each incoming connection by an 8-byte
+	// (from, to) preamble written by the dialler.
+	nLinks := k * (k - 1)
+	acceptErr := make(chan error, 1)
+	go func() {
+		for i := 0; i < nLinks; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				acceptErr <- err
+				return
+			}
+			var hdr [8]byte
+			if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+				acceptErr <- err
+				return
+			}
+			from := int(binary.LittleEndian.Uint32(hdr[0:]))
+			to := int(binary.LittleEndian.Uint32(hdr[4:]))
+			if from < 0 || from >= k || to < 0 || to >= k || from == to {
+				acceptErr <- fmt.Errorf("comm: tcp fabric bad preamble %d->%d", from, to)
+				return
+			}
+			f.rconns[from*k+to] = conn
+		}
+		acceptErr <- nil
+	}()
+
+	// fail tears the half-built mesh down safely: the acceptor goroutine
+	// writes f.rconns concurrently, so it must be stopped (listener
+	// closed) and joined (acceptErr drained) before Close walks the
+	// connection slices.
+	fail := func(err error) (*TCPFabric, error) {
+		ln.Close()
+		<-acceptErr
+		f.Close()
+		return nil, err
+	}
+
+	addr := ln.Addr().String()
+	for from := 0; from < k; from++ {
+		for to := 0; to < k; to++ {
+			if from == to {
+				continue
+			}
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				return fail(fmt.Errorf("comm: tcp fabric dial: %w", err))
+			}
+			var hdr [8]byte
+			binary.LittleEndian.PutUint32(hdr[0:], uint32(from))
+			binary.LittleEndian.PutUint32(hdr[4:], uint32(to))
+			if _, err := conn.Write(hdr[:]); err != nil {
+				conn.Close()
+				return fail(fmt.Errorf("comm: tcp fabric preamble: %w", err))
+			}
+			f.wconns[from*k+to] = conn
+		}
+	}
+	if err := <-acceptErr; err != nil {
+		f.Close()
+		return nil, err
+	}
+	// One writer goroutine per outgoing link, mirroring Fabric's
+	// buffered channels: FIFO order is preserved because each link has
+	// exactly one writer.
+	for l, conn := range f.wconns {
+		if conn == nil {
+			continue
+		}
+		f.queues[l] = make(chan []byte, linkBuffer)
+		f.writers.Add(1)
+		go f.writeLoop(l, conn)
+	}
+	return f, nil
+}
+
+// writeLoop drains one link's queue onto its socket until Close.
+func (f *TCPFabric) writeLoop(l int, conn net.Conn) {
+	defer f.writers.Done()
+	var hdr [4]byte
+	for payload := range f.queues[l] {
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+		if _, err := conn.Write(hdr[:]); err != nil {
+			f.writeFail(l, err)
+			return
+		}
+		if len(payload) > 0 {
+			if _, err := conn.Write(payload); err != nil {
+				f.writeFail(l, err)
+				return
+			}
+		}
+	}
+}
+
+// writeFail handles a socket write error: silent during shutdown
+// (Close races the last in-flight writes), fatal otherwise — matching
+// the previous synchronous Send behaviour.
+func (f *TCPFabric) writeFail(l int, err error) {
+	if f.closed.Load() {
+		return
+	}
+	panic(fmt.Sprintf("comm: tcp send on link %d->%d: %v", l/f.k, l%f.k, err))
+}
+
+// K implements Transport.
+func (f *TCPFabric) K() int { return f.k }
+
+// Framed implements Transport: socket payloads leave the process, so
+// every message carries the self-describing quant frame header and a
+// peer on the far side needs no shared codec configuration.
+func (f *TCPFabric) Framed() bool { return true }
+
+func (f *TCPFabric) link(from, to int) int {
+	if from < 0 || from >= f.k || to < 0 || to >= f.k {
+		panic(fmt.Sprintf("comm: peer out of range (%d->%d of %d)", from, to, f.k))
+	}
+	if from == to {
+		panic("comm: self-send")
+	}
+	return from*f.k + to
+}
+
+// Send implements Transport. The payload is copied and enqueued for
+// the link's writer goroutine, so callers may reuse encode buffers
+// immediately; Send blocks only when the link queue is full.
+func (f *TCPFabric) Send(from, to int, payload []byte) {
+	l := f.link(from, to)
+	msg := append([]byte(nil), payload...)
+	f.bytes.Add(int64(len(msg)))
+	f.sends.Add(1)
+	f.queues[l] <- msg
+}
+
+// Recv implements Transport.
+func (f *TCPFabric) Recv(from, to int) []byte {
+	l := f.link(from, to)
+	f.rmu[l].Lock()
+	defer f.rmu[l].Unlock()
+	conn := f.rconns[l]
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		panic(fmt.Sprintf("comm: tcp recv header %d->%d: %v", from, to, err))
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	buf := make([]byte, n)
+	if n > 0 {
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			panic(fmt.Sprintf("comm: tcp recv payload %d->%d: %v", from, to, err))
+		}
+	}
+	return buf
+}
+
+// TotalBytes implements Transport.
+func (f *TCPFabric) TotalBytes() int64 { return f.bytes.Load() }
+
+// TotalMessages implements Transport.
+func (f *TCPFabric) TotalMessages() int64 { return f.sends.Load() }
+
+// Close shuts down every connection. Sending after Close panics;
+// in-flight queued messages are abandoned (their writers stop when the
+// sockets close).
+func (f *TCPFabric) Close() error {
+	if !f.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	for _, q := range f.queues {
+		if q != nil {
+			close(q)
+		}
+	}
+	var first error
+	for _, conns := range [][]net.Conn{f.wconns, f.rconns} {
+		for _, c := range conns {
+			if c != nil {
+				if err := c.Close(); err != nil && first == nil {
+					first = err
+				}
+			}
+		}
+	}
+	f.writers.Wait()
+	return first
+}

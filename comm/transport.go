@@ -1,0 +1,38 @@
+package comm
+
+// Transport is the byte-moving substrate beneath the aggregation
+// primitives: K peers connected by reliable, ordered, directed links.
+// Two implementations ship with the repository — the in-process Fabric
+// (channels, standing in for PCIe/NVLink peer-to-peer copies) and
+// TCPFabric (real loopback sockets, standing in for the
+// host-mediated MPI path). Reducers are written against this interface
+// so the same aggregation code runs over either.
+type Transport interface {
+	// K returns the number of peers.
+	K() int
+	// Send transmits payload from peer `from` to peer `to`. The payload
+	// is copied (or fully written) before Send returns, so callers may
+	// reuse encode buffers immediately.
+	Send(from, to int, payload []byte)
+	// Recv blocks until the next message on the (from, to) link and
+	// returns it.
+	Recv(from, to int) []byte
+	// TotalBytes returns cumulative bytes sent across all links.
+	TotalBytes() int64
+	// TotalMessages returns cumulative messages sent across all links.
+	TotalMessages() int64
+	// Framed reports whether payloads on this transport cross a process
+	// (or machine) boundary and must therefore be self-describing: when
+	// true, reducers wrap every payload in the quant framed wire format
+	// (versioned header: codec identity, shape, element count) so the
+	// receiving peer can decode with no out-of-band codec agreement.
+	// In-process transports return false and use the headerless fast
+	// path.
+	Framed() bool
+}
+
+// Compile-time checks that both fabrics satisfy Transport.
+var (
+	_ Transport = (*Fabric)(nil)
+	_ Transport = (*TCPFabric)(nil)
+)

@@ -1,14 +1,18 @@
 // Package repro is a pure-Go reproduction of "Synchronous Multi-GPU
 // Deep Learning with Low-Precision Communication: An Experimental
-// Study" (Grubic, Tam, Alistarh, Zhang; EDBT 2018).
+// Study" (Grubic, Tam, Alistarh, Zhang; EDBT 2018), grown into an
+// importable library.
 //
-// The library lives under internal/: quant (the low-precision gradient
-// codecs — the paper's primary contribution), nn/tensor/data (the
-// deep-learning substrate), comm/parallel (the synchronous data-parallel
-// engine with MPI-style and NCCL-style aggregation), workload/simulate
-// (the calibrated performance model of the paper's machines) and
-// harness (one runner per table and figure). See README.md for a tour,
-// DESIGN.md for the system inventory, and EXPERIMENTS.md for the
-// paper-versus-reproduction comparison. The top-level bench_test.go
-// regenerates every figure as a Go benchmark.
+// The public surface is the lpsgd facade (functional-options trainer
+// construction) over the public packages: quant (the low-precision
+// gradient codecs — the paper's primary contribution — plus the
+// self-describing framed wire format and the Parse name grammar),
+// comm/parallel (the synchronous data-parallel engine with MPI-style
+// and NCCL-style aggregation over in-process or TCP fabrics), and
+// nn/tensor/data/rng (the deep-learning substrate). The experiment
+// machinery stays under internal/: workload/simulate (the calibrated
+// performance model of the paper's machines) and harness (one runner
+// per table and figure). See README.md for a quickstart and a tour;
+// the top-level bench_test.go regenerates every figure as a Go
+// benchmark.
 package repro

@@ -1,6 +1,7 @@
 // Quickstart: train a small classifier with 4-bit quantised gradient
 // exchange across 4 simulated GPUs and compare the wire volume against
-// full precision.
+// full precision — entirely through the public lpsgd facade: codecs are
+// selected by name (quant.Parse grammar) and nothing is hand-wired.
 //
 // Run with:
 //
@@ -11,34 +12,27 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/data"
-	"repro/internal/nn"
-	"repro/internal/rng"
+	"repro/lpsgd"
 )
 
 func main() {
-	// A synthetic image-classification task (stands in for CIFAR-10).
-	train, test := data.MakeImages(data.ImageConfig{
-		Classes: 4, Channels: 1, H: 8, W: 8,
-		TrainN: 512, TestN: 256, Noise: 0.8, Seed: 42,
-	})
+	// A synthetic image-classification task (stands in for CIFAR-10):
+	// single-channel 8×8 images, so the MLP below takes 64 inputs.
+	train, test := lpsgd.SyntheticImages(4, 512, 256, 42)
 
-	// A small MLP; any architecture built from the nn package works.
-	model := func(r *rng.RNG) *nn.Network {
-		return nn.MustNetwork(
-			nn.NewDense("hidden", 64, 48, r),
-			nn.NewReLU("relu"),
-			nn.NewDense("out", 48, 4, r),
+	run := func(codecName, label string) {
+		trainer, err := lpsgd.NewTrainer(lpsgd.MLP(64, 48, 4),
+			lpsgd.WithCodec(codecName),
+			lpsgd.WithWorkers(4),
+			lpsgd.WithBatchSize(64),
+			lpsgd.WithEpochs(10),
+			lpsgd.WithLearningRate(0.08),
+			lpsgd.WithSeed(1),
 		)
-	}
-
-	run := func(codec core.Codec, label string) {
-		h, err := core.TrainQuantised(core.TrainOptions{
-			Model: model, Train: train, Test: test,
-			Codec:   codec,
-			Workers: 4, BatchSize: 64, Epochs: 10, LR: 0.08, Seed: 1,
-		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		h, err := trainer.Run(train, test)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -46,7 +40,7 @@ func main() {
 			label, 100*h.FinalAccuracy, float64(h.TotalWireBytes)/1e6)
 	}
 
-	run(core.FullPrecision(), "32-bit full precision")
-	run(core.QSGD(4, 512), "QSGD 4-bit (b=512)")
-	run(core.OneBitSGDReshaped(64), "1bitSGD* (d=64)")
+	run("32bit", "32-bit full precision")
+	run("qsgd4b512", "QSGD 4-bit (b=512)")
+	run("1bit*64", "1bitSGD* (d=64)")
 }

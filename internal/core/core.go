@@ -1,9 +1,9 @@
-// Package core is the public face of the reproduction library. It ties
-// the paper's primary contribution — low-precision gradient codecs
-// (1bitSGD, reshaped 1bitSGD*, QSGD) driving synchronous data-parallel
-// SGD — to the substrates underneath: the neural-network stack, the
-// in-process communication fabric with MPI-style and NCCL-style
-// aggregation, and the calibrated performance simulator.
+// Package core ties the experiment machinery together: the paper's
+// low-precision gradient codecs (1bitSGD, reshaped 1bitSGD*, QSGD)
+// driving synchronous data-parallel SGD, plus the calibrated
+// performance simulator. Applications should prefer the public
+// repro/lpsgd facade; core remains the internal glue the harness and
+// CLI tools build on, notably Estimate over the simulator.
 //
 // Typical use:
 //
@@ -26,16 +26,16 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/data"
-	"repro/internal/nn"
-	"repro/internal/parallel"
-	"repro/internal/quant"
-	"repro/internal/rng"
+	"repro/data"
 	"repro/internal/simulate"
 	"repro/internal/workload"
+	"repro/nn"
+	"repro/parallel"
+	"repro/quant"
+	"repro/rng"
 )
 
-// Codec is the gradient-compression interface (see internal/quant).
+// Codec is the gradient-compression interface (see repro/quant).
 type Codec = quant.Codec
 
 // FullPrecision returns the 32-bit identity codec.
@@ -53,9 +53,9 @@ func OneBitSGDReshaped(bucket int) Codec { return quant.NewOneBitReshaped(bucket
 // accuracy-preferred choice).
 func QSGD(bits, bucket int) Codec { return quant.NewQSGD(bits, bucket, quant.MaxNorm) }
 
-// CodecByName resolves the paper's row labels ("32bit", "qsgd4",
-// "1bit*", ...).
-func CodecByName(name string) (Codec, error) { return quant.ByName(name) }
+// CodecByName resolves codec names and the paper's row labels ("32bit",
+// "qsgd4b512", "1bit*", ...) through the quant.Parse grammar.
+func CodecByName(name string) (Codec, error) { return quant.Parse(name) }
 
 // TrainOptions configures a real quantised data-parallel training run.
 type TrainOptions struct {
@@ -193,7 +193,7 @@ func Estimate(opts EstimateOptions) (simulate.Result, error) {
 	if precision == "" {
 		precision = "32bit"
 	}
-	codec, err := quant.ByName(translateLabel(precision))
+	codec, err := quant.Parse(precision)
 	if err != nil {
 		return simulate.Result{}, err
 	}
@@ -205,20 +205,4 @@ func Estimate(opts EstimateOptions) (simulate.Result, error) {
 		GPUs:          opts.GPUs,
 		BatchOverride: opts.Batch,
 	})
-}
-
-// translateLabel accepts both registry names and paper labels.
-func translateLabel(label string) string {
-	switch label {
-	case "qsgd2":
-		return "qsgd2"
-	case "qsgd4":
-		return "qsgd4"
-	case "qsgd8":
-		return "qsgd8"
-	case "qsgd16":
-		return "qsgd16"
-	default:
-		return label
-	}
 }

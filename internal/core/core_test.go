@@ -4,9 +4,9 @@ import (
 	"bytes"
 	"testing"
 
-	"repro/internal/data"
-	"repro/internal/nn"
-	"repro/internal/rng"
+	"repro/data"
+	"repro/nn"
+	"repro/rng"
 )
 
 func testData() (*data.Dataset, *data.Dataset) {

@@ -3,20 +3,20 @@ package harness
 import (
 	"fmt"
 
-	"repro/internal/data"
-	"repro/internal/nn"
-	"repro/internal/parallel"
-	"repro/internal/quant"
+	"repro/data"
 	"repro/internal/report"
-	"repro/internal/rng"
-	"repro/internal/tensor"
+	"repro/nn"
+	"repro/parallel"
+	"repro/quant"
+	"repro/rng"
+	"repro/tensor"
 )
 
 // AccuracyOptions scales the Figure 5 reproduction. The paper trains
 // ImageNet-class models for days; this reproduction trains scaled-down
 // models on synthetic tasks whose gradient signal-to-noise ratio is low
 // enough that quantisation variance shows up the same way (see
-// DESIGN.md's substitution table). Scale 1 is the quick configuration
+// the reproduction's substitution choices). Scale 1 is the quick configuration
 // used by tests and benchmarks; larger scales sharpen the curves.
 type AccuracyOptions struct {
 	// Workers is the simulated GPU count (the paper's accuracy runs use

@@ -3,10 +3,10 @@ package harness
 import (
 	"testing"
 
-	"repro/internal/data"
-	"repro/internal/nn"
-	"repro/internal/parallel"
-	"repro/internal/quant"
+	"repro/data"
+	"repro/nn"
+	"repro/parallel"
+	"repro/quant"
 )
 
 // imageStudy runs the quick Figure 5 image panel once and caches it for

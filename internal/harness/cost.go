@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/quant"
 	"repro/internal/report"
 	"repro/internal/simulate"
 	"repro/internal/workload"
+	"repro/quant"
 )
 
 // CostAccuracyRow is one point of Figure 16 (left): a network, the

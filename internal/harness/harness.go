@@ -16,9 +16,9 @@ package harness
 import (
 	"fmt"
 
-	"repro/internal/quant"
 	"repro/internal/simulate"
 	"repro/internal/workload"
+	"repro/quant"
 )
 
 // PrecisionLabels is the paper's precision ladder in presentation order
@@ -29,26 +29,15 @@ var PrecisionLabels = []string{"32bit", "qsgd16", "qsgd8", "qsgd4", "qsgd2", "1b
 // NCCL cannot carry them, per the paper).
 var NCCLPrecisionLabels = []string{"32bit", "qsgd16", "qsgd8", "qsgd4", "qsgd2"}
 
-// CodecByLabel maps a paper row label to the codec with the paper's
-// tuned bucket size (§4.4).
+// CodecByLabel maps a paper row label to its codec via quant.Parse,
+// which fills in the paper's tuned bucket sizes (§4.4) when the label
+// omits them ("qsgd4" → bucket 512, "1bit*" → bucket 64).
 func CodecByLabel(label string) (quant.Codec, error) {
-	switch label {
-	case "32bit":
-		return quant.FP32{}, nil
-	case "1bit":
-		return quant.OneBit{}, nil
-	case "1bit*":
-		return quant.NewOneBitReshaped(64), nil
-	case "qsgd2":
-		return quant.NewQSGD(2, 128, quant.MaxNorm), nil
-	case "qsgd4":
-		return quant.NewQSGD(4, 512, quant.MaxNorm), nil
-	case "qsgd8":
-		return quant.NewQSGD(8, 512, quant.MaxNorm), nil
-	case "qsgd16":
-		return quant.NewQSGD(16, 8192, quant.MaxNorm), nil
+	c, err := quant.Parse(label)
+	if err != nil {
+		return nil, fmt.Errorf("harness: unknown precision label %q: %w", label, err)
 	}
-	return nil, fmt.Errorf("harness: unknown precision label %q", label)
+	return c, nil
 }
 
 // mustCodec panics on unknown labels (used with the static ladders).

@@ -19,15 +19,15 @@
 //     column-wise 1bitSGD is slower than full precision on heavily
 //     convolutional networks.
 //
-// EXPERIMENTS.md records how the simulated tables compare with the
+// The claims harness (internal/harness/claims.go) records how the simulated tables compare with the
 // paper's measured ones, row by row.
 package simulate
 
 import (
 	"fmt"
 
-	"repro/internal/quant"
 	"repro/internal/workload"
+	"repro/quant"
 )
 
 // Primitive selects the communication path.

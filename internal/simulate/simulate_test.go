@@ -5,8 +5,8 @@ import (
 	"sort"
 	"testing"
 
-	"repro/internal/quant"
 	"repro/internal/workload"
+	"repro/quant"
 )
 
 func mustRun(t *testing.T, cfg Config) Result {
@@ -259,7 +259,7 @@ func TestClaimDGXBehaviour(t *testing.T) {
 		Codec: quant.NewQSGD(4, 512, quant.MaxNorm), GPUs: 8})
 	// The paper reports "up to 5×"; an additive cost model caps the
 	// gain at (compute+comm)/compute ≈ 3.5, so we assert a substantial
-	// but not full reproduction (see EXPERIMENTS.md).
+	// but not full reproduction (see internal/harness/claims.go).
 	if speedup := q4MPI.SamplesPerSec / fpMPI.SamplesPerSec; speedup < 2.5 {
 		t.Errorf("DGX VGG19 MPI 4-bit speedup %.2f, paper shows up to ~5×", speedup)
 	}

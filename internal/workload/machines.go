@@ -3,7 +3,7 @@
 // Figure 3 (including full gradient-tensor inventories in CNTK layout),
 // the batch-size table of Figure 4, and the measured throughput tables
 // of Figures 10–11, which serve both as calibration anchors and as the
-// ground truth EXPERIMENTS.md compares against.
+// ground truth the claims harness compares against.
 package workload
 
 import "fmt"
@@ -37,7 +37,7 @@ type GPU struct {
 // ring startup grows linearly in K for NCCL, while MPI's staging cost
 // grows slowly until the second PCIe root complex of the 16-GPU
 // instance doubles it. The constants are fitted to the paper's own
-// Figure 10/11 columns; EXPERIMENTS.md records the fit quality.
+// Figure 10/11 columns; the claims harness records the fit quality.
 type LinkModel struct {
 	BaseGBps      float64
 	Contraction   float64

@@ -3,7 +3,7 @@ package workload
 import (
 	"fmt"
 
-	"repro/internal/quant"
+	"repro/quant"
 )
 
 // Dataset mirrors one row of the paper's Figure 1.

@@ -3,7 +3,7 @@ package workload
 // This file embeds the paper's measured throughput tables (Figures 10
 // and 11) verbatim. They serve two purposes: the single-GPU column
 // calibrates the simulator's compute model, and the full tables are the
-// ground truth that EXPERIMENTS.md compares the simulator's output
+// ground truth that the claims harness compares the simulator's output
 // against, row by row.
 
 // PaperRow is one (network, precision) row of a throughput table:

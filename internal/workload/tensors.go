@@ -3,7 +3,7 @@ package workload
 import (
 	"fmt"
 
-	"repro/internal/quant"
+	"repro/quant"
 )
 
 // The inventory builders below enumerate every gradient matrix of each

@@ -4,7 +4,7 @@ import (
 	"math"
 	"testing"
 
-	"repro/internal/quant"
+	"repro/quant"
 )
 
 // TestParameterCountsMatchFigure3 verifies that the tensor inventories

@@ -1,0 +1,226 @@
+// Package lpsgd is the public facade of the low-precision SGD library:
+// one import, a functional-options constructor, and sensible defaults
+// for everything the paper tuned. It wraps the building blocks —
+// repro/quant (codecs), repro/comm (fabrics and reducers) and
+// repro/parallel (the synchronous data-parallel engine) — so
+// applications select a codec by name and a transport by constant
+// instead of hand-wiring configs:
+//
+//	trainer, err := lpsgd.NewTrainer(model,
+//	    lpsgd.WithCodec("qsgd4b512"),
+//	    lpsgd.WithWorkers(8),
+//	    lpsgd.WithTransport(lpsgd.TCP),
+//	    lpsgd.WithEpochs(20),
+//	)
+//	history, err := trainer.Run(train, test)
+//
+// Codec names go through quant.Parse, which derives bits, bucket size,
+// normalisation and level scheme from the name itself ("qsgd4b512",
+// "1bit*64", "topk0.01", ...). Over the TCP transport every gradient
+// message is a self-describing quant frame, so peers decode with no
+// out-of-band codec agreement.
+package lpsgd
+
+import (
+	"fmt"
+
+	"repro/nn"
+	"repro/parallel"
+	"repro/quant"
+	"repro/rng"
+)
+
+// BuildFunc constructs one model replica; it must be deterministic in
+// its RNG argument so all replicas start bit-identical.
+type BuildFunc = func(r *rng.RNG) *nn.Network
+
+// Trainer is the synchronous data-parallel training engine (see
+// repro/parallel for Run, Evaluate, checkpointing and sync inspection).
+type Trainer = parallel.Trainer
+
+// History is the per-epoch record a Run returns.
+type History = parallel.History
+
+// Primitive selects the aggregation algorithm.
+type Primitive = parallel.Primitive
+
+// Aggregation primitives, re-exported from repro/parallel.
+const (
+	// MPI is reduce-and-broadcast; it carries quantised payloads
+	// natively.
+	MPI = parallel.MPI
+	// NCCL is the ring allreduce with full-precision sums.
+	NCCL = parallel.NCCL
+)
+
+// Transport selects the byte-moving substrate beneath the aggregation
+// primitive.
+type Transport int
+
+const (
+	// InProcess moves gradients over in-process channels — the fast
+	// path standing in for PCIe/NVLink peer-to-peer copies.
+	InProcess Transport = iota
+	// TCP moves gradients over real loopback sockets with
+	// self-describing framed payloads — the host-mediated MPI path.
+	TCP
+)
+
+// String names the transport.
+func (t Transport) String() string {
+	if t == TCP {
+		return "TCP"
+	}
+	return "InProcess"
+}
+
+// config accumulates options before they are handed to the engine.
+type config struct {
+	cfg parallel.Config
+	lr  float32
+	err error
+}
+
+// Option mutates the trainer configuration; invalid options surface
+// their error from NewTrainer, not at the call site.
+type Option func(*config)
+
+// WithCodec selects the gradient codec by name via quant.Parse
+// ("32bit", "qsgd4b512", "1bit*64", "topk0.01", ...).
+func WithCodec(name string) Option {
+	return func(c *config) {
+		codec, err := quant.Parse(name)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.cfg.Codec = codec
+	}
+}
+
+// WithCodecValue supplies an already-constructed codec.
+func WithCodecValue(codec quant.Codec) Option {
+	return func(c *config) { c.cfg.Codec = codec }
+}
+
+// WithWorkers sets K, the number of simulated GPUs.
+func WithWorkers(k int) Option {
+	return func(c *config) { c.cfg.Workers = k }
+}
+
+// WithTransport selects the byte-moving substrate.
+func WithTransport(t Transport) Option {
+	return func(c *config) {
+		switch t {
+		case InProcess:
+			c.cfg.UseTCP = false
+		case TCP:
+			c.cfg.UseTCP = true
+		default:
+			c.fail(fmt.Errorf("lpsgd: unknown transport %d", t))
+		}
+	}
+}
+
+// WithPrimitive selects MPI reduce-and-broadcast or the NCCL ring.
+func WithPrimitive(p Primitive) Option {
+	return func(c *config) { c.cfg.Primitive = p }
+}
+
+// WithBatchSize sets the global minibatch size, sharded over workers.
+func WithBatchSize(n int) Option {
+	return func(c *config) { c.cfg.BatchSize = n }
+}
+
+// WithEpochs sets the number of passes over the training set.
+func WithEpochs(n int) Option {
+	return func(c *config) { c.cfg.Epochs = n }
+}
+
+// WithLearningRate sets a constant learning rate; WithSchedule
+// overrides it.
+func WithLearningRate(lr float32) Option {
+	return func(c *config) { c.lr = lr }
+}
+
+// WithSchedule supplies a per-epoch learning-rate schedule.
+func WithSchedule(s nn.Schedule) Option {
+	return func(c *config) { c.cfg.Schedule = s }
+}
+
+// WithMomentum sets the SGD momentum (default: the paper's 0.9).
+func WithMomentum(m float32) Option {
+	return func(c *config) { c.cfg.Momentum = m }
+}
+
+// WithWeightDecay sets the L2 regularisation coefficient.
+func WithWeightDecay(wd float32) Option {
+	return func(c *config) { c.cfg.WeightDecay = wd }
+}
+
+// WithClipNorm bounds the global gradient L2 norm after aggregation.
+func WithClipNorm(limit float32) Option {
+	return func(c *config) { c.cfg.ClipNorm = limit }
+}
+
+// WithSeed fixes all randomness (init, shuffling, stochastic rounding).
+func WithSeed(seed uint64) Option {
+	return func(c *config) { c.cfg.Seed = seed }
+}
+
+// WithEvalEvery evaluates test accuracy every n epochs.
+func WithEvalEvery(n int) Option {
+	return func(c *config) { c.cfg.EvalEvery = n }
+}
+
+// WithMinQuantisedFraction sets the small-matrix exemption target
+// (default: the paper's 0.99): the plan picks the largest exemption
+// threshold that still quantises at least this fraction of all
+// parameters. It must lie in (0, 1]; zero is rejected rather than
+// silently falling back to the default — to disable quantisation
+// entirely, use WithCodec("32bit").
+func WithMinQuantisedFraction(f float64) Option {
+	return func(c *config) {
+		if !(f > 0 && f <= 1) {
+			c.fail(fmt.Errorf("lpsgd: min quantised fraction %v outside (0,1]; use WithCodec(\"32bit\") to disable quantisation", f))
+			return
+		}
+		c.cfg.MinQuantisedFraction = f
+	}
+}
+
+func (c *config) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+// NewTrainer builds a synchronous data-parallel trainer from a model
+// builder and options. Unset options fall back to a small, paper-shaped
+// default: 4 workers, global batch 64, 10 epochs, constant LR 0.05,
+// momentum 0.9, full-precision gradients, the MPI primitive over the
+// in-process transport.
+func NewTrainer(model BuildFunc, opts ...Option) (*Trainer, error) {
+	if model == nil {
+		return nil, fmt.Errorf("lpsgd: model builder is required")
+	}
+	c := config{
+		cfg: parallel.Config{
+			Workers:   4,
+			BatchSize: 64,
+			Epochs:    10,
+			Momentum:  0.9,
+		},
+		lr: 0.05,
+	}
+	for _, opt := range opts {
+		opt(&c)
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.cfg.Schedule == nil {
+		c.cfg.Schedule = nn.ConstantLR(c.lr)
+	}
+	return parallel.NewTrainer(model, c.cfg)
+}

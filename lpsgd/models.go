@@ -1,0 +1,55 @@
+package lpsgd
+
+import (
+	"fmt"
+
+	"repro/data"
+	"repro/nn"
+	"repro/rng"
+)
+
+// MLP returns a builder for a fully connected ReLU network with the
+// given layer widths: MLP(64, 48, 10) is a 64-input, one-hidden-layer,
+// 10-class classifier. It covers the facade's quickstart needs; richer
+// architectures (convolutions, LSTMs, residual blocks) come from
+// composing repro/nn layers directly.
+func MLP(widths ...int) BuildFunc {
+	if len(widths) < 2 {
+		panic("lpsgd: MLP needs at least an input and an output width")
+	}
+	return func(r *rng.RNG) *nn.Network {
+		var layers []nn.Layer
+		for i := 0; i+1 < len(widths); i++ {
+			layers = append(layers, nn.NewDense(denseName(i), widths[i], widths[i+1], r))
+			if i+2 < len(widths) {
+				layers = append(layers, nn.NewReLU("relu"+denseName(i)))
+			}
+		}
+		return nn.MustNetwork(layers...)
+	}
+}
+
+func denseName(i int) string {
+	return fmt.Sprintf("dense%d", i)
+}
+
+// SyntheticImages returns a deterministic synthetic image-classification
+// task (a laptop-scale stand-in for CIFAR-10): single-channel 8×8
+// images — 64 inputs, so MLP(64, ..., classes) fits — split into train
+// and test sets.
+func SyntheticImages(classes, trainN, testN int, seed uint64) (train, test *data.Dataset) {
+	return data.MakeImages(data.ImageConfig{
+		Classes: classes, Channels: 1, H: 8, W: 8,
+		TrainN: trainN, TestN: testN, Noise: 0.8, Seed: seed,
+	})
+}
+
+// SyntheticSequences returns a deterministic synthetic sequence task (a
+// stand-in for AN4-style speech frames): frames×features inputs
+// flattened to frames·features values per sample.
+func SyntheticSequences(classes, frames, features, trainN, testN int, seed uint64) (train, test *data.Dataset) {
+	return data.MakeSequences(data.SequenceConfig{
+		Classes: classes, Frames: frames, Features: features,
+		TrainN: trainN, TestN: testN, Noise: 1.0, Seed: seed,
+	})
+}

@@ -1,0 +1,136 @@
+package nn
+
+import (
+	"math"
+
+	"repro/tensor"
+)
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	name string
+	x    *tensor.Matrix
+	y    *tensor.Matrix
+	dx   *tensor.Matrix
+}
+
+// NewReLU returns a ReLU layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.name }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
+	r.x = x
+	if r.y == nil || r.y.Rows != x.Rows || r.y.Cols != x.Cols {
+		r.y = tensor.New(x.Rows, x.Cols)
+	}
+	for i, v := range x.Data {
+		if v > 0 {
+			r.y.Data[i] = v
+		} else {
+			r.y.Data[i] = 0
+		}
+	}
+	return r.y
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	if r.dx == nil || r.dx.Rows != dout.Rows || r.dx.Cols != dout.Cols {
+		r.dx = tensor.New(dout.Rows, dout.Cols)
+	}
+	for i, v := range r.x.Data {
+		if v > 0 {
+			r.dx.Data[i] = dout.Data[i]
+		} else {
+			r.dx.Data[i] = 0
+		}
+	}
+	return r.dx
+}
+
+// Tanh is the hyperbolic tangent activation.
+type Tanh struct {
+	name string
+	y    *tensor.Matrix
+	dx   *tensor.Matrix
+}
+
+// NewTanh returns a Tanh layer.
+func NewTanh(name string) *Tanh { return &Tanh{name: name} }
+
+// Name implements Layer.
+func (t *Tanh) Name() string { return t.name }
+
+// Params implements Layer.
+func (t *Tanh) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
+	if t.y == nil || t.y.Rows != x.Rows || t.y.Cols != x.Cols {
+		t.y = tensor.New(x.Rows, x.Cols)
+	}
+	for i, v := range x.Data {
+		t.y.Data[i] = float32(math.Tanh(float64(v)))
+	}
+	return t.y
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	if t.dx == nil || t.dx.Rows != dout.Rows || t.dx.Cols != dout.Cols {
+		t.dx = tensor.New(dout.Rows, dout.Cols)
+	}
+	for i, y := range t.y.Data {
+		t.dx.Data[i] = dout.Data[i] * (1 - y*y)
+	}
+	return t.dx
+}
+
+// sigmoidScalar is the logistic function on a single value.
+func sigmoidScalar(v float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(v))))
+}
+
+// Sigmoid is the logistic activation.
+type Sigmoid struct {
+	name string
+	y    *tensor.Matrix
+	dx   *tensor.Matrix
+}
+
+// NewSigmoid returns a Sigmoid layer.
+func NewSigmoid(name string) *Sigmoid { return &Sigmoid{name: name} }
+
+// Name implements Layer.
+func (s *Sigmoid) Name() string { return s.name }
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
+	if s.y == nil || s.y.Rows != x.Rows || s.y.Cols != x.Cols {
+		s.y = tensor.New(x.Rows, x.Cols)
+	}
+	for i, v := range x.Data {
+		s.y.Data[i] = sigmoidScalar(v)
+	}
+	return s.y
+}
+
+// Backward implements Layer.
+func (s *Sigmoid) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	if s.dx == nil || s.dx.Rows != dout.Rows || s.dx.Cols != dout.Cols {
+		s.dx = tensor.New(dout.Rows, dout.Cols)
+	}
+	for i, y := range s.y.Data {
+		s.dx.Data[i] = dout.Data[i] * y * (1 - y)
+	}
+	return s.dx
+}

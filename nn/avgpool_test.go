@@ -1,0 +1,112 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/rng"
+	"repro/tensor"
+)
+
+func TestAvgPoolForwardValues(t *testing.T) {
+	p := NewAvgPool2D("ap", 1, 2, 2, 2, 2, 2, 2)
+	x := tensor.FromSlice(1, 4, []float32{1, 2, 3, 4})
+	y := p.Forward(x, false)
+	if y.Cols != 1 || math.Abs(float64(y.Data[0]-2.5)) > 1e-6 {
+		t.Fatalf("avg of 1..4 = %v, want 2.5", y.Data[0])
+	}
+}
+
+func TestAvgPoolGeometry(t *testing.T) {
+	p := NewAvgPool2D("ap", 3, 8, 8, 2, 2, 2, 2)
+	if p.OutH() != 4 || p.OutW() != 4 || p.OutLen() != 48 {
+		t.Fatalf("geometry wrong: %dx%d len %d", p.OutH(), p.OutW(), p.OutLen())
+	}
+}
+
+func TestGradAvgPool(t *testing.T) {
+	r := rng.New(40)
+	pool := NewAvgPool2D("ap", 2, 4, 4, 2, 2, 2, 2)
+	net := MustNetwork(
+		NewDense("d0", 32, 32, r),
+		pool,
+		NewDense("d1", pool.OutLen(), 2, r),
+	)
+	x, labels := smallBatch(r, 3, 32, 2)
+	checkGradients(t, net, x, labels)
+}
+
+func TestConcatForwardLayout(t *testing.T) {
+	r := rng.New(41)
+	towerA := []Layer{NewDense("a", 4, 2, r)}
+	towerB := []Layer{NewDense("b", 4, 3, r)}
+	c := NewConcat("cat", towerA, towerB)
+	x := tensor.New(2, 4)
+	x.FillNorm(r, 1)
+	y := c.Forward(x, true)
+	if y.Cols != 5 {
+		t.Fatalf("concat width %d, want 5", y.Cols)
+	}
+	// Left block must equal tower A's own forward output.
+	ya := towerA[0].Forward(x, true)
+	for s := 0; s < 2; s++ {
+		for j := 0; j < 2; j++ {
+			if y.At(s, j) != ya.At(s, j) {
+				t.Fatal("tower A block misplaced")
+			}
+		}
+	}
+}
+
+func TestGradConcat(t *testing.T) {
+	r := rng.New(42)
+	c := NewConcat("cat",
+		[]Layer{NewDense("t1.d", 6, 4, r), NewReLU("t1.r")},
+		[]Layer{NewDense("t2.d", 6, 3, r)},
+		[]Layer{NewDense("t3.d1", 6, 5, r), NewTanh("t3.t"), NewDense("t3.d2", 5, 2, r)},
+	)
+	net := MustNetwork(c, NewDense("head", 9, 3, r))
+	x, labels := smallBatch(r, 4, 6, 3)
+	checkGradients(t, net, x, labels)
+}
+
+func TestGradConcatWithPools(t *testing.T) {
+	// A miniature Inception-style module: 1x1 conv tower, 3x3 conv
+	// tower, and an avg-pool tower, concatenated.
+	r := rng.New(43)
+	const chw = 2 * 4 * 4
+	c1 := NewConv2D("t1.c", tensor.ConvShape{InC: 2, InH: 4, InW: 4, OutC: 2,
+		KH: 1, KW: 1, StrideH: 1, StrideW: 1}, r)
+	c3 := NewConv2D("t2.c", tensor.ConvShape{InC: 2, InH: 4, InW: 4, OutC: 2,
+		KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}, r)
+	ap := NewAvgPool2D("t3.p", 2, 4, 4, 2, 2, 2, 2)
+	module := NewConcat("inc",
+		[]Layer{c1},
+		[]Layer{c3},
+		[]Layer{ap},
+	)
+	width := c1.OutLen() + c3.OutLen() + ap.OutLen()
+	net := MustNetwork(module, NewDense("head", width, 2, r))
+	x, labels := smallBatch(r, 2, chw, 2)
+	checkGradients(t, net, x, labels)
+}
+
+func TestConcatParamsCollected(t *testing.T) {
+	r := rng.New(44)
+	c := NewConcat("cat",
+		[]Layer{NewDense("t1", 4, 2, r)},
+		[]Layer{NewDense("t2", 4, 2, r)},
+	)
+	if got := len(c.Params()); got != 4 {
+		t.Fatalf("concat exposes %d params, want 4 (2 towers × W+b)", got)
+	}
+}
+
+func TestConcatPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewConcat("bad")
+}

@@ -1,0 +1,120 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/quant"
+	"repro/rng"
+)
+
+func TestClipGradNormScales(t *testing.T) {
+	p := newParam("w", 1, 4, quant.Shape{Rows: 4, Cols: 1})
+	copy(p.Grad.Data, []float32{3, 4, 0, 0}) // norm 5
+	before := ClipGradNorm([]*Param{p}, 1)
+	if math.Abs(before-5) > 1e-6 {
+		t.Fatalf("pre-clip norm %v, want 5", before)
+	}
+	var sq float64
+	for _, v := range p.Grad.Data {
+		sq += float64(v) * float64(v)
+	}
+	if math.Abs(math.Sqrt(sq)-1) > 1e-5 {
+		t.Fatalf("post-clip norm %v, want 1", math.Sqrt(sq))
+	}
+	// Direction preserved.
+	if p.Grad.Data[0] <= 0 || p.Grad.Data[1] <= 0 {
+		t.Fatal("clip changed gradient direction")
+	}
+}
+
+func TestClipGradNormNoOpBelowBound(t *testing.T) {
+	p := newParam("w", 1, 2, quant.Shape{Rows: 2, Cols: 1})
+	copy(p.Grad.Data, []float32{0.3, 0.4})
+	ClipGradNorm([]*Param{p}, 1)
+	if p.Grad.Data[0] != 0.3 || p.Grad.Data[1] != 0.4 {
+		t.Fatal("clip modified a gradient within bounds")
+	}
+}
+
+func TestClipGradNormZeroGradient(t *testing.T) {
+	p := newParam("w", 1, 2, quant.Shape{Rows: 2, Cols: 1})
+	if norm := ClipGradNorm([]*Param{p}, 1); norm != 0 {
+		t.Fatalf("zero gradient norm %v", norm)
+	}
+}
+
+func TestClipGradNormPanicsOnBadBound(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ClipGradNorm(nil, 0)
+}
+
+func TestWarmupSchedule(t *testing.T) {
+	w := Warmup{Base: 1.0, Epochs: 4, After: StepDecay{Base: 1.0, Gamma: 0.1, Every: 10}}
+	cases := map[int]float32{0: 0.25, 1: 0.5, 3: 1.0, 4: 1.0, 9: 1.0, 10: 0.1}
+	for epoch, want := range cases {
+		if got := w.LRAt(epoch); math.Abs(float64(got-want)) > 1e-6 {
+			t.Errorf("LRAt(%d) = %v, want %v", epoch, got, want)
+		}
+	}
+}
+
+func TestWarmupWithoutAfter(t *testing.T) {
+	w := Warmup{Base: 0.5, Epochs: 2}
+	if w.LRAt(10) != 0.5 {
+		t.Fatal("warmup without After should hold Base")
+	}
+}
+
+func TestWeightDecayInStepMath(t *testing.T) {
+	p := newParam("w", 1, 1, quant.Shape{Rows: 1, Cols: 1})
+	p.Value.Data[0] = 10
+	opt := NewSGD([]*Param{p}, 0.1, 0)
+	opt.SetWeightDecay(0.5)
+	p.Grad.Data[0] = 0
+	opt.Step() // effective grad = 0 + 0.5*10 = 5; w -= 0.1*5 = 0.5
+	if got := p.Value.Data[0]; math.Abs(float64(got-9.5)) > 1e-6 {
+		t.Fatalf("after decay step w = %v, want 9.5", got)
+	}
+}
+
+// TestClippingStabilisesTraining: with an absurdly large learning rate,
+// unclipped SGD on a deep-ish net blows up while the clipped run keeps
+// finite loss.
+func TestClippingStabilisesTraining(t *testing.T) {
+	build := func() (*Network, *SoftmaxCrossEntropy) {
+		r := rng.New(50)
+		return MustNetwork(
+			NewDense("d1", 8, 32, r),
+			NewTanh("t1"),
+			NewDense("d2", 32, 32, r),
+			NewTanh("t2"),
+			NewDense("d3", 32, 2, r),
+		), NewSoftmaxCrossEntropy()
+	}
+	r := rng.New(51)
+	x, labels := smallBatch(r, 16, 8, 2)
+	run := func(clip bool) float64 {
+		net, loss := build()
+		opt := NewSGD(net.Params(), 5.0, 0.9) // way too hot
+		var last float64
+		for i := 0; i < 30; i++ {
+			net.ZeroGrads()
+			last = loss.Forward(net.Forward(x, true), labels)
+			net.Backward(loss.Backward(labels))
+			if clip {
+				ClipGradNorm(net.Params(), 0.5)
+			}
+			opt.Step()
+		}
+		return last
+	}
+	clipped := run(true)
+	if math.IsNaN(clipped) || math.IsInf(clipped, 0) || clipped > 10 {
+		t.Fatalf("clipped training still unstable: loss %v", clipped)
+	}
+}

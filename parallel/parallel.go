@@ -1,0 +1,420 @@
+// Package parallel implements the paper's Algorithm 1: synchronous
+// data-parallel SGD across K workers (simulated GPUs), each holding a
+// full model replica, computing gradients over its shard of the global
+// minibatch, and exchanging them through a communication primitive with
+// an optional low-precision codec.
+//
+// Workers are real goroutines moving real encoded bytes through
+// internal/comm; replicas stay bit-identical because every worker adopts
+// the same aggregated wire bytes. This is the engine behind the
+// reproduction's accuracy experiments (paper Figure 5).
+package parallel
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/comm"
+	"repro/data"
+	"repro/nn"
+	"repro/quant"
+	"repro/rng"
+)
+
+// Primitive selects the aggregation algorithm.
+type Primitive int
+
+const (
+	// MPI is the reduce-and-broadcast pattern; it carries quantised
+	// payloads natively (§2.4.1).
+	MPI Primitive = iota
+	// NCCL is the ring allreduce; its sum is hardwired to full precision,
+	// so quantised configurations run the paper's byte-volume simulation
+	// (§4.4) while reducing exactly.
+	NCCL
+)
+
+// String names the primitive as the paper does.
+func (p Primitive) String() string {
+	if p == NCCL {
+		return "NCCL"
+	}
+	return "MPI"
+}
+
+// Config describes a data-parallel training run.
+type Config struct {
+	// Workers is K, the number of simulated GPUs.
+	Workers int
+	// Codec is the gradient codec (nil or quant.FP32{} for full
+	// precision).
+	Codec quant.Codec
+	// Primitive selects MPI reduce-and-broadcast or NCCL ring.
+	Primitive Primitive
+	// MinQuantisedFraction is the small-matrix exemption target
+	// (defaults to the paper's 0.99).
+	MinQuantisedFraction float64
+	// BatchSize is the global minibatch size, sharded over workers.
+	BatchSize int
+	// Epochs is the number of passes over the training set.
+	Epochs int
+	// Schedule supplies the learning rate per epoch.
+	Schedule nn.Schedule
+	// Momentum is the SGD momentum (the paper's default is 0.9).
+	Momentum float32
+	// WeightDecay is the L2 regularisation coefficient (0 disables it).
+	WeightDecay float32
+	// UseTCP moves gradients over real loopback TCP sockets instead of
+	// in-process channels — same aggregation algorithms, real kernel
+	// boundary (see comm.TCPFabric).
+	UseTCP bool
+	// ClipNorm bounds the global gradient L2 norm after aggregation
+	// (0 disables clipping). CNTK's recurrent recipes clip gradients;
+	// clipping after the exchange keeps replicas bit-identical.
+	ClipNorm float32
+	// Seed fixes all randomness (init, shuffling, stochastic rounding).
+	Seed uint64
+	// EvalEvery evaluates test accuracy every this many epochs
+	// (default 1).
+	EvalEvery int
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Workers <= 0 {
+		return fmt.Errorf("parallel: Workers must be positive, got %d", c.Workers)
+	}
+	if c.BatchSize < c.Workers {
+		return fmt.Errorf("parallel: batch %d smaller than %d workers", c.BatchSize, c.Workers)
+	}
+	if c.Epochs <= 0 {
+		return fmt.Errorf("parallel: Epochs must be positive")
+	}
+	if c.Codec == nil {
+		c.Codec = quant.FP32{}
+	}
+	if c.MinQuantisedFraction == 0 {
+		c.MinQuantisedFraction = 0.99
+	}
+	if c.Schedule == nil {
+		c.Schedule = nn.ConstantLR(0.1)
+	}
+	if c.EvalEvery <= 0 {
+		c.EvalEvery = 1
+	}
+	return nil
+}
+
+// EpochStats records one epoch of training.
+type EpochStats struct {
+	Epoch        int
+	TrainLoss    float64
+	TestAccuracy float64 // top-1; negative when not evaluated this epoch
+	TestTop5     float64 // top-5; negative when not evaluated this epoch
+	LR           float32
+	WireBytes    int64 // cumulative fabric bytes at epoch end
+	Elapsed      time.Duration
+}
+
+// History is the full record of a run.
+type History struct {
+	Config Config
+	Epochs []EpochStats
+	// FinalAccuracy is the last measured test accuracy.
+	FinalAccuracy float64
+	// BestAccuracy is the highest test accuracy seen.
+	BestAccuracy float64
+	// TotalWireBytes is the fabric traffic of the whole run.
+	TotalWireBytes int64
+}
+
+// EpochsToReach returns the first epoch (1-based) whose test accuracy
+// meets target, or -1 if never reached — the paper's convergence-speed
+// metric.
+func (h *History) EpochsToReach(target float64) int {
+	for _, e := range h.Epochs {
+		if e.TestAccuracy >= target {
+			return e.Epoch + 1
+		}
+	}
+	return -1
+}
+
+// Trainer runs synchronous data-parallel SGD.
+type Trainer struct {
+	cfg      Config
+	replicas []*nn.Network
+	opts     []*nn.SGD
+	losses   []*nn.SoftmaxCrossEntropy
+	fabric   comm.Transport
+	reducer  comm.Reducer
+	plan     *quant.Plan
+	specs    []comm.TensorSpec
+}
+
+// NewTrainer builds K replicas with identical initial weights using
+// build, which must be deterministic in its RNG argument.
+func NewTrainer(build func(r *rng.RNG) *nn.Network, cfg Config) (*Trainer, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	t := &Trainer{cfg: cfg}
+	for w := 0; w < cfg.Workers; w++ {
+		// Same init seed for every replica: weights start identical.
+		// (Per-worker stochastic behaviour such as dropout uses layer
+		// RNGs forked from this same stream; masks may coincide across
+		// replicas, which only makes shards more, not less, comparable.)
+		net := build(rng.New(cfg.Seed))
+		t.replicas = append(t.replicas, net)
+		opt := nn.NewSGD(net.Params(), cfg.Schedule.LRAt(0), cfg.Momentum)
+		opt.SetWeightDecay(cfg.WeightDecay)
+		t.opts = append(t.opts, opt)
+		t.losses = append(t.losses, nn.NewSoftmaxCrossEntropy())
+	}
+	infos := t.replicas[0].TensorInfos()
+	t.plan = quant.NewPlan(cfg.Codec, infos, cfg.MinQuantisedFraction)
+	if cfg.UseTCP {
+		tcp, err := comm.NewTCPFabric(cfg.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("parallel: tcp fabric: %w", err)
+		}
+		t.fabric = tcp
+	} else {
+		t.fabric = comm.NewFabric(cfg.Workers)
+	}
+	params := t.replicas[0].Params()
+	for i, p := range params {
+		c := t.plan.CodecFor(i)
+		t.specs = append(t.specs, comm.TensorSpec{
+			Name:  p.Name,
+			N:     p.Grad.Len(),
+			Wire:  p.WireShape,
+			Codec: c,
+		})
+	}
+	switch cfg.Primitive {
+	case MPI:
+		t.reducer = comm.NewReduceBroadcast(t.fabric, t.specs, cfg.Seed)
+	case NCCL:
+		if _, fp := cfg.Codec.(quant.FP32); fp || cfg.Workers == 1 {
+			t.reducer = comm.NewRing(t.fabric)
+		} else {
+			frac := float64(t.plan.WireBytes()) / float64(t.plan.RawBytes())
+			if frac > 1 {
+				t.Close()
+				return nil, fmt.Errorf("parallel: codec %s expands this model's wire volume (%.2fx raw); the NCCL byte-volume simulation needs a compressing codec — use the MPI primitive instead", cfg.Codec.Name(), frac)
+			}
+			t.reducer = comm.NewSimulatedRing(t.fabric, frac)
+		}
+	default:
+		t.Close()
+		return nil, fmt.Errorf("parallel: unknown primitive %d", cfg.Primitive)
+	}
+	return t, nil
+}
+
+// Close releases the fabric's resources (socket connections for the
+// TCP transport; a no-op for the in-process fabric). A closed trainer
+// must not Run again.
+func (t *Trainer) Close() error {
+	if c, ok := t.fabric.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// Plan exposes the codec assignment (for reporting).
+func (t *Trainer) Plan() *quant.Plan { return t.plan }
+
+// Reducer exposes the aggregation primitive (for reporting).
+func (t *Trainer) Reducer() comm.Reducer { return t.reducer }
+
+// Model returns replica 0, the canonical model.
+func (t *Trainer) Model() *nn.Network { return t.replicas[0] }
+
+// SaveCheckpoint writes the canonical replica's weights in the
+// nn.Network binary checkpoint format.
+func (t *Trainer) SaveCheckpoint(w io.Writer) error {
+	return t.replicas[0].Save(w)
+}
+
+// LoadCheckpoint restores weights into every replica, preserving the
+// synchronous-SGD invariant that all replicas are bit-identical.
+func (t *Trainer) LoadCheckpoint(r io.Reader) error {
+	if err := t.replicas[0].Load(r); err != nil {
+		return err
+	}
+	for w := 1; w < len(t.replicas); w++ {
+		if err := t.replicas[w].CopyWeightsFrom(t.replicas[0]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run trains on train for the configured epochs, measuring accuracy on
+// test, and returns the history.
+func (t *Trainer) Run(train, test *data.Dataset) (*History, error) {
+	cfg := t.cfg
+	h := &History{Config: cfg}
+	shuffle := rng.New(cfg.Seed).Fork(0xdead)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		start := time.Now()
+		lr := cfg.Schedule.LRAt(epoch)
+		for _, opt := range t.opts {
+			opt.SetLR(lr)
+		}
+		batches := train.Batches(shuffle, cfg.BatchSize)
+		var lossSum float64
+		var lossCnt int
+		for _, batch := range batches {
+			if len(batch) < cfg.Workers {
+				continue // drop a tail smaller than the worker count
+			}
+			loss, err := t.step(train, batch)
+			if err != nil {
+				return nil, err
+			}
+			lossSum += loss
+			lossCnt++
+		}
+		stats := EpochStats{
+			Epoch:        epoch,
+			TrainLoss:    lossSum / float64(max(lossCnt, 1)),
+			TestAccuracy: -1,
+			TestTop5:     -1,
+			LR:           lr,
+			WireBytes:    t.fabric.TotalBytes(),
+			Elapsed:      time.Since(start),
+		}
+		if (epoch+1)%cfg.EvalEvery == 0 || epoch == cfg.Epochs-1 {
+			accs := t.EvaluateKs(test, 1, 5)
+			stats.TestAccuracy = accs[0]
+			stats.TestTop5 = accs[1]
+			h.FinalAccuracy = stats.TestAccuracy
+			if stats.TestAccuracy > h.BestAccuracy {
+				h.BestAccuracy = stats.TestAccuracy
+			}
+		}
+		h.Epochs = append(h.Epochs, stats)
+	}
+	h.TotalWireBytes = t.fabric.TotalBytes()
+	return h, nil
+}
+
+// step performs one synchronous iteration over the given global batch.
+func (t *Trainer) step(train *data.Dataset, batch []int) (float64, error) {
+	k := t.cfg.Workers
+	losses := make([]float64, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for w := 0; w < k; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			shard := batch[w*len(batch)/k : (w+1)*len(batch)/k]
+			x, labels := train.Gather(shard)
+			net := t.replicas[w]
+			net.ZeroGrads()
+			loss := t.losses[w]
+			losses[w] = loss.Forward(net.Forward(x, true), labels)
+			net.Backward(loss.Backward(labels))
+			// Exchange every tensor, then average over workers: the
+			// paper's x ← x − (η/K)·Σ g̃.
+			invK := 1 / float32(k)
+			for i, p := range net.Params() {
+				if err := t.reducer.Reduce(w, i, p.Grad.Data); err != nil {
+					errs[w] = err
+					return
+				}
+				if k > 1 {
+					p.Grad.Scale(invK)
+				}
+			}
+			if t.cfg.ClipNorm > 0 {
+				nn.ClipGradNorm(net.Params(), t.cfg.ClipNorm)
+			}
+			t.opts[w].Step()
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	var sum float64
+	for _, l := range losses {
+		sum += l
+	}
+	return sum / float64(k), nil
+}
+
+// Evaluate returns top-1 accuracy of the canonical replica on ds.
+func (t *Trainer) Evaluate(ds *data.Dataset) float64 {
+	return t.EvaluateKs(ds, 1)[0]
+}
+
+// EvaluateKs returns top-k accuracy of the canonical replica on ds for
+// each requested k in a single pass (the paper reports top-1 and
+// top-5).
+func (t *Trainer) EvaluateKs(ds *data.Dataset, ks ...int) []float64 {
+	const evalBatch = 256
+	net := t.replicas[0]
+	correct := make([]int, len(ks))
+	total := 0
+	for start := 0; start < ds.Len(); start += evalBatch {
+		end := start + evalBatch
+		if end > ds.Len() {
+			end = ds.Len()
+		}
+		idx := make([]int, end-start)
+		for i := range idx {
+			idx[i] = start + i
+		}
+		x, labels := ds.Gather(idx)
+		logits := net.Forward(x, false)
+		for i := range labels {
+			row := logits.Row(i)
+			target := row[labels[i]]
+			higher := 0
+			for _, v := range row {
+				if v > target {
+					higher++
+				}
+			}
+			for ki, k := range ks {
+				if higher < k {
+					correct[ki]++
+				}
+			}
+		}
+		total += len(labels)
+	}
+	out := make([]float64, len(ks))
+	if total == 0 {
+		return out
+	}
+	for ki := range ks {
+		out[ki] = float64(correct[ki]) / float64(total)
+	}
+	return out
+}
+
+// ReplicasInSync reports whether all replicas hold bit-identical weights
+// — the invariant synchronous SGD must maintain.
+func (t *Trainer) ReplicasInSync() bool {
+	ref := t.replicas[0].Params()
+	for w := 1; w < len(t.replicas); w++ {
+		ps := t.replicas[w].Params()
+		for i, p := range ps {
+			for j, v := range p.Value.Data {
+				if v != ref[i].Value.Data[j] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

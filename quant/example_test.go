@@ -1,0 +1,57 @@
+package quant_test
+
+import (
+	"fmt"
+
+	"repro/quant"
+)
+
+// ExampleQSGD demonstrates encoding a gradient with 4-bit stochastic
+// quantisation and measuring the wire saving.
+func ExampleQSGD() {
+	codec := quant.NewQSGD(4, 512, quant.MaxNorm)
+	grad := make([]float32, 1024)
+	for i := range grad {
+		grad[i] = float32(i%7) - 3 // some deterministic values
+	}
+	shape := quant.Shape{Rows: 32, Cols: 32}
+	enc := codec.NewEncoder(len(grad), shape, 42)
+	wire := enc.Encode(grad)
+
+	decoded := make([]float32, len(grad))
+	if err := codec.Decode(wire, len(grad), shape, decoded); err != nil {
+		panic(err)
+	}
+	fmt.Printf("raw: %d bytes, wire: %d bytes, ratio: %.1fx\n",
+		4*len(grad), len(wire), float64(4*len(grad))/float64(len(wire)))
+	// Output:
+	// raw: 4096 bytes, wire: 520 bytes, ratio: 7.9x
+}
+
+// ExampleOneBit shows the column-wise 1bitSGD codec replacing every
+// value with one of two per-column averages.
+func ExampleOneBit() {
+	codec := quant.OneBit{}
+	grad := []float32{1, 3, -2, -4, 5, 1} // one column of height 6
+	shape := quant.Shape{Rows: 6, Cols: 1}
+	wire := codec.NewEncoder(len(grad), shape, 0).Encode(grad)
+	decoded := make([]float32, len(grad))
+	if err := codec.Decode(wire, len(grad), shape, decoded); err != nil {
+		panic(err)
+	}
+	fmt.Printf("avg+ = %.1f, avg- = %.1f\n", decoded[0], decoded[2])
+	// Output:
+	// avg+ = 2.5, avg- = -3.0
+}
+
+// ExampleCompressionRatio shows the shape-dependence of classic 1bitSGD:
+// tall FC columns compress ~30x, 3-row conv kernels not at all.
+func ExampleCompressionRatio() {
+	fc := quant.Shape{Rows: 4096, Cols: 4096}
+	conv := quant.Shape{Rows: 3, Cols: 3 * 256 * 384}
+	fmt.Printf("FC:   %.0fx\n", quant.CompressionRatio(quant.OneBit{}, fc))
+	fmt.Printf("conv: %.0fx\n", quant.CompressionRatio(quant.OneBit{}, conv))
+	// Output:
+	// FC:   32x
+	// conv: 1x
+}

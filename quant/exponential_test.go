@@ -1,0 +1,158 @@
+package quant
+
+import (
+	"math"
+	"testing"
+
+	"repro/rng"
+)
+
+func TestExponentialName(t *testing.T) {
+	c := NewQSGDScheme(4, 512, MaxNorm, Exponential)
+	if c.Name() != "qsgd4b512-exp" {
+		t.Fatalf("name = %q", c.Name())
+	}
+}
+
+// TestExponentialLevelsArePowersOfTwo: decoded magnitudes lie on the
+// logarithmic grid scale·2^{j−s} (or zero).
+func TestExponentialLevelsArePowersOfTwo(t *testing.T) {
+	r := rng.New(30)
+	c := NewQSGDScheme(4, 64, MaxNorm, Exponential)
+	const n = 64
+	shape := Shape{Rows: n, Cols: 1}
+	src := randVec(r, n)
+	scale := bucketScale(src, MaxNorm)
+	wire := c.NewEncoder(n, shape, 3).Encode(src)
+	dst := make([]float32, n)
+	if err := c.Decode(wire, n, shape, dst); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Levels()
+	for i, v := range dst {
+		if v == 0 {
+			continue
+		}
+		a := math.Abs(float64(v)) / float64(scale)
+		// a must equal 2^{j-s} for some integer j in [1, s].
+		j := math.Log2(a) + float64(s)
+		if math.Abs(j-math.Round(j)) > 1e-3 || j < 0.5 || j > float64(s)+0.5 {
+			t.Fatalf("element %d: %v not on exponential grid (j=%v)", i, v, j)
+		}
+	}
+}
+
+// TestExponentialUnbiased: like every QSGD scheme, the exponential
+// levels preserve values in expectation.
+func TestExponentialUnbiased(t *testing.T) {
+	r := rng.New(31)
+	c := NewQSGDScheme(4, 128, MaxNorm, Exponential)
+	const n, trials = 128, 4000
+	shape := Shape{Rows: n, Cols: 1}
+	src := randVec(r, n)
+	enc := c.NewEncoder(n, shape, 11)
+	dst := make([]float32, n)
+	sum := make([]float64, n)
+	for trial := 0; trial < trials; trial++ {
+		wire := enc.Encode(src)
+		if err := c.Decode(wire, n, shape, dst); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range dst {
+			sum[i] += float64(v)
+		}
+	}
+	for i := range sum {
+		mean := sum[i] / trials
+		if math.Abs(mean-float64(src[i])) > 0.15 {
+			t.Fatalf("element %d biased: mean %v want %v", i, mean, src[i])
+		}
+	}
+}
+
+// TestExponentialSmallValuesBetterResolved: the paper's motivation for
+// non-uniform levels — small-magnitude values see lower relative error
+// than under uniform levels with the same bit budget.
+func TestExponentialSmallValuesBetterResolved(t *testing.T) {
+	r := rng.New(32)
+	const n = 4096
+	shape := Shape{Rows: n, Cols: 1}
+	// A vector with one dominant value and many tiny ones: max-norm
+	// scaling crushes the tiny values, which is where log levels help.
+	src := make([]float32, n)
+	src[0] = 100
+	for i := 1; i < n; i++ {
+		src[i] = r.Norm(0.02)
+	}
+	mse := func(scheme Scheme) float64 {
+		c := NewQSGDScheme(4, n, MaxNorm, scheme)
+		wire := c.NewEncoder(n, shape, 7).Encode(src)
+		dst := make([]float32, n)
+		if err := c.Decode(wire, n, shape, dst); err != nil {
+			t.Fatal(err)
+		}
+		var m float64
+		for i := 1; i < n; i++ { // exclude the dominant value
+			d := float64(src[i] - dst[i])
+			m += d * d
+		}
+		return m / float64(n-1)
+	}
+	linear := mse(SignMagnitude)
+	exp := mse(Exponential)
+	if exp >= linear {
+		t.Fatalf("exponential MSE %v not below linear %v on small values", exp, linear)
+	}
+}
+
+func TestExpRoundBoundaries(t *testing.T) {
+	r := rng.New(33)
+	if expRound(0, 7, r) != 0 {
+		t.Error("zero must map to level 0")
+	}
+	if expRound(1, 7, r) != 7 {
+		t.Error("one must map to level s")
+	}
+	if expRound(2, 7, r) != 7 {
+		t.Error("overflow must clamp to s")
+	}
+	// Exactly on a grid point: must always return that level.
+	for trial := 0; trial < 100; trial++ {
+		if got := expRound(0.5, 7, r); got != 6 {
+			t.Fatalf("0.5 rounded to %d, want 6", got)
+		}
+	}
+}
+
+func TestExpLevelValues(t *testing.T) {
+	if expLevel(0, 7) != 0 {
+		t.Error("level 0 must be 0")
+	}
+	if expLevel(7, 7) != 1 {
+		t.Error("level s must be 1")
+	}
+	if expLevel(6, 7) != 0.5 {
+		t.Error("level s-1 must be 1/2")
+	}
+	if expLevel(1, 7) != math.Ldexp(1, -6) {
+		t.Error("level 1 must be 2^{1-s}")
+	}
+}
+
+func TestExtensionCodecsRoundtrip(t *testing.T) {
+	r := rng.New(34)
+	for _, c := range ExtensionCodecs() {
+		const n = 500
+		shape := Shape{Rows: 10, Cols: 50}
+		src := randVec(r, n)
+		enc := c.NewEncoder(n, shape, 5)
+		wire := enc.Encode(src)
+		if len(wire) != c.EncodedBytes(n, shape) {
+			t.Errorf("%s: wire size mismatch", c.Name())
+		}
+		dst := make([]float32, n)
+		if err := c.Decode(wire, n, shape, dst); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}

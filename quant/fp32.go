@@ -1,0 +1,64 @@
+package quant
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// FP32 is the identity codec: gradients travel as raw little-endian
+// float32 values. It is the paper's "32bit full precision" baseline and
+// also the fallback used for small tensors under the exemption policy.
+type FP32 struct{}
+
+// Name implements Codec.
+func (FP32) Name() string { return "32bit" }
+
+// GroupSize implements Codec. Full precision has no quantisation groups;
+// a moderate chunk keeps stripe boundaries cheap to compute without
+// fragmenting messages.
+func (FP32) GroupSize(Shape) int { return 256 }
+
+// EncodedBytes implements Codec.
+func (FP32) EncodedBytes(n int, _ Shape) int { return 4 * n }
+
+// NewEncoder implements Codec.
+func (f FP32) NewEncoder(n int, shape Shape, _ uint64) Encoder {
+	return &fp32Encoder{buf: make([]byte, 4*n), n: n, framer: newFramer(f, n, shape)}
+}
+
+type fp32Encoder struct {
+	buf []byte
+	n   int
+	framer
+}
+
+func (e *fp32Encoder) Encode(src []float32) []byte {
+	if len(src) != e.n {
+		panic(fmt.Sprintf("quant: fp32 encoder got %d values, want %d", len(src), e.n))
+	}
+	for i, v := range src {
+		binary.LittleEndian.PutUint32(e.buf[4*i:], math.Float32bits(v))
+	}
+	return e.buf
+}
+
+// EncodeTo implements Encoder.
+func (e *fp32Encoder) EncodeTo(w io.Writer, src []float32) (int, error) {
+	return e.encodeTo(w, e.Encode(src))
+}
+
+// Decode implements Codec.
+func (FP32) Decode(wire []byte, n int, _ Shape, dst []float32) error {
+	if len(wire) != 4*n {
+		return fmt.Errorf("quant: fp32 wire length %d, want %d", len(wire), 4*n)
+	}
+	if len(dst) != n {
+		return fmt.Errorf("quant: fp32 dst length %d, want %d", len(dst), n)
+	}
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(wire[4*i:]))
+	}
+	return nil
+}

@@ -1,0 +1,242 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/rng"
+)
+
+// TestOneBitTwoValuesPerColumn: a decoded column contains at most two
+// distinct values (avg+ and avg−).
+func TestOneBitTwoValuesPerColumn(t *testing.T) {
+	r := rng.New(10)
+	shape := Shape{Rows: 50, Cols: 8}
+	n := shape.Len()
+	src := randVec(r, n)
+	c := OneBit{}
+	wire := c.NewEncoder(n, shape, 0).Encode(src)
+	dst := make([]float32, n)
+	if err := c.Decode(wire, n, shape, dst); err != nil {
+		t.Fatal(err)
+	}
+	for col := 0; col < shape.Cols; col++ {
+		vals := map[float32]bool{}
+		for i := 0; i < shape.Rows; i++ {
+			vals[dst[col*shape.Rows+i]] = true
+		}
+		if len(vals) > 2 {
+			t.Fatalf("column %d has %d distinct values", col, len(vals))
+		}
+	}
+}
+
+// TestOneBitAverages: avg+ is the mean of non-negative inputs and avg−
+// the mean of negative inputs on the first round (zero residual).
+func TestOneBitAverages(t *testing.T) {
+	src := []float32{1, 2, 3, -3, -1, 0}
+	shape := Shape{Rows: 6, Cols: 1}
+	c := OneBit{}
+	wire := c.NewEncoder(6, shape, 0).Encode(src)
+	dst := make([]float32, 6)
+	if err := c.Decode(wire, 6, shape, dst); err != nil {
+		t.Fatal(err)
+	}
+	wantPos := float32((1 + 2 + 3 + 0) / 4.0)
+	wantNeg := float32((-3 - 1) / 2.0)
+	for i, v := range src {
+		want := wantPos
+		if v < 0 {
+			want = wantNeg
+		}
+		if math.Abs(float64(dst[i]-want)) > 1e-6 {
+			t.Fatalf("element %d: got %v want %v", i, dst[i], want)
+		}
+	}
+}
+
+// TestOneBitErrorFeedbackInvariant: across rounds, q_t + ε_t == v_t +
+// ε_{t−1} element-wise (Algorithm 2, lines 1 and 4). We verify it by
+// checking that the cumulative decoded signal tracks the cumulative
+// input signal: sum_t q_t = sum_t v_t − ε_T.
+func TestOneBitErrorFeedbackInvariant(t *testing.T) {
+	r := rng.New(11)
+	const n, rounds = 256, 50
+	shape := Shape{Rows: 64, Cols: 4}
+	c := OneBit{}
+	enc := c.NewEncoder(n, shape, 0).(*oneBitEncoder)
+	cumIn := make([]float64, n)
+	cumOut := make([]float64, n)
+	dst := make([]float32, n)
+	for round := 0; round < rounds; round++ {
+		src := randVec(r, n)
+		for i, v := range src {
+			cumIn[i] += float64(v)
+		}
+		wire := enc.Encode(src)
+		if err := c.Decode(wire, n, shape, dst); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range dst {
+			cumOut[i] += float64(v)
+		}
+	}
+	for i := 0; i < n; i++ {
+		diff := cumIn[i] - cumOut[i] - float64(enc.residual[i])
+		if math.Abs(diff) > 1e-3 {
+			t.Fatalf("element %d: cumulative drift %v beyond residual", i, diff)
+		}
+	}
+}
+
+// TestOneBitResidualBounded: the error-feedback residual must not blow up
+// over many rounds of i.i.d. gradients (it is the mechanism that makes
+// 1bitSGD converge; an unbounded residual would mean divergence).
+func TestOneBitResidualBounded(t *testing.T) {
+	r := rng.New(12)
+	const n, rounds = 512, 300
+	shape := Shape{Rows: 64, Cols: 8}
+	enc := OneBit{}.NewEncoder(n, shape, 0).(*oneBitEncoder)
+	for round := 0; round < rounds; round++ {
+		enc.Encode(randVec(r, n))
+	}
+	var maxAbs float64
+	for _, v := range enc.residual {
+		if a := math.Abs(float64(v)); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	// Inputs are N(0,1); a healthy residual stays within a few sigma.
+	if maxAbs > 10 {
+		t.Fatalf("residual grew to %v after %d rounds", maxAbs, rounds)
+	}
+}
+
+// TestOneBitSignPreserved: the decoded sign matches the sign of v+ε.
+func TestOneBitSignPreserved(t *testing.T) {
+	src := []float32{5, -5, 0.5, -0.5}
+	shape := Shape{Rows: 4, Cols: 1}
+	c := OneBit{}
+	wire := c.NewEncoder(4, shape, 0).Encode(src)
+	dst := make([]float32, 4)
+	if err := c.Decode(wire, 4, shape, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range src {
+		if v > 0 && dst[i] < 0 || v < 0 && dst[i] > 0 {
+			t.Fatalf("sign flipped at %d: %v -> %v", i, v, dst[i])
+		}
+	}
+}
+
+// TestOneBitAllPositiveColumn handles the degenerate case with no
+// negative entries: avg− must be 0, not NaN.
+func TestOneBitAllPositiveColumn(t *testing.T) {
+	src := []float32{1, 2, 3, 4}
+	shape := Shape{Rows: 4, Cols: 1}
+	c := OneBit{}
+	wire := c.NewEncoder(4, shape, 0).Encode(src)
+	dst := make([]float32, 4)
+	if err := c.Decode(wire, 4, shape, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range dst {
+		if math.IsNaN(float64(v)) {
+			t.Fatalf("NaN at %d", i)
+		}
+		if math.Abs(float64(v-2.5)) > 1e-6 {
+			t.Fatalf("got %v, want 2.5", v)
+		}
+	}
+}
+
+// TestOneBitZeroVector: quantising zeros yields zeros and zero residual.
+func TestOneBitZeroVector(t *testing.T) {
+	shape := Shape{Rows: 8, Cols: 2}
+	n := shape.Len()
+	c := OneBit{}
+	enc := c.NewEncoder(n, shape, 0).(*oneBitEncoder)
+	wire := enc.Encode(make([]float32, n))
+	dst := make([]float32, n)
+	if err := c.Decode(wire, n, shape, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range dst {
+		if v != 0 || enc.residual[i] != 0 {
+			t.Fatalf("nonzero output/residual at %d", i)
+		}
+	}
+}
+
+// TestOneBitReshapedPartialBucket: sizes that do not divide the bucket
+// still roundtrip with the documented wire size.
+func TestOneBitReshapedPartialBucket(t *testing.T) {
+	r := rng.New(13)
+	c := NewOneBitReshaped(64)
+	for _, n := range []int{1, 63, 64, 65, 129, 1000} {
+		shape := Shape{Rows: n, Cols: 1}
+		src := randVec(r, n)
+		wire := c.NewEncoder(n, shape, 0).Encode(src)
+		dst := make([]float32, n)
+		if err := c.Decode(wire, n, shape, dst); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := range dst {
+			if math.IsNaN(float64(dst[i])) {
+				t.Fatalf("n=%d: NaN at %d", n, i)
+			}
+		}
+	}
+}
+
+// TestOneBitReducesQuantisationErrorVsRandomSign: property-style sanity
+// check that the decoded value correlates positively with the input.
+func TestOneBitCorrelation(t *testing.T) {
+	r := rng.New(14)
+	f := func(seed uint16) bool {
+		rr := r.Fork(uint64(seed))
+		n := 64
+		shape := Shape{Rows: 64, Cols: 1}
+		src := randVec(rr, n)
+		c := NewOneBitReshaped(64)
+		wire := c.NewEncoder(n, shape, 0).Encode(src)
+		dst := make([]float32, n)
+		if err := c.Decode(wire, n, shape, dst); err != nil {
+			return false
+		}
+		var dot float64
+		for i := range src {
+			dot += float64(src[i]) * float64(dst[i])
+		}
+		return dot > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOneBitWireOverheadExact pins down the wire layout arithmetic.
+func TestOneBitWireOverheadExact(t *testing.T) {
+	// 100 columns of height 3: 100 * (8 + 4) = 1200 bytes.
+	if got := (OneBit{}).EncodedBytes(300, Shape{Rows: 3, Cols: 100}); got != 1200 {
+		t.Errorf("3-row layout: got %d, want 1200", got)
+	}
+	// 2 columns of height 40: 2 * (8 + 4*ceil(40/32)) = 2*16 = 32.
+	if got := (OneBit{}).EncodedBytes(80, Shape{Rows: 40, Cols: 2}); got != 32 {
+		t.Errorf("40-row layout: got %d, want 32", got)
+	}
+	// Reshaped d=64 over 130 elems: 2*(8+8) + (8+4*ceil(2/32)) = 32+12.
+	if got := NewOneBitReshaped(64).EncodedBytes(130, Shape{}); got != 44 {
+		t.Errorf("reshaped partial: got %d, want 44", got)
+	}
+}
+
+func TestOneBitReshapedPanicsOnBadBucket(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewOneBitReshaped(0)
+}

@@ -1,0 +1,109 @@
+package quant
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseRoundTripsCodecNames: Parse(c.Name()) must reconstruct an
+// identical codec for every member of the paper ladder and the
+// extension set — this is what lets the framed wire format carry the
+// codec identity as a string.
+func TestParseRoundTripsCodecNames(t *testing.T) {
+	var all []Codec
+	all = append(all, PaperCodecs()...)
+	all = append(all, ExtensionCodecs()...)
+	for _, c := range all {
+		got, err := Parse(c.Name())
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.Name(), err)
+			continue
+		}
+		if got != c {
+			t.Errorf("Parse(%q) = %#v, want %#v", c.Name(), got, c)
+		}
+		if got.Name() != c.Name() {
+			t.Errorf("Parse(%q).Name() = %q", c.Name(), got.Name())
+		}
+	}
+}
+
+// TestParseAliases: the shorthand labels the paper's tables use resolve
+// to the codecs with the tuned default parameters, without duplicate
+// registry entries.
+func TestParseAliases(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Codec
+	}{
+		{"32bit", FP32{}},
+		{"fp32", FP32{}},
+		{"1bit", OneBit{}},
+		{"1bit*", NewOneBitReshaped(64)},
+		{"1bit*64", NewOneBitReshaped(64)},
+		{"1bit*512", NewOneBitReshaped(512)},
+		{"qsgd2", NewQSGD(2, 128, MaxNorm)},
+		{"qsgd4", NewQSGD(4, 512, MaxNorm)},
+		{"qsgd8", NewQSGD(8, 512, MaxNorm)},
+		{"qsgd16", NewQSGD(16, 8192, MaxNorm)},
+		{"qsgd4b512", NewQSGD(4, 512, MaxNorm)},
+		{"qsgd4b512mx", NewQSGD(4, 512, MaxNorm)},
+		{"qsgd4b512-max", NewQSGD(4, 512, MaxNorm)},
+		{"qsgd4b512-l2", NewQSGD(4, 512, TwoNorm)},
+		{"qsgd4b512-uni", NewQSGDScheme(4, 512, MaxNorm, Uniform)},
+		{"qsgd4b512-exp", NewQSGDScheme(4, 512, MaxNorm, Exponential)},
+		{"qsgd4b512-l2-uni", NewQSGDScheme(4, 512, TwoNorm, Uniform)},
+		{"qsgd2b64", NewQSGD(2, 64, MaxNorm)},
+		{"topk0.01", NewTopK(0.01)},
+		{"topk0.001", NewTopK(0.001)},
+		{"topk1", NewTopK(1)},
+	}
+	for _, tc := range cases {
+		got, err := Parse(tc.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("Parse(%q) = %#v, want %#v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestParseRejectsMalformedNames: bad names return errors, never panic.
+func TestParseRejectsMalformedNames(t *testing.T) {
+	bad := []string{
+		"", "bogus", "qsgd", "qsgd3", "qsgd4b", "qsgd4b0", "qsgd4b-12",
+		"qsgd4b512-wat", "qsgd4b512l3", "1bit*0", "1bit*-4", "1bit*x",
+		"topk", "topk0", "topk2", "topk-0.5", "topkx", "topkNaN",
+		"topk+Inf", "33bit",
+	}
+	for _, in := range bad {
+		if c, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) = %v, want error", in, c.Name())
+		}
+	}
+}
+
+// TestParseErrorListsNames: the error for an unknown family names the
+// known codec grammar samples, mirroring the old registry's error.
+func TestParseErrorListsNames(t *testing.T) {
+	_, err := Parse("bogus")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	for _, want := range []string{"32bit", "qsgd4b512", "1bit*64", "topk0.01"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse on a bad name did not panic")
+		}
+	}()
+	MustParse("qsgd3")
+}

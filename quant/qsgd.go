@@ -1,0 +1,366 @@
+package quant
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/rng"
+)
+
+// Norm selects the scaling factor QSGD normalises a bucket by (paper
+// §3.2.2): the bucket's maximum absolute value preserves more information
+// and gave the paper better accuracy, while the Euclidean norm yields
+// sparser quantised vectors and matches the original QSGD analysis.
+type Norm int
+
+const (
+	// MaxNorm scales by max|v_i| (infinity norm) — the paper's default.
+	MaxNorm Norm = iota
+	// TwoNorm scales by ‖v‖₂ as in the original QSGD paper.
+	TwoNorm
+)
+
+// String returns the norm's short label.
+func (n Norm) String() string {
+	if n == TwoNorm {
+		return "l2"
+	}
+	return "max"
+}
+
+// Scheme selects how quantisation levels are laid out (the paper
+// implements both, §3.2.2).
+type Scheme int
+
+const (
+	// SignMagnitude spends one bit on the sign and the rest on a level in
+	// [0, s] with s = 2^(bits−1) − 1 — the faithful QSGD construction.
+	SignMagnitude Scheme = iota
+	// Uniform divides [−scale, +scale] into 2^bits − 1 equal intervals
+	// whose endpoints are the levels.
+	Uniform
+	// Exponential places the positive levels at scale·2^{j−s}
+	// (logarithmic spacing), following the non-uniform level
+	// distributions the paper references for variance reduction (§2.3:
+	// "algorithms in which quantization levels are distributed to
+	// further minimize variance"; cf. ZipML and logarithmic data
+	// representations). The paper implemented such a variant for
+	// gradients and "does not observe significant improvement" — this
+	// codec lets that experiment be repeated.
+	Exponential
+)
+
+// String returns the scheme's short label.
+func (s Scheme) String() string {
+	switch s {
+	case Uniform:
+		return "uni"
+	case Exponential:
+		return "exp"
+	default:
+		return "sm"
+	}
+}
+
+// QSGD is the stochastic quantisation codec of Alistarh et al. (paper
+// §2.3): each bucket is scaled by its norm and every component is rounded
+// stochastically to one of s uniformly spaced levels such that the result
+// is unbiased (E[Q(v)] = v) with minimal variance. Unlike 1bitSGD, QSGD
+// needs no error feedback — unbiasedness alone guarantees convergence.
+//
+// Wire layout per bucket of c elements:
+//
+//	float32 scale | ⌈c·bits/32⌉ × uint32 packed codes
+//
+// Codes are bits wide, packed LSB-first; since bits ∈ {2,4,8,16} divides
+// 32, no code straddles a word — mirroring CNTK's packing of quantised
+// values into GPU-friendly integer words.
+type QSGD struct {
+	bits   int
+	bucket int
+	norm   Norm
+	scheme Scheme
+}
+
+// NewQSGD returns a sign-magnitude QSGD codec. bits must be 2, 4, 8 or
+// 16; bucket must be positive.
+func NewQSGD(bits, bucket int, norm Norm) QSGD {
+	return NewQSGDScheme(bits, bucket, norm, SignMagnitude)
+}
+
+// NewQSGDScheme returns a QSGD codec with an explicit level scheme.
+func NewQSGDScheme(bits, bucket int, norm Norm, scheme Scheme) QSGD {
+	switch bits {
+	case 2, 4, 8, 16:
+	default:
+		panic(fmt.Sprintf("quant: QSGD bits must be 2/4/8/16, got %d", bits))
+	}
+	if bucket <= 0 {
+		panic("quant: QSGD bucket must be positive")
+	}
+	return QSGD{bits: bits, bucket: bucket, norm: norm, scheme: scheme}
+}
+
+// Bits returns the per-component wire width, including the sign bit.
+func (q QSGD) Bits() int { return q.bits }
+
+// Bucket returns the bucket size.
+func (q QSGD) Bucket() int { return q.bucket }
+
+// Levels returns the number of positive quantisation levels s.
+func (q QSGD) Levels() int {
+	if q.scheme == Uniform {
+		return (1 << q.bits) - 2 // index range is [0, 2^bits-2]
+	}
+	return 1<<(q.bits-1) - 1
+}
+
+// Name implements Codec.
+func (q QSGD) Name() string {
+	name := fmt.Sprintf("qsgd%db%d", q.bits, q.bucket)
+	if q.norm != MaxNorm {
+		name += "-" + q.norm.String()
+	}
+	if q.scheme != SignMagnitude {
+		name += "-" + q.scheme.String()
+	}
+	return name
+}
+
+// GroupSize implements Codec.
+func (q QSGD) GroupSize(Shape) int { return q.bucket }
+
+// EncodedBytes implements Codec.
+func (q QSGD) EncodedBytes(n int, _ Shape) int {
+	if n == 0 {
+		return 0
+	}
+	full := n / q.bucket
+	bytes := full * (4 + 4*words32(q.bucket*q.bits))
+	if rem := n % q.bucket; rem > 0 {
+		bytes += 4 + 4*words32(rem*q.bits)
+	}
+	return bytes
+}
+
+// NewEncoder implements Codec.
+func (q QSGD) NewEncoder(n int, shape Shape, seed uint64) Encoder {
+	return &qsgdEncoder{
+		q:      q,
+		n:      n,
+		buf:    make([]byte, q.EncodedBytes(n, shape)),
+		rng:    rng.New(seed),
+		framer: newFramer(q, n, shape),
+	}
+}
+
+type qsgdEncoder struct {
+	q   QSGD
+	n   int
+	buf []byte
+	rng *rng.RNG
+	framer
+}
+
+// Encode implements Encoder.
+func (e *qsgdEncoder) Encode(src []float32) []byte {
+	if len(src) != e.n {
+		panic(fmt.Sprintf("quant: qsgd encoder got %d values, want %d", len(src), e.n))
+	}
+	q := e.q
+	s := float64(q.Levels())
+	off := 0
+	for start := 0; start < e.n; start += q.bucket {
+		end := start + q.bucket
+		if end > e.n {
+			end = e.n
+		}
+		c := end - start
+		grp := src[start:end]
+		scale := bucketScale(grp, q.norm)
+		binary.LittleEndian.PutUint32(e.buf[off:], math.Float32bits(scale))
+		off += 4
+		nw := words32(c * q.bits)
+		var word uint32
+		wi := 0
+		bitPos := 0
+		flush := func() {
+			binary.LittleEndian.PutUint32(e.buf[off+4*wi:], word)
+			word = 0
+			wi++
+			bitPos = 0
+		}
+		for i := 0; i < c; i++ {
+			var code uint32
+			if scale > 0 {
+				code = e.quantiseOne(grp[i], float64(scale), s)
+			}
+			word |= code << uint(bitPos)
+			bitPos += q.bits
+			if bitPos == 32 {
+				flush()
+			}
+		}
+		if bitPos > 0 {
+			flush()
+		}
+		if wi != nw {
+			panic("quant: qsgd internal packing drift")
+		}
+		off += 4 * nw
+	}
+	return e.buf
+}
+
+// EncodeTo implements Encoder.
+func (e *qsgdEncoder) EncodeTo(w io.Writer, src []float32) (int, error) {
+	return e.encodeTo(w, e.Encode(src))
+}
+
+// quantiseOne maps one value to its packed code using stochastic
+// rounding. scale is strictly positive.
+func (e *qsgdEncoder) quantiseOne(v float32, scale, s float64) uint32 {
+	if e.q.scheme == Uniform {
+		// Position in [0, s] across the symmetric interval.
+		x := (float64(v) + scale) / (2 * scale) * s
+		return uint32(stochasticRound(x, s, e.rng))
+	}
+	a := float64(v)
+	neg := a < 0
+	if neg {
+		a = -a
+	}
+	var lvl int
+	if e.q.scheme == Exponential {
+		lvl = expRound(a/scale, int(s), e.rng)
+	} else {
+		lvl = stochasticRound(a/scale*s, s, e.rng)
+	}
+	code := uint32(lvl)
+	if neg {
+		code |= 1 << uint(e.q.bits-1)
+	}
+	return code
+}
+
+// expLevel returns the exponential-scheme level value 2^{j−s} for
+// j ≥ 1, and 0 for j = 0.
+func expLevel(j, s int) float64 {
+	if j <= 0 {
+		return 0
+	}
+	return math.Ldexp(1, j-s)
+}
+
+// expRound rounds a ∈ [0, 1] to a level index in [0, s] on the
+// exponential grid {0, 2^{1−s}, …, ½, 1} such that the expectation of
+// the decoded value equals a (unbiased).
+func expRound(a float64, s int, r *rng.RNG) int {
+	if a <= 0 {
+		return 0
+	}
+	if a >= 1 {
+		return s
+	}
+	// Find j with level(j) ≤ a < level(j+1).
+	exp := math.Ilogb(a) // a ∈ [2^exp, 2^{exp+1})
+	j := exp + s
+	if j < 0 {
+		j = 0
+	}
+	lo, hi := expLevel(j, s), expLevel(j+1, s)
+	if r.Float64() < (a-lo)/(hi-lo) {
+		j++
+	}
+	return j
+}
+
+// stochasticRound rounds x ∈ [0, s] to an integer level in [0, s] such
+// that the expectation equals x: level ℓ = ⌊x⌋ is bumped to ℓ+1 with
+// probability x − ℓ. Values outside the range (floating-point spill) are
+// clamped.
+func stochasticRound(x, s float64, r *rng.RNG) int {
+	if x <= 0 {
+		return 0
+	}
+	if x >= s {
+		return int(s)
+	}
+	l := math.Floor(x)
+	if r.Float64() < x-l {
+		l++
+	}
+	return int(l)
+}
+
+// bucketScale computes the bucket's normalisation factor.
+func bucketScale(grp []float32, n Norm) float32 {
+	if n == TwoNorm {
+		var s float64
+		for _, v := range grp {
+			s += float64(v) * float64(v)
+		}
+		return float32(math.Sqrt(s))
+	}
+	var mx float32
+	for _, v := range grp {
+		if v < 0 {
+			v = -v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// Decode implements Codec.
+func (q QSGD) Decode(wire []byte, n int, shape Shape, dst []float32) error {
+	want := q.EncodedBytes(n, shape)
+	if len(wire) != want {
+		return fmt.Errorf("quant: qsgd wire length %d, want %d", len(wire), want)
+	}
+	if len(dst) != n {
+		return fmt.Errorf("quant: qsgd dst length %d, want %d", len(dst), n)
+	}
+	s := float32(q.Levels())
+	mask := uint32(1)<<uint(q.bits) - 1
+	signBit := uint32(1) << uint(q.bits-1)
+	lvlMask := signBit - 1
+	off := 0
+	for start := 0; start < n; start += q.bucket {
+		end := start + q.bucket
+		if end > n {
+			end = n
+		}
+		c := end - start
+		scale := math.Float32frombits(binary.LittleEndian.Uint32(wire[off:]))
+		off += 4
+		perWord := 32 / q.bits
+		for i := 0; i < c; i++ {
+			word := binary.LittleEndian.Uint32(wire[off+4*(i/perWord):])
+			code := (word >> (uint(i%perWord) * uint(q.bits))) & mask
+			var v float32
+			switch q.scheme {
+			case Uniform:
+				v = -scale + 2*scale*float32(code)/s
+			case Exponential:
+				v = scale * float32(expLevel(int(code&lvlMask), int(s)))
+				if code&signBit != 0 {
+					v = -v
+				}
+			default:
+				lvl := float32(code & lvlMask)
+				v = scale * lvl / s
+				if code&signBit != 0 {
+					v = -v
+				}
+			}
+			dst[start+i] = v
+		}
+		off += 4 * words32(c*q.bits)
+	}
+	return nil
+}

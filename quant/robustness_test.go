@@ -1,0 +1,153 @@
+package quant
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/rng"
+)
+
+// TestDecodeNeverPanicsOnRandomBytes: feeding correctly sized but
+// random wire buffers must decode to garbage values or fail with an
+// error — never panic or write out of bounds. (The aggregation layer
+// trusts codec output lengths, so codecs must be defensive about
+// content.)
+func TestDecodeNeverPanicsOnRandomBytes(t *testing.T) {
+	r := rng.New(60)
+	for _, c := range append(allCodecs(), NewTopK(0.1), NewTopK(1)) {
+		for trial := 0; trial < 30; trial++ {
+			n := 1 + r.Intn(600)
+			shape := Shape{Rows: 1 + r.Intn(40), Cols: 1 + r.Intn(20)}
+			want := c.EncodedBytes(n, shape)
+			wire := make([]byte, want)
+			for i := range wire {
+				wire[i] = byte(r.Uint32())
+			}
+			dst := make([]float32, n)
+			func() {
+				defer func() {
+					if p := recover(); p != nil {
+						t.Fatalf("%s: panic on random wire (n=%d shape=%v): %v",
+							c.Name(), n, shape, p)
+					}
+				}()
+				_ = c.Decode(wire, n, shape, dst) // error is acceptable
+			}()
+		}
+	}
+}
+
+// TestDecodeRejectsAllWrongLengths: every codec must reject buffers of
+// any length other than the exact one.
+func TestDecodeRejectsAllWrongLengths(t *testing.T) {
+	r := rng.New(61)
+	for _, c := range allCodecs() {
+		n := 100
+		shape := Shape{Rows: 10, Cols: 10}
+		want := c.EncodedBytes(n, shape)
+		for _, delta := range []int{-want, -7, -1, 1, 13} {
+			if want+delta < 0 {
+				continue
+			}
+			wire := make([]byte, want+delta)
+			for i := range wire {
+				wire[i] = byte(r.Uint32())
+			}
+			if err := c.Decode(wire, n, shape, make([]float32, n)); err == nil {
+				t.Errorf("%s: accepted wire of length %d (want %d)", c.Name(), want+delta, want)
+			}
+		}
+	}
+}
+
+// TestEncodedBytesAdditiveAcrossGroupBoundaries: cutting a vector at a
+// group boundary must not change the total wire size — the invariant
+// that makes reduce-and-broadcast's stripe accounting exact.
+func TestEncodedBytesAdditiveAcrossGroupBoundaries(t *testing.T) {
+	for _, c := range allCodecs() {
+		shape := Shape{Rows: 32, Cols: 100}
+		g := c.GroupSize(shape)
+		f := func(aRaw, bRaw uint8) bool {
+			a := int(aRaw%20) * g         // group-aligned prefix
+			b := int(bRaw%50)*g + g/2 + 1 // arbitrary tail
+			whole := c.EncodedBytes(a+b, shape)
+			split := c.EncodedBytes(a, shape) + c.EncodedBytes(b, shape)
+			return whole == split
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+// TestEncodedBytesMonotone: more elements never need fewer bytes.
+func TestEncodedBytesMonotone(t *testing.T) {
+	for _, c := range append(allCodecs(), NewTopK(0.05)) {
+		shape := Shape{Rows: 16, Cols: 64}
+		prev := -1
+		for n := 0; n <= 1024; n += 16 {
+			got := c.EncodedBytes(n, shape)
+			if got < prev {
+				t.Errorf("%s: EncodedBytes(%d)=%d < EncodedBytes(%d)=%d",
+					c.Name(), n, got, n-16, prev)
+			}
+			prev = got
+		}
+	}
+}
+
+// TestRoundtripArbitraryShapes: property test over random shapes and
+// contents — every codec must roundtrip without error and produce
+// finite values for finite inputs.
+func TestRoundtripArbitraryShapes(t *testing.T) {
+	r := rng.New(62)
+	f := func(seed uint16) bool {
+		rr := r.Fork(uint64(seed))
+		rows := 1 + rr.Intn(64)
+		cols := 1 + rr.Intn(16)
+		shape := Shape{Rows: rows, Cols: cols}
+		n := shape.Len()
+		src := make([]float32, n)
+		for i := range src {
+			src[i] = rr.Norm(3)
+		}
+		for _, c := range allCodecs() {
+			wire := c.NewEncoder(n, shape, uint64(seed)).Encode(src)
+			dst := make([]float32, n)
+			if err := c.Decode(wire, n, shape, dst); err != nil {
+				return false
+			}
+			for _, v := range dst {
+				if v != v { // NaN
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEncoderReusableAcrossManyRounds: encoders must stay correct over
+// long training runs (buffer reuse, residual growth).
+func TestEncoderReusableAcrossManyRounds(t *testing.T) {
+	r := rng.New(63)
+	const n = 320
+	shape := Shape{Rows: 32, Cols: 10}
+	for _, c := range allCodecs() {
+		enc := c.NewEncoder(n, shape, 1)
+		dst := make([]float32, n)
+		for round := 0; round < 200; round++ {
+			src := randVec(r, n)
+			wire := enc.Encode(src)
+			if len(wire) != c.EncodedBytes(n, shape) {
+				t.Fatalf("%s: wire size drifted at round %d", c.Name(), round)
+			}
+			if err := c.Decode(wire, n, shape, dst); err != nil {
+				t.Fatalf("%s: decode failed at round %d: %v", c.Name(), round, err)
+			}
+		}
+	}
+}

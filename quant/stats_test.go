@@ -1,0 +1,73 @@
+package quant
+
+import (
+	"testing"
+
+	"repro/rng"
+)
+
+func TestMeasureErrorFP32Lossless(t *testing.T) {
+	r := rng.New(70)
+	src := randVec(r, 512)
+	s := MeasureError(FP32{}, src, Shape{Rows: 512, Cols: 1}, 5, 1)
+	if s.RMSE != 0 || s.MeanAbsBias != 0 {
+		t.Fatalf("fp32 should be lossless: %+v", s)
+	}
+	if s.CompressionRatio != 1 {
+		t.Fatalf("fp32 ratio %v", s.CompressionRatio)
+	}
+}
+
+func TestMeasureErrorQSGDUnbiasedOverRounds(t *testing.T) {
+	r := rng.New(71)
+	src := randVec(r, 256)
+	shape := Shape{Rows: 256, Cols: 1}
+	s := MeasureError(NewQSGD(4, 128, MaxNorm), src, shape, 2000, 2)
+	if s.RMSE <= 0 {
+		t.Fatal("QSGD must have nonzero per-round error")
+	}
+	// Bias shrinks as 1/sqrt(rounds); with 2000 rounds it is small
+	// relative to the per-round RMSE.
+	if s.MeanAbsBias > s.RMSE/5 {
+		t.Fatalf("bias %v too large vs RMSE %v", s.MeanAbsBias, s.RMSE)
+	}
+}
+
+func TestMeasureErrorMoreBitsLessError(t *testing.T) {
+	r := rng.New(72)
+	src := randVec(r, 1024)
+	shape := Shape{Rows: 1024, Cols: 1}
+	prev := 1e9
+	for _, bits := range []int{2, 4, 8} {
+		s := MeasureError(NewQSGD(bits, 512, MaxNorm), src, shape, 20, 3)
+		if s.RMSE >= prev {
+			t.Fatalf("bits=%d: RMSE %v did not shrink", bits, s.RMSE)
+		}
+		prev = s.RMSE
+	}
+}
+
+func TestMeasureErrorOneBitBiasShrinksWithRounds(t *testing.T) {
+	// Error feedback makes the *long-run average* converge even though
+	// single rounds are heavily distorted.
+	r := rng.New(73)
+	src := randVec(r, 256)
+	shape := Shape{Rows: 64, Cols: 4}
+	short := MeasureError(NewOneBitReshaped(64), src, shape, 2, 4)
+	long := MeasureError(NewOneBitReshaped(64), src, shape, 400, 4)
+	if long.MeanAbsBias >= short.MeanAbsBias {
+		t.Fatalf("error feedback bias did not shrink: %v -> %v",
+			short.MeanAbsBias, long.MeanAbsBias)
+	}
+}
+
+func TestMeasureErrorDegenerate(t *testing.T) {
+	s := MeasureError(FP32{}, nil, Shape{}, 5, 0)
+	if s.CompressionRatio != 1 {
+		t.Fatal("empty input should be neutral")
+	}
+	s = MeasureError(FP32{}, []float32{1}, Shape{Rows: 1, Cols: 1}, 0, 0)
+	if s.RMSE != 0 {
+		t.Fatal("zero rounds should be neutral")
+	}
+}

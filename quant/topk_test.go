@@ -1,0 +1,225 @@
+package quant
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/rng"
+)
+
+func TestTopKWireSizeExact(t *testing.T) {
+	c := NewTopK(0.1)
+	shape := Shape{}
+	for _, n := range []int{1, 5, 10, 100, 1000, 1001} {
+		src := make([]float32, n)
+		wire := c.NewEncoder(n, shape, 0).Encode(src)
+		if len(wire) != c.EncodedBytes(n, shape) {
+			t.Fatalf("n=%d: wire %d, predicted %d", n, len(wire), c.EncodedBytes(n, shape))
+		}
+		k := int(math.Ceil(0.1 * float64(n)))
+		if k < 1 {
+			k = 1
+		}
+		if want := 4 + 8*k; len(wire) != want {
+			t.Fatalf("n=%d: wire %d, formula %d", n, len(wire), want)
+		}
+	}
+}
+
+func TestTopKSelectsLargest(t *testing.T) {
+	src := []float32{0.1, -5, 0.2, 3, -0.05, 0.3, -2, 0.01, 0.02, 0.03}
+	c := NewTopK(0.3) // k = 3
+	shape := Shape{}
+	wire := c.NewEncoder(len(src), shape, 0).Encode(src)
+	dst := make([]float32, len(src))
+	if err := c.Decode(wire, len(src), shape, dst); err != nil {
+		t.Fatal(err)
+	}
+	// Largest magnitudes are -5, 3, -2 at indices 1, 3, 6.
+	for i, v := range dst {
+		switch i {
+		case 1, 3, 6:
+			if v != src[i] {
+				t.Fatalf("index %d: got %v want %v", i, v, src[i])
+			}
+		default:
+			if v != 0 {
+				t.Fatalf("index %d: got %v want 0", i, v)
+			}
+		}
+	}
+}
+
+// TestTopKErrorFeedbackResidualBounded: with a constant gradient, the
+// undelivered mass per coordinate (cumulative input − cumulative
+// output, which equals the residual exactly) stays bounded by the
+// selection threshold — error feedback guarantees no coordinate is
+// starved indefinitely, only delayed in proportion to the magnitude
+// gap.
+func TestTopKErrorFeedbackResidualBounded(t *testing.T) {
+	const n = 100
+	src := make([]float32, n)
+	for i := range src {
+		src[i] = 0.01 * float32(i+1) // all positive, distinct
+	}
+	c := NewTopK(0.1)
+	shape := Shape{}
+	enc := c.NewEncoder(n, shape, 0)
+	dst := make([]float32, n)
+	sum := make([]float64, n)
+	const rounds = 200
+	for round := 0; round < rounds; round++ {
+		wire := enc.Encode(src)
+		if err := c.Decode(wire, n, shape, dst); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range dst {
+			sum[i] += float64(v)
+		}
+	}
+	// Steady-state analysis: with inflow Σsrc per round and k winners
+	// per round, the selection threshold settles at T = Σsrc/k ≈ 5.05,
+	// so no residual can exceed T plus one round of input.
+	var totalSrc float64
+	for _, v := range src {
+		totalSrc += float64(v)
+	}
+	threshold := totalSrc / 10 // k = density·n = 10
+	var totalUndelivered float64
+	for i := range sum {
+		want := float64(src[i]) * rounds
+		undelivered := want - sum[i]
+		totalUndelivered += undelivered
+		if math.Abs(undelivered) > threshold+1.5 {
+			t.Fatalf("coordinate %d: undelivered mass %v exceeds threshold %v",
+				i, undelivered, threshold)
+		}
+	}
+	// On average residuals sit well below the threshold.
+	if totalUndelivered > float64(n)*threshold*0.8 {
+		t.Fatalf("total undelivered %v implausibly high", totalUndelivered)
+	}
+}
+
+func TestTopKDeterministicWithTies(t *testing.T) {
+	src := []float32{1, 1, 1, 1, 1, 1, 1, 1}
+	c := NewTopK(0.25) // k = 2
+	shape := Shape{}
+	w1 := append([]byte(nil), c.NewEncoder(len(src), shape, 1).Encode(src)...)
+	w2 := append([]byte(nil), c.NewEncoder(len(src), shape, 2).Encode(src)...)
+	if string(w1) != string(w2) {
+		t.Fatal("tie-breaking is nondeterministic")
+	}
+	dst := make([]float32, len(src))
+	if err := c.Decode(w1, len(src), shape, dst); err != nil {
+		t.Fatal(err)
+	}
+	// Ties must prefer the lowest indices.
+	if dst[0] != 1 || dst[1] != 1 || dst[2] != 0 {
+		t.Fatalf("tie-break wrong: %v", dst)
+	}
+}
+
+func TestTopKDecodeRejectsBadWire(t *testing.T) {
+	c := NewTopK(0.5)
+	shape := Shape{}
+	src := []float32{1, 2, 3, 4}
+	wire := append([]byte(nil), c.NewEncoder(4, shape, 0).Encode(src)...)
+	if err := c.Decode(wire[:5], 4, shape, make([]float32, 4)); err == nil {
+		t.Error("expected length error")
+	}
+	// Corrupt the index to an out-of-range value.
+	wire[4] = 0xff
+	if err := c.Decode(wire, 4, shape, make([]float32, 4)); err == nil {
+		t.Error("expected index-range error")
+	}
+}
+
+func TestTopKCompressionRatio(t *testing.T) {
+	// Density 1% → 100× fewer values, but 8 bytes each: ratio ≈ 50×.
+	c := NewTopK(0.01)
+	shape := Shape{Rows: 10000, Cols: 1}
+	got := CompressionRatio(c, shape)
+	if got < 45 || got > 55 {
+		t.Fatalf("1%% density ratio %.1f, want ≈50", got)
+	}
+	// The paper's point: indices halve the win vs a dense 4-byte value.
+	dense := 1 / 0.01
+	if got > dense*0.6 {
+		t.Fatalf("ratio %.1f does not reflect index overhead", got)
+	}
+}
+
+func TestTopKDensityOnePassThrough(t *testing.T) {
+	r := rng.New(5)
+	c := NewTopK(1)
+	shape := Shape{}
+	src := randVec(r, 64)
+	wire := c.NewEncoder(64, shape, 0).Encode(src)
+	dst := make([]float32, 64)
+	if err := c.Decode(wire, 64, shape, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if src[i] != dst[i] {
+			t.Fatalf("density-1 roundtrip differs at %d", i)
+		}
+	}
+}
+
+func TestTopKPanicsOnBadDensity(t *testing.T) {
+	for _, d := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("density %v: expected panic", d)
+				}
+			}()
+			NewTopK(d)
+		}()
+	}
+}
+
+func TestSelectTopKAgainstSort(t *testing.T) {
+	r := rng.New(6)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(200)
+		vals := randVec(r, n)
+		k := 1 + r.Intn(n)
+		order := make([]int32, n)
+		for i := range order {
+			order[i] = int32(i)
+		}
+		selectTopK(order, vals, k)
+		got := append([]int32(nil), order[:k]...)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+
+		ref := make([]int32, n)
+		for i := range ref {
+			ref[i] = int32(i)
+		}
+		sort.Slice(ref, func(i, j int) bool { return greater(vals, ref[i], ref[j]) })
+		want := append([]int32(nil), ref[:k]...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (n=%d k=%d): selection %v != sort %v", trial, n, k, got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkEncodeTopK(b *testing.B) {
+	r := rng.New(1)
+	src := randVec(r, 1<<20)
+	c := NewTopK(0.01)
+	e := c.NewEncoder(len(src), Shape{}, 1)
+	b.SetBytes(int64(4 * len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Encode(src)
+	}
+}

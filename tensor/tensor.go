@@ -1,0 +1,292 @@
+// Package tensor implements dense float32 matrices and the numerical
+// kernels required by the neural-network substrate: matrix products
+// (including transposed variants), element-wise operations, reductions,
+// and the im2col/col2im transforms used by convolution layers.
+//
+// The package deliberately stays on float32: the paper's systems (CNTK on
+// CUDA) train in single precision, and the quantisation codecs in
+// internal/quant operate on float32 gradients. All kernels are written to
+// be cache-friendly (row-major, k-inner loop GEMM) but make no attempt to
+// use SIMD intrinsics or assembly: correctness and portability first.
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"repro/rng"
+)
+
+// Matrix is a dense, row-major float32 matrix. Element (i, j) lives at
+// Data[i*Cols+j]. The zero value is an empty matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New returns a zeroed rows×cols matrix. It panics if either dimension is
+// negative.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data as a rows×cols matrix without copying. It panics if
+// len(data) != rows*cols.
+func FromSlice(rows, cols int, data []float32) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Len returns the number of elements.
+func (m *Matrix) Len() int { return m.Rows * m.Cols }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// CopyFrom copies src's contents into m. The shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: CopyFrom shape mismatch %dx%d vs %dx%d",
+			m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	copy(m.Data, src.Data)
+}
+
+// Zero sets every element to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float32) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// FillNorm fills m with draws from N(0, std²) using r.
+func (m *Matrix) FillNorm(r *rng.RNG, std float32) {
+	for i := range m.Data {
+		m.Data[i] = r.Norm(std)
+	}
+}
+
+// FillUniform fills m with draws from U[-a, a) using r.
+func (m *Matrix) FillUniform(r *rng.RNG, a float32) {
+	for i := range m.Data {
+		m.Data[i] = (r.Float32()*2 - 1) * a
+	}
+}
+
+// Scale multiplies every element by a.
+func (m *Matrix) Scale(a float32) {
+	for i := range m.Data {
+		m.Data[i] *= a
+	}
+}
+
+// Add accumulates src into m element-wise. Shapes must match.
+func (m *Matrix) Add(src *Matrix) {
+	if m.Len() != src.Len() {
+		panic("tensor: Add size mismatch")
+	}
+	for i, v := range src.Data {
+		m.Data[i] += v
+	}
+}
+
+// AddScaled accumulates a*src into m element-wise (axpy).
+func (m *Matrix) AddScaled(a float32, src *Matrix) {
+	if m.Len() != src.Len() {
+		panic("tensor: AddScaled size mismatch")
+	}
+	for i, v := range src.Data {
+		m.Data[i] += a * v
+	}
+}
+
+// Sum returns the sum of all elements (accumulated in float64 to limit
+// rounding drift on large matrices).
+func (m *Matrix) Sum() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += float64(v)
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of the matrix viewed as a vector.
+func (m *Matrix) Norm2() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute element value.
+func (m *Matrix) MaxAbs() float32 {
+	var mx float32
+	for _, v := range m.Data {
+		if v < 0 {
+			v = -v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// Row returns a view (no copy) of row i as a slice of length Cols.
+func (m *Matrix) Row(i int) []float32 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// ArgMaxRow returns the column index of the largest value in row i.
+func (m *Matrix) ArgMaxRow(i int) int {
+	row := m.Row(i)
+	best, bestV := 0, row[0]
+	for j, v := range row {
+		if v > bestV {
+			best, bestV = j, v
+		}
+	}
+	return best
+}
+
+// Equal reports whether m and other have identical shape and elements
+// within tolerance eps.
+func (m *Matrix) Equal(other *Matrix, eps float32) bool {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		d := v - other.Data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact description (shape only, to keep logs sane).
+func (m *Matrix) String() string {
+	return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
+}
+
+// MatMul computes dst = a × b. dst must be pre-allocated with shape
+// a.Rows×b.Cols and must not alias a or b. It panics on shape mismatch.
+func MatMul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch (%dx%d)*(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	dst.Zero()
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : k*n+n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulAddBias computes dst = a × b and then adds bias (a 1×b.Cols row
+// vector) to every row of dst.
+func MatMulAddBias(dst, a, b, bias *Matrix) {
+	MatMul(dst, a, b)
+	if bias.Len() != dst.Cols {
+		panic("tensor: MatMulAddBias bias size mismatch")
+	}
+	for i := 0; i < dst.Rows; i++ {
+		row := dst.Row(i)
+		for j := range row {
+			row[j] += bias.Data[j]
+		}
+	}
+}
+
+// MatMulTransA computes dst = aᵀ × b where a is stored untransposed.
+// dst shape must be a.Cols×b.Cols.
+func MatMulTransA(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch (%dx%d)ᵀ*(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	dst.Zero()
+	n := b.Cols
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Data[k*n : k*n+n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.Data[i*n : i*n+n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransB computes dst = a × bᵀ where b is stored untransposed.
+// dst shape must be a.Rows×b.Rows.
+func MatMulTransB(dst, a, b *Matrix) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch (%dx%d)*(%dx%d)ᵀ->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float32
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			drow[j] = s
+		}
+	}
+}
+
+// Transpose returns a new matrix that is the transpose of m.
+func Transpose(m *Matrix) *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
