@@ -1,0 +1,479 @@
+// Package cluster is the multi-process runtime of the reproduction: it
+// turns N independent OS processes — one per worker, possibly on
+// different machines — into the K-peer mesh the aggregation primitives
+// in repro/comm run over. PR 1's self-describing framed wire format
+// means TCP peers can decode gradients with no shared configuration;
+// this package supplies the remaining pieces, rendezvous and
+// capability exchange:
+//
+//   - Rank 0 (the coordinator) listens on a well-known address; every
+//     other rank dials in and sends a versioned hello carrying its
+//     rank, the world size it expects, the address of its own mesh
+//     listener, and the gradient codec names it accepts.
+//   - The coordinator validates the hellos (protocol version, rank
+//     uniqueness, world agreement, parseable codec names), negotiates
+//     the session codec — the cheapest codec every peer accepts, with
+//     "32bit" as the floor (see Negotiate) — and broadcasts the
+//     membership table.
+//   - Every pair of ranks then establishes its duplex TCP link (the
+//     higher rank dials the lower rank's mesh listener), and each
+//     process wraps its local connection ends into a comm.RemoteFabric
+//     — the same single-rank Transport that comm.TCPFabric builds K of
+//     on loopback, so the trainer code cannot tell a simulated mesh
+//     from a deployed one.
+//
+// The result is a Session: rank, world size, negotiated codec and a
+// ready Transport. repro/lpsgd exposes it as
+// lpsgd.WithCluster(addr, rank, world), and cmd/lpsgd-worker is the
+// process you actually launch.
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/comm"
+	"repro/quant"
+)
+
+// Config describes one rank's view of a rendezvous.
+type Config struct {
+	// Addr is the coordinator's rendezvous address. Rank 0 listens on
+	// it; every other rank dials it.
+	Addr string
+	// Rank is this process's rank in [0, World).
+	Rank int
+	// World is the total number of worker processes.
+	World int
+	// Accept lists the gradient codec names (quant.Parse grammar) this
+	// rank is willing to decode. The Floor codec "32bit" is always
+	// implicitly accepted. Empty means floor-only.
+	Accept []string
+	// Timeout bounds every handshake step (default 30s). It does not
+	// apply to the training traffic that follows.
+	Timeout time.Duration
+}
+
+const defaultTimeout = 30 * time.Second
+
+// handshakeGrace is the per-connection budget for the first message of
+// an untrusted connection (a hello on the rendezvous port, a preamble
+// on a mesh port). Real peers write it immediately after dialling; a
+// silent stray — a port scanner, a health probe — must not hold the
+// serialized accept loop for the whole rendezvous deadline and starve
+// the real ranks waiting in the listen backlog. A variable so tests
+// can shrink it.
+var handshakeGrace = 5 * time.Second
+
+// graceDeadline returns the nearer of the overall deadline and one
+// handshake grace from now.
+func graceDeadline(deadline time.Time) time.Time {
+	if g := time.Now().Add(handshakeGrace); g.Before(deadline) {
+		return g
+	}
+	return deadline
+}
+
+func (c Config) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return defaultTimeout
+}
+
+func (c Config) validate() error {
+	if c.World <= 0 {
+		return fmt.Errorf("cluster: world size must be positive, got %d", c.World)
+	}
+	if c.Rank < 0 || c.Rank >= c.World {
+		return fmt.Errorf("cluster: rank %d outside world of %d", c.Rank, c.World)
+	}
+	if c.Addr == "" {
+		return fmt.Errorf("cluster: rendezvous address is required")
+	}
+	for _, name := range c.Accept {
+		if _, err := quant.Parse(name); err != nil {
+			return fmt.Errorf("cluster: accepted codec: %w", err)
+		}
+	}
+	return nil
+}
+
+// Session is one rank's membership in a running cluster: its identity,
+// the codec the rendezvous negotiated, and the established mesh.
+type Session struct {
+	rank, world int
+	codecName   string
+	codec       quant.Codec
+	fabric      *comm.RemoteFabric
+	peers       []string
+}
+
+// Rank returns this process's rank.
+func (s *Session) Rank() int { return s.rank }
+
+// World returns the number of worker processes.
+func (s *Session) World() int { return s.world }
+
+// CodecName returns the negotiated codec's canonical name.
+func (s *Session) CodecName() string { return s.codecName }
+
+// Codec returns the negotiated gradient codec.
+func (s *Session) Codec() quant.Codec { return s.codec }
+
+// Fabric returns the established mesh transport. The session owns it;
+// Close tears it down.
+func (s *Session) Fabric() *comm.RemoteFabric { return s.fabric }
+
+// Peers returns the mesh addresses of all ranks (index = rank).
+func (s *Session) Peers() []string { return append([]string(nil), s.peers...) }
+
+// Close tears the mesh down. Peers blocked in Recv observe the link
+// loss as an error on their side.
+func (s *Session) Close() error { return s.fabric.Close() }
+
+// Join performs the rendezvous for one rank and blocks until the whole
+// mesh is established. Rank 0 listens on cfg.Addr and coordinates;
+// every other rank dials it. For rank 0 with a ":0" address, use
+// NewCoordinator first to learn the bound address before spawning the
+// other ranks.
+func Join(cfg Config) (*Session, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Rank == 0 {
+		coord, err := NewCoordinator(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return coord.Join()
+	}
+	return joinWorker(cfg)
+}
+
+// Coordinator owns the rendezvous listener of rank 0 between "start
+// listening" and "everyone joined" — the window a launcher needs to
+// learn the bound address (Addr) and spawn the other ranks.
+type Coordinator struct {
+	cfg Config
+	ln  net.Listener
+}
+
+// NewCoordinator validates the configuration (which must be rank 0) and
+// starts listening on cfg.Addr immediately, so workers spawned after it
+// returns can never hit connection-refused.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Rank != 0 {
+		return nil, fmt.Errorf("cluster: the coordinator is rank 0, got rank %d", cfg.Rank)
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: rendezvous listen: %w", err)
+	}
+	return &Coordinator{cfg: cfg, ln: ln}, nil
+}
+
+// Addr returns the bound rendezvous address — pass it to the other
+// ranks when cfg.Addr used port 0.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Close abandons a rendezvous before Join.
+func (c *Coordinator) Close() error { return c.ln.Close() }
+
+// Join runs the coordinator's side of the rendezvous: collect one
+// hello per rank, negotiate the codec, broadcast the membership table,
+// establish the mesh, and return rank 0's session. The rendezvous
+// listener is closed when Join returns, successfully or not; training
+// traffic flows over the mesh links only.
+func (c *Coordinator) Join() (*Session, error) {
+	defer c.ln.Close()
+	cfg := c.cfg
+	deadline := time.Now().Add(cfg.timeout())
+
+	accepts := make([][]string, cfg.World)
+	addrs := make([]string, cfg.World)
+	accepts[0] = cfg.Accept
+
+	// Phase 1: collect one hello per rank. A malformed or conflicting
+	// hello aborts the whole rendezvous — a cluster that cannot agree on
+	// its own membership must not train — but the offender is told why.
+	rendConns := make([]net.Conn, cfg.World)
+	defer func() {
+		for _, conn := range rendConns {
+			if conn != nil {
+				conn.Close()
+			}
+		}
+	}()
+	if tl, ok := c.ln.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
+	for joined := 1; joined < cfg.World; {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: rendezvous accept (have %d of %d ranks): %w",
+				joined, cfg.World, err)
+		}
+		conn.SetDeadline(graceDeadline(deadline))
+		h, err := readHello(conn)
+		conn.SetDeadline(deadline) // the welcome write gets the full window
+		if err != nil {
+			// Garbage on the port — a scanner, a liveness probe, a
+			// disconnect — is not a cluster member failing; drop it and
+			// keep accepting until the deadline.
+			writeReject(conn, err.Error())
+			conn.Close()
+			continue
+		}
+		// A well-formed hello that conflicts with the cluster's own
+		// configuration (wrong world, duplicate or out-of-range rank,
+		// unusable codec) is a real misconfiguration: a cluster that
+		// cannot agree on its own membership must not train.
+		if err := c.checkHello(h, rendConns); err != nil {
+			writeReject(conn, err.Error())
+			conn.Close()
+			return nil, fmt.Errorf("cluster: rejected hello: %w", err)
+		}
+		rendConns[h.Rank] = conn
+		accepts[h.Rank] = h.Accept
+		addrs[h.Rank] = h.MeshAddr
+		joined++
+	}
+
+	// The coordinator's mesh listener binds the interface the workers
+	// actually reached it through (the local end of any rendezvous
+	// connection), so the advertised address stays routable even when
+	// the rendezvous listener is bound to a wildcard like ":7070".
+	meshRef := c.ln.Addr()
+	for _, conn := range rendConns {
+		if conn != nil {
+			meshRef = conn.LocalAddr()
+			break
+		}
+	}
+	meshLn, err := listenMesh(meshRef)
+	if err != nil {
+		return nil, err
+	}
+	defer meshLn.Close()
+	addrs[0] = meshLn.Addr().String()
+
+	// Phase 2: negotiate the session codec over every rank's accepted
+	// set, the coordinator's own included.
+	codecName, err := Negotiate(accepts...)
+	if err != nil {
+		for _, conn := range rendConns {
+			if conn != nil {
+				writeReject(conn, err.Error())
+			}
+		}
+		return nil, err
+	}
+
+	// Phase 3: broadcast the membership table.
+	for rank := 1; rank < cfg.World; rank++ {
+		if err := writeWelcome(rendConns[rank], welcome{Codec: codecName, Addrs: addrs}); err != nil {
+			return nil, fmt.Errorf("cluster: welcome rank %d: %w", rank, err)
+		}
+	}
+
+	// Phase 4: establish the mesh. Rank 0 is the lowest rank, so it
+	// only accepts: one duplex link from every other rank.
+	conns := make([]net.Conn, cfg.World)
+	if err := acceptMeshLinks(meshLn, 0, cfg.World, cfg.World-1, deadline, conns); err != nil {
+		closeConns(conns)
+		return nil, err
+	}
+	return newSession(cfg, codecName, addrs, conns)
+}
+
+// checkHello validates one worker's hello against the coordinator's
+// configuration and the ranks already joined.
+func (c *Coordinator) checkHello(h hello, rendConns []net.Conn) error {
+	if h.World != c.cfg.World {
+		return fmt.Errorf("cluster: rank %d expects a world of %d, coordinator has %d",
+			h.Rank, h.World, c.cfg.World)
+	}
+	if h.Rank <= 0 || h.Rank >= c.cfg.World {
+		return fmt.Errorf("cluster: hello claims rank %d outside (0, %d)", h.Rank, c.cfg.World)
+	}
+	if rendConns[h.Rank] != nil {
+		return fmt.Errorf("cluster: rank %d joined twice", h.Rank)
+	}
+	if h.MeshAddr == "" {
+		return fmt.Errorf("cluster: rank %d advertises no mesh address", h.Rank)
+	}
+	for _, name := range h.Accept {
+		if _, err := quant.Parse(name); err != nil {
+			return fmt.Errorf("cluster: rank %d: %w", h.Rank, err)
+		}
+	}
+	return nil
+}
+
+// joinWorker runs the non-coordinator side of the rendezvous.
+func joinWorker(cfg Config) (*Session, error) {
+	deadline := time.Now().Add(cfg.timeout())
+	conn, err := dialCoordinator(cfg.Addr, deadline)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(deadline)
+
+	// The mesh listener binds the interface this host reaches the
+	// coordinator through, so the advertised address is routable for
+	// every peer that can also reach the coordinator.
+	meshLn, err := listenMesh(conn.LocalAddr())
+	if err != nil {
+		return nil, err
+	}
+	defer meshLn.Close()
+
+	err = writeHello(conn, hello{
+		Rank:     cfg.Rank,
+		World:    cfg.World,
+		MeshAddr: meshLn.Addr().String(),
+		Accept:   cfg.Accept,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: send hello: %w", err)
+	}
+	wel, err := readWelcome(conn)
+	if err != nil {
+		return nil, err
+	}
+	if len(wel.Addrs) != cfg.World {
+		return nil, fmt.Errorf("cluster: membership table has %d ranks, want %d",
+			len(wel.Addrs), cfg.World)
+	}
+
+	// Mesh: dial every lower rank, accept from every higher rank.
+	conns := make([]net.Conn, cfg.World)
+	for p := 0; p < cfg.Rank; p++ {
+		pc, err := net.DialTimeout("tcp", wel.Addrs[p], time.Until(deadline))
+		if err != nil {
+			closeConns(conns)
+			return nil, fmt.Errorf("cluster: dial rank %d at %s: %w", p, wel.Addrs[p], err)
+		}
+		pc.SetDeadline(deadline)
+		if err := writeMeshPreamble(pc, cfg.Rank, p); err != nil {
+			pc.Close()
+			closeConns(conns)
+			return nil, fmt.Errorf("cluster: mesh preamble to rank %d: %w", p, err)
+		}
+		conns[p] = pc
+	}
+	if err := acceptMeshLinks(meshLn, cfg.Rank, cfg.World, cfg.World-1-cfg.Rank, deadline, conns); err != nil {
+		closeConns(conns)
+		return nil, err
+	}
+	return newSession(cfg, wel.Codec, wel.Addrs, conns)
+}
+
+// dialCoordinator dials the rendezvous address, retrying until the
+// deadline: ranks are launched independently (shell jobs, init
+// systems, schedulers), so workers routinely come up before the
+// coordinator listens and a connection-refused must mean "not yet",
+// not "never".
+func dialCoordinator(addr string, deadline time.Time) (net.Conn, error) {
+	const retryEvery = 100 * time.Millisecond
+	var lastErr error
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, fmt.Errorf("cluster: dial coordinator %s: %w", addr, lastErr)
+		}
+		conn, err := net.DialTimeout("tcp", addr, remaining)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		time.Sleep(min(retryEvery, time.Until(deadline)))
+	}
+}
+
+// acceptMeshLinks accepts mesh connections on ln until `need` valid
+// links have arrived, each opened by a higher rank dialling `local`,
+// and slots the connections into conns by originating rank. Strays —
+// bad preambles, duplicate or impossible claims — are dropped, not
+// fatal: an ephemeral mesh port is as exposed to scanners as the
+// rendezvous port, and the deadline still bounds the wait for the real
+// peers.
+func acceptMeshLinks(ln net.Listener, local, world, need int, deadline time.Time, conns []net.Conn) error {
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
+	for have := 0; have < need; {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("cluster: rank %d mesh accept (have %d of %d links): %w",
+				local, have, need, err)
+		}
+		conn.SetDeadline(graceDeadline(deadline))
+		from, to, err := readMeshPreamble(conn)
+		if err != nil || to != local || from <= local || from >= world || conns[from] != nil {
+			conn.Close()
+			continue
+		}
+		conn.SetDeadline(deadline)
+		conns[from] = conn
+		have++
+	}
+	return nil
+}
+
+// newSession finalises a rendezvous: clears the handshake deadlines and
+// wraps the mesh into the local rank's Transport.
+func newSession(cfg Config, codecName string, addrs []string, conns []net.Conn) (*Session, error) {
+	codec, err := quant.Parse(codecName)
+	if err != nil {
+		closeConns(conns)
+		return nil, fmt.Errorf("cluster: negotiated codec: %w", err)
+	}
+	for _, conn := range conns {
+		if conn != nil {
+			conn.SetDeadline(time.Time{})
+		}
+	}
+	fabric, err := comm.NewRemoteFabric(cfg.Rank, cfg.World, conns)
+	if err != nil {
+		closeConns(conns)
+		return nil, err
+	}
+	return &Session{
+		rank:      cfg.Rank,
+		world:     cfg.World,
+		codecName: codecName,
+		codec:     codec,
+		fabric:    fabric,
+		peers:     addrs,
+	}, nil
+}
+
+// listenMesh opens the per-rank mesh listener on an ephemeral port of
+// the host in ref (the interface this rank is reachable through),
+// falling back to loopback when ref is unspecified.
+func listenMesh(ref net.Addr) (net.Listener, error) {
+	host := "127.0.0.1"
+	if ta, ok := ref.(*net.TCPAddr); ok && ta != nil && ta.IP != nil && !ta.IP.IsUnspecified() {
+		host = ta.IP.String()
+	}
+	ln, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: mesh listen on %s: %w", host, err)
+	}
+	return ln, nil
+}
+
+func closeConns(conns []net.Conn) {
+	for _, c := range conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+}

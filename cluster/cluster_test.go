@@ -1,0 +1,362 @@
+package cluster
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/quant"
+)
+
+// TestNegotiateMatrix covers the advertised-set matrix the issue asks
+// for: disjoint, subset, empty, and the 32bit floor.
+func TestNegotiateMatrix(t *testing.T) {
+	cases := []struct {
+		name    string
+		accepts [][]string
+		want    string
+	}{
+		{"no peers", nil, "32bit"},
+		{"all empty", [][]string{{}, {}}, "32bit"},
+		{"one empty", [][]string{{"qsgd4b512"}, {}}, "32bit"},
+		{"disjoint", [][]string{{"qsgd4b512"}, {"1bit"}}, "32bit"},
+		{"identical", [][]string{{"qsgd4b512"}, {"qsgd4b512"}}, "qsgd4b512"},
+		{"subset", [][]string{{"qsgd4b512", "qsgd8b512", "1bit"}, {"qsgd8b512"}}, "qsgd8b512"},
+		{"cheapest wins", [][]string{
+			{"qsgd8b512", "qsgd2b128", "qsgd16"},
+			{"qsgd2b128", "qsgd8b512"},
+			{"qsgd16", "qsgd8b512", "qsgd2b128"},
+		}, "qsgd2b128"},
+		{"floor beats nothing shared", [][]string{{"topk0.01"}, {"qsgd2b128"}}, "32bit"},
+		{"explicit 32bit only", [][]string{{"32bit"}, {"32bit"}}, "32bit"},
+		// "qsgd4" and "qsgd4b512" are the same codec under the paper's
+		// default bucket; canonicalisation must let them intersect.
+		{"canonical aliases", [][]string{{"qsgd4"}, {"qsgd4b512"}}, "qsgd4b512"},
+		{"fp32 alias", [][]string{{"fp32"}, {"32bit"}}, "32bit"},
+		// The floor is chosen even when something pricier is shared: a
+		// codec is only worth negotiating if it beats full precision.
+		{"sparse cheaper than dense", [][]string{
+			{"topk0.001", "qsgd8b512"}, {"topk0.001", "qsgd8b512"}}, "topk0.001"},
+	}
+	for _, tc := range cases {
+		got, err := Negotiate(tc.accepts...)
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s: negotiated %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestNegotiateRejectsUnknownCodec(t *testing.T) {
+	if _, err := Negotiate([]string{"qsgd4b512"}, []string{"qsgd3"}); err == nil {
+		t.Fatal("unparseable advertisement must be an error")
+	}
+	if _, err := Negotiate([]string{"florp"}); err == nil {
+		t.Fatal("unknown codec family must be an error")
+	}
+}
+
+// TestNegotiatedCodecAlwaysParses: whatever Negotiate returns must be
+// constructible — the session builds its plan from this name.
+func TestNegotiatedCodecAlwaysParses(t *testing.T) {
+	sets := [][]string{
+		{"qsgd4b512", "1bit*64", "topk0.01"},
+		{"1bit*64", "qsgd4b512"},
+	}
+	name, err := Negotiate(sets...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := quant.Parse(name); err != nil {
+		t.Fatalf("negotiated %q does not parse: %v", name, err)
+	}
+}
+
+// joinAll runs a whole world of ranks as goroutines over loopback and
+// returns their sessions.
+func joinAll(t *testing.T, world int, accepts [][]string) []*Session {
+	t.Helper()
+	coord, err := NewCoordinator(Config{
+		Addr:    "127.0.0.1:0",
+		World:   world,
+		Accept:  accepts[0],
+		Timeout: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := make([]*Session, world)
+	errs := make([]error, world)
+	var wg sync.WaitGroup
+	for rank := 1; rank < world; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			sessions[rank], errs[rank] = Join(Config{
+				Addr:    coord.Addr(),
+				Rank:    rank,
+				World:   world,
+				Accept:  accepts[rank],
+				Timeout: 20 * time.Second,
+			})
+		}(rank)
+	}
+	sessions[0], errs[0] = coord.Join()
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, s := range sessions {
+			s.Close()
+		}
+	})
+	return sessions
+}
+
+// TestRendezvousThreeRanks: a full three-rank rendezvous over loopback
+// — every rank gets the same negotiated codec and a working mesh.
+func TestRendezvousThreeRanks(t *testing.T) {
+	sessions := joinAll(t, 3, [][]string{
+		{"qsgd4b512", "1bit"},
+		{"qsgd4b512", "topk0.01"},
+		{"1bit*64", "qsgd4b512"},
+	})
+	for rank, s := range sessions {
+		if s.Rank() != rank || s.World() != 3 {
+			t.Fatalf("rank %d session claims rank %d of %d", rank, s.Rank(), s.World())
+		}
+		if s.CodecName() != "qsgd4b512" {
+			t.Fatalf("rank %d negotiated %q, want qsgd4b512", rank, s.CodecName())
+		}
+		if s.Codec().Name() != "qsgd4b512" {
+			t.Fatalf("rank %d codec object is %q", rank, s.Codec().Name())
+		}
+		if len(s.Peers()) != 3 {
+			t.Fatalf("rank %d sees %d peers", rank, len(s.Peers()))
+		}
+	}
+	// Exercise every directed link of the mesh.
+	var wg sync.WaitGroup
+	failures := make(chan string, 9)
+	for from := 0; from < 3; from++ {
+		for to := 0; to < 3; to++ {
+			if from == to {
+				continue
+			}
+			if err := sessions[from].Fabric().Send(from, to, []byte{byte(10*from + to)}); err != nil {
+				t.Fatalf("send %d->%d: %v", from, to, err)
+			}
+			wg.Add(1)
+			go func(from, to int) {
+				defer wg.Done()
+				got, err := sessions[to].Fabric().Recv(from, to)
+				if err != nil || len(got) != 1 || got[0] != byte(10*from+to) {
+					failures <- strings.Join([]string{"bad message on link"}, " ")
+				}
+			}(from, to)
+		}
+	}
+	wg.Wait()
+	close(failures)
+	for f := range failures {
+		t.Fatal(f)
+	}
+}
+
+// TestRendezvousWorldOfOne: the degenerate single-process cluster still
+// yields a usable session (the trainer treats it as K=1).
+func TestRendezvousWorldOfOne(t *testing.T) {
+	s, err := Join(Config{Addr: "127.0.0.1:0", Rank: 0, World: 1, Accept: []string{"1bit"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.World() != 1 || s.CodecName() != "1bit" {
+		t.Fatalf("got world %d codec %q", s.World(), s.CodecName())
+	}
+}
+
+// TestRendezvousRejectsMalformedHello: garbage on the rendezvous port
+// is rejected — the offender is told and dropped — without sinking the
+// rendezvous for the real ranks.
+func TestRendezvousRejectsMalformedHello(t *testing.T) {
+	coord, err := NewCoordinator(Config{
+		Addr: "127.0.0.1:0", World: 2, Timeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joinErr := make(chan error, 1)
+	go func() {
+		s, err := coord.Join()
+		if s != nil {
+			defer s.Close()
+		}
+		joinErr <- err
+	}()
+
+	// A stray connection speaking the wrong protocol entirely.
+	conn, err := net.Dial("tcp", coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET / HTTP/1.1\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	// The offender must be answered with a rejection, not a welcome.
+	if _, err := readWelcome(conn); err == nil {
+		t.Fatal("a malformed hello must not receive a welcome")
+	}
+
+	// The real rank 1 still joins and the rendezvous completes.
+	s, err := Join(Config{
+		Addr: coord.Addr(), Rank: 1, World: 2, Timeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("real worker was sunk by the stray connection: %v", err)
+	}
+	defer s.Close()
+	select {
+	case err := <-joinErr:
+		if err != nil {
+			t.Fatalf("coordinator failed despite a valid membership: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("coordinator hung")
+	}
+}
+
+// TestRendezvousSurvivesSilentStray: a connection that never sends a
+// hello (a scanner, a health probe) must neither sink the rendezvous
+// nor hold the accept loop long enough to starve the real ranks.
+func TestRendezvousSurvivesSilentStray(t *testing.T) {
+	oldGrace := handshakeGrace
+	handshakeGrace = 200 * time.Millisecond
+	defer func() { handshakeGrace = oldGrace }()
+
+	coord, err := NewCoordinator(Config{
+		Addr: "127.0.0.1:0", World: 2, Timeout: 15 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joinErr := make(chan error, 1)
+	go func() {
+		s, err := coord.Join()
+		if s != nil {
+			defer s.Close()
+		}
+		joinErr <- err
+	}()
+
+	// The stray connects first and says nothing.
+	stray, err := net.Dial("tcp", coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stray.Close()
+
+	start := time.Now()
+	s, err := Join(Config{
+		Addr: coord.Addr(), Rank: 1, World: 2, Timeout: 15 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("real worker was sunk by the silent stray: %v", err)
+	}
+	defer s.Close()
+	if waited := time.Since(start); waited > 10*time.Second {
+		t.Fatalf("silent stray held the rendezvous for %v", waited)
+	}
+	if err := <-joinErr; err != nil {
+		t.Fatalf("coordinator failed: %v", err)
+	}
+}
+
+// TestRendezvousRejectsWorldMismatch: a worker configured for a
+// different world size is turned away with a reason.
+func TestRendezvousRejectsWorldMismatch(t *testing.T) {
+	coord, err := NewCoordinator(Config{
+		Addr: "127.0.0.1:0", World: 2, Timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joinErr := make(chan error, 1)
+	go func() {
+		s, err := coord.Join()
+		if s != nil {
+			s.Close()
+		}
+		joinErr <- err
+	}()
+	_, werr := joinWorker(Config{
+		Addr: coord.Addr(), Rank: 1, World: 5, Timeout: 5 * time.Second,
+	})
+	if werr == nil {
+		t.Fatal("worker with mismatched world size must be rejected")
+	}
+	if !strings.Contains(werr.Error(), "world") {
+		t.Fatalf("rejection should name the world mismatch, got: %v", werr)
+	}
+	if err := <-joinErr; err == nil {
+		t.Fatal("coordinator must fail the rendezvous too")
+	}
+}
+
+// TestRendezvousRejectsDuplicateRank: two workers claiming the same
+// rank cannot both join.
+func TestRendezvousRejectsDuplicateRank(t *testing.T) {
+	coord, err := NewCoordinator(Config{
+		Addr: "127.0.0.1:0", World: 3, Timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joinErr := make(chan error, 1)
+	go func() {
+		s, err := coord.Join()
+		if s != nil {
+			s.Close()
+		}
+		joinErr <- err
+	}()
+	// Two hellos for rank 1; the second must sink the rendezvous.
+	for i := 0; i < 2; i++ {
+		conn, err := net.Dial("tcp", coord.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if err := writeHello(conn, hello{Rank: 1, World: 3, MeshAddr: "127.0.0.1:1"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case err := <-joinErr:
+		if err == nil || !strings.Contains(err.Error(), "twice") {
+			t.Fatalf("expected duplicate-rank failure, got: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("coordinator hung on duplicate ranks")
+	}
+}
+
+// TestRendezvousNegotiatesFloorOnDisjointSets: end-to-end check that a
+// session with no shared codec trains at full precision.
+func TestRendezvousNegotiatesFloorOnDisjointSets(t *testing.T) {
+	sessions := joinAll(t, 2, [][]string{{"qsgd4b512"}, {"1bit"}})
+	for rank, s := range sessions {
+		if s.CodecName() != "32bit" {
+			t.Fatalf("rank %d negotiated %q, want the 32bit floor", rank, s.CodecName())
+		}
+	}
+}

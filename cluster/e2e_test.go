@@ -1,0 +1,254 @@
+package cluster_test
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/cluster"
+	"repro/data"
+	"repro/lpsgd"
+)
+
+// TestThreeProcessClusterTraining is the acceptance test for the
+// multi-process runtime: it builds cmd/lpsgd-worker and launches three
+// separate OS processes — one coordinator (rank 0) and two workers —
+// that rendezvous over loopback, negotiate a codec, and complete a
+// training run over the dialled TCP mesh. It asserts that every
+// process converges on the negotiated codec and ends with bit-identical
+// model state (equal checkpoint digests).
+func TestThreeProcessClusterTraining(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke test skipped in -short mode")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not available to build the worker binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "lpsgd-worker")
+	build := exec.Command(goTool, "build", "-o", bin, "repro/cmd/lpsgd-worker")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building lpsgd-worker: %v\n%s", err, out)
+	}
+
+	const world = 3
+	common := []string{
+		"-world", fmt.Sprint(world),
+		"-task", "image", "-epochs", "2", "-batch", "24",
+		"-train-samples", "96", "-test-samples", "48", "-seed", "41",
+	}
+	// Overlapping-but-distinct advertisements: qsgd4b512 is the cheapest
+	// codec all three share, so that must be the negotiated outcome.
+	accepts := []string{"qsgd4b512,1bit", "qsgd4b512,qsgd8b512", "topk0.01,qsgd4b512"}
+
+	// Rank 0 coordinates on an ephemeral port and prints the bound
+	// address on its first stdout line.
+	rank0 := exec.Command(bin, append([]string{
+		"-coordinator", "127.0.0.1:0", "-rank", "0", "-accept", accepts[0],
+	}, common...)...)
+	var rank0Err bytes.Buffer
+	rank0.Stderr = &rank0Err
+	rank0Out, err := rank0.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rank0.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rank0.Process.Kill()
+
+	sc := bufio.NewScanner(rank0Out)
+	if !sc.Scan() {
+		t.Fatalf("rank 0 exited before announcing its address: %s", rank0Err.String())
+	}
+	fields := strings.Fields(sc.Text())
+	if len(fields) != 2 || fields[0] != "coordinator" {
+		t.Fatalf("unexpected announcement %q", sc.Text())
+	}
+	addr := fields[1]
+
+	type result struct {
+		rank int
+		out  string
+		err  error
+	}
+	results := make(chan result, world)
+	for rank := 1; rank < world; rank++ {
+		go func(rank int) {
+			cmd := exec.Command(bin, append([]string{
+				"-coordinator", addr, "-rank", fmt.Sprint(rank), "-accept", accepts[rank],
+			}, common...)...)
+			out, err := cmd.Output()
+			if ee, ok := err.(*exec.ExitError); ok {
+				err = fmt.Errorf("%w\n%s", err, ee.Stderr)
+			}
+			results <- result{rank, string(out), err}
+		}(rank)
+	}
+	go func() {
+		var rest bytes.Buffer
+		for sc.Scan() {
+			rest.WriteString(sc.Text() + "\n")
+		}
+		err := rank0.Wait()
+		if err != nil {
+			err = fmt.Errorf("%w\n%s", err, rank0Err.String())
+		}
+		results <- result{0, rest.String(), err}
+	}()
+
+	models := map[int]string{}
+	codecs := map[int]string{}
+	deadline := time.After(120 * time.Second)
+	for i := 0; i < world; i++ {
+		select {
+		case r := <-results:
+			if r.err != nil {
+				t.Fatalf("rank %d failed: %v", r.rank, r.err)
+			}
+			kv := parseSummary(t, r.rank, r.out)
+			models[r.rank] = kv["model"]
+			codecs[r.rank] = kv["codec"]
+			if kv["world"] != fmt.Sprint(world) {
+				t.Errorf("rank %d reports world=%s", r.rank, kv["world"])
+			}
+		case <-deadline:
+			t.Fatal("cluster run did not finish in time")
+		}
+	}
+	for rank := 0; rank < world; rank++ {
+		if codecs[rank] != "qsgd4b512" {
+			t.Errorf("rank %d trained with codec %q, want the negotiated qsgd4b512", rank, codecs[rank])
+		}
+		if models[rank] == "" {
+			t.Fatalf("rank %d reported no model digest", rank)
+		}
+		if models[rank] != models[0] {
+			t.Errorf("rank %d model %s differs from rank 0's %s — replicas diverged",
+				rank, models[rank], models[0])
+		}
+	}
+}
+
+// parseSummary extracts the key=value pairs of a worker's final line.
+func parseSummary(t *testing.T, rank int, out string) map[string]string {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-1]
+	if !strings.HasPrefix(last, "rank=") {
+		t.Fatalf("rank %d produced no summary line, got %q", rank, last)
+	}
+	kv := map[string]string{}
+	for _, field := range strings.Fields(last) {
+		if k, v, ok := strings.Cut(field, "="); ok {
+			kv[k] = v
+		}
+	}
+	if got := kv["rank"]; got != fmt.Sprint(rank) {
+		t.Fatalf("summary claims rank %s, want %d", got, rank)
+	}
+	return kv
+}
+
+// TestClusterTrainingInProcess drives the same cluster code path with
+// three goroutine ranks — cheap enough for every test run and for the
+// race detector — and checks that the per-rank trainers stay
+// bit-identical through the lpsgd facade.
+func TestClusterTrainingInProcess(t *testing.T) {
+	const world = 3
+	coord, err := cluster.NewCoordinator(cluster.Config{
+		Addr: "127.0.0.1:0", World: world,
+		Accept:  []string{"qsgd4b512"},
+		Timeout: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type outcome struct {
+		codec string
+		ckpt  []byte
+		acc   float64
+	}
+	outcomes := make([]outcome, world)
+	errs := make([]error, world)
+	var wg sync.WaitGroup
+	runRank := func(rank int, opt lpsgd.Option) {
+		defer wg.Done()
+		model, train, test := trainingTask()
+		trainer, err := lpsgd.NewTrainer(model,
+			opt,
+			lpsgd.WithAcceptedCodecs("qsgd4b512", "1bit*64"),
+			lpsgd.WithBatchSize(24),
+			lpsgd.WithEpochs(2),
+			lpsgd.WithSeed(7),
+		)
+		if err != nil {
+			errs[rank] = err
+			return
+		}
+		defer trainer.Close()
+		h, err := trainer.Run(train, test)
+		if err != nil {
+			errs[rank] = err
+			return
+		}
+		var buf bytes.Buffer
+		if err := trainer.SaveCheckpoint(&buf); err != nil {
+			errs[rank] = err
+			return
+		}
+		outcomes[rank] = outcome{
+			codec: trainer.Plan().Quantised.Name(),
+			ckpt:  buf.Bytes(),
+			acc:   h.FinalAccuracy,
+		}
+	}
+	wg.Add(world)
+	for rank := 1; rank < world; rank++ {
+		go runRank(rank, lpsgd.WithCluster(coord.Addr(), rank, world))
+	}
+	go func() {
+		sess, err := coord.Join()
+		if err != nil {
+			errs[0] = err
+			wg.Done()
+			return
+		}
+		runRank(0, lpsgd.WithClusterSession(sess))
+	}()
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	for rank := 0; rank < world; rank++ {
+		if outcomes[rank].codec != "qsgd4b512" {
+			t.Errorf("rank %d used codec %q", rank, outcomes[rank].codec)
+		}
+		if !bytes.Equal(outcomes[rank].ckpt, outcomes[0].ckpt) {
+			t.Errorf("rank %d checkpoint differs from rank 0 — replicas diverged", rank)
+		}
+		if outcomes[rank].acc != outcomes[0].acc {
+			t.Errorf("rank %d accuracy %v differs from rank 0's %v", rank, outcomes[rank].acc, outcomes[0].acc)
+		}
+	}
+}
+
+// trainingTask builds a small deterministic image workload shared by
+// every rank of the in-process cluster tests: 8×8 single-channel
+// images, so the 64-input MLP fits.
+func trainingTask() (lpsgd.BuildFunc, *data.Dataset, *data.Dataset) {
+	train, test := lpsgd.SyntheticImages(4, 96, 48, 13)
+	return lpsgd.MLP(64, 32, 4), train, test
+}

@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/quant"
+)
+
+// negotiationShape is the reference tensor negotiation prices codecs
+// on: large enough that every codec family amortises its per-group
+// overhead (512-element columns keep classic column-wise 1bitSGD
+// honest), so "cheapest" reflects steady-state wire cost rather than
+// small-tensor edge effects.
+var negotiationShape = quant.Shape{Rows: 512, Cols: 128}
+
+// Floor is the codec every peer implicitly accepts: full-precision
+// gradients are always decodable, so a session can never negotiate
+// itself into a codec nobody shares — disjoint advertisements settle
+// on the floor.
+const Floor = "32bit"
+
+// Negotiate picks the gradient codec a session will train with, given
+// each peer's advertised set of accepted codec names (quant.Parse
+// grammar). The result is the cheapest codec — fewest wire bytes on a
+// reference tensor — accepted by every peer, with Floor ("32bit") as
+// the codec of last resort: it is always a candidate, so an empty or
+// disjoint advertisement matrix degrades to full precision rather than
+// failing the rendezvous.
+//
+// Names are canonicalised through quant.Parse before comparison, so
+// "qsgd4" and "qsgd4b512" (the same codec under the paper's tuned
+// default bucket) intersect as equals. A name that does not parse is an
+// error — a peer advertising formats it cannot name is misconfigured,
+// and silently dropping the entry could negotiate a codec the peer
+// never meant to accept.
+func Negotiate(accepts ...[]string) (string, error) {
+	if len(accepts) == 0 {
+		return Floor, nil
+	}
+	// Canonicalise each peer's set; count, per canonical name, how many
+	// peers accept it.
+	votes := make(map[string]int)
+	for p, set := range accepts {
+		seen := make(map[string]bool, len(set))
+		for _, name := range set {
+			canon, err := quant.Canonical(name)
+			if err != nil {
+				return "", fmt.Errorf("cluster: peer %d advertises unusable codec: %w", p, err)
+			}
+			if !seen[canon] {
+				seen[canon] = true
+				votes[canon]++
+			}
+		}
+	}
+	candidates := []string{Floor}
+	for name, n := range votes {
+		if n == len(accepts) && name != Floor {
+			candidates = append(candidates, name)
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		ci, cj := codecCost(candidates[i]), codecCost(candidates[j])
+		if ci != cj {
+			return ci < cj
+		}
+		return candidates[i] < candidates[j]
+	})
+	return candidates[0], nil
+}
+
+// codecCost prices one codec on the reference tensor. Lower is cheaper.
+func codecCost(name string) int {
+	c, err := quant.Parse(name)
+	if err != nil {
+		// Candidates are canonical names that already parsed once.
+		panic(fmt.Sprintf("cluster: canonical codec %q no longer parses: %v", name, err))
+	}
+	return c.EncodedBytes(negotiationShape.Len(), negotiationShape)
+}

@@ -1,0 +1,273 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// This file defines the rendezvous wire protocol: little-endian,
+// length-prefixed, magic-tagged and versioned, in the same spirit as
+// the quant frame format. Three message kinds travel during a
+// rendezvous:
+//
+//	hello (worker → coordinator):
+//	  uint32  magic "LPSC"
+//	  uint8   protocol version (currently 1)
+//	  uint32  rank
+//	  uint32  world size
+//	  uint16  mesh address length, then the address bytes
+//	  uint16  accepted codec count, then per codec uint8 length + name
+//
+//	welcome (coordinator → worker):
+//	  uint32  magic "LPSC"
+//	  uint8   protocol version
+//	  uint8   status (0 = ok, 1 = rejected)
+//	  rejected: uint16 message length + message
+//	  ok:       uint8 codec name length + negotiated codec name,
+//	            uint32 world size,
+//	            per rank uint16 address length + mesh address
+//
+//	mesh preamble (higher rank → lower rank, on the mesh listener):
+//	  uint32  magic "LPSM"
+//	  uint8   protocol version
+//	  uint32  from rank
+//	  uint32  to rank
+
+const (
+	// rendezvousMagic tags hello and welcome messages ("LPSC").
+	rendezvousMagic uint32 = 'L' | 'P'<<8 | 'S'<<16 | 'C'<<24
+	// meshMagic tags mesh-link preambles ("LPSM").
+	meshMagic uint32 = 'L' | 'P'<<8 | 'S'<<16 | 'M'<<24
+
+	// ProtocolVersion is the rendezvous wire version this package
+	// speaks. Coordinator and workers must match exactly; a mismatch is
+	// rejected during the hello exchange, before any training state is
+	// built.
+	ProtocolVersion = 1
+
+	// maxAddrLen and maxCodecs bound attacker-controlled lengths in a
+	// hello so a garbage connection cannot make the coordinator allocate
+	// unbounded memory.
+	maxAddrLen = 256
+	maxCodecs  = 256
+)
+
+// hello is the decoded rendezvous request of one worker.
+type hello struct {
+	Rank     int
+	World    int
+	MeshAddr string
+	Accept   []string
+}
+
+// welcome is the decoded rendezvous response.
+type welcome struct {
+	Codec string
+	Addrs []string
+}
+
+func writeHello(w io.Writer, h hello) error {
+	if len(h.MeshAddr) > maxAddrLen {
+		return fmt.Errorf("cluster: mesh address %q too long", h.MeshAddr)
+	}
+	if len(h.Accept) > maxCodecs {
+		return fmt.Errorf("cluster: %d accepted codecs exceeds cap %d", len(h.Accept), maxCodecs)
+	}
+	buf := appendU32(nil, rendezvousMagic)
+	buf = append(buf, ProtocolVersion)
+	buf = appendU32(buf, uint32(h.Rank))
+	buf = appendU32(buf, uint32(h.World))
+	buf = appendU16(buf, uint16(len(h.MeshAddr)))
+	buf = append(buf, h.MeshAddr...)
+	buf = appendU16(buf, uint16(len(h.Accept)))
+	for _, name := range h.Accept {
+		if len(name) > 255 {
+			return fmt.Errorf("cluster: codec name %q too long", name)
+		}
+		buf = append(buf, byte(len(name)))
+		buf = append(buf, name...)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readHello(r io.Reader) (hello, error) {
+	var h hello
+	if err := readMagicVersion(r, rendezvousMagic, "hello"); err != nil {
+		return h, err
+	}
+	var fixed [8]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return h, fmt.Errorf("cluster: hello header: %w", err)
+	}
+	h.Rank = int(binary.LittleEndian.Uint32(fixed[0:]))
+	h.World = int(binary.LittleEndian.Uint32(fixed[4:]))
+	addr, err := readString16(r, maxAddrLen, "mesh address")
+	if err != nil {
+		return h, err
+	}
+	h.MeshAddr = addr
+	var cnt [2]byte
+	if _, err := io.ReadFull(r, cnt[:]); err != nil {
+		return h, fmt.Errorf("cluster: hello codec count: %w", err)
+	}
+	n := int(binary.LittleEndian.Uint16(cnt[:]))
+	if n > maxCodecs {
+		return h, fmt.Errorf("cluster: hello advertises %d codecs, cap is %d", n, maxCodecs)
+	}
+	for i := 0; i < n; i++ {
+		name, err := readString8(r, "codec name")
+		if err != nil {
+			return h, err
+		}
+		h.Accept = append(h.Accept, name)
+	}
+	return h, nil
+}
+
+func writeWelcome(w io.Writer, wel welcome) error {
+	buf := appendU32(nil, rendezvousMagic)
+	buf = append(buf, ProtocolVersion, 0)
+	buf = append(buf, byte(len(wel.Codec)))
+	buf = append(buf, wel.Codec...)
+	buf = appendU32(buf, uint32(len(wel.Addrs)))
+	for _, a := range wel.Addrs {
+		if len(a) > maxAddrLen {
+			return fmt.Errorf("cluster: mesh address %q too long", a)
+		}
+		buf = appendU16(buf, uint16(len(a)))
+		buf = append(buf, a...)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// writeReject sends an error welcome. Failures are ignored — the
+// offending connection is being torn down anyway.
+func writeReject(w io.Writer, msg string) {
+	if len(msg) > 1024 {
+		msg = msg[:1024]
+	}
+	buf := appendU32(nil, rendezvousMagic)
+	buf = append(buf, ProtocolVersion, 1)
+	buf = appendU16(buf, uint16(len(msg)))
+	buf = append(buf, msg...)
+	w.Write(buf)
+}
+
+func readWelcome(r io.Reader) (welcome, error) {
+	var wel welcome
+	if err := readMagicVersion(r, rendezvousMagic, "welcome"); err != nil {
+		return wel, err
+	}
+	var status [1]byte
+	if _, err := io.ReadFull(r, status[:]); err != nil {
+		return wel, fmt.Errorf("cluster: welcome status: %w", err)
+	}
+	if status[0] != 0 {
+		msg, err := readString16(r, 1024, "rejection")
+		if err != nil {
+			return wel, fmt.Errorf("cluster: coordinator rejected the hello")
+		}
+		return wel, fmt.Errorf("cluster: coordinator rejected the hello: %s", msg)
+	}
+	codec, err := readString8(r, "codec name")
+	if err != nil {
+		return wel, err
+	}
+	wel.Codec = codec
+	var cnt [4]byte
+	if _, err := io.ReadFull(r, cnt[:]); err != nil {
+		return wel, fmt.Errorf("cluster: welcome world: %w", err)
+	}
+	world := int(binary.LittleEndian.Uint32(cnt[:]))
+	if world <= 0 || world > 1<<16 {
+		return wel, fmt.Errorf("cluster: welcome announces world of %d", world)
+	}
+	for i := 0; i < world; i++ {
+		a, err := readString16(r, maxAddrLen, "mesh address")
+		if err != nil {
+			return wel, err
+		}
+		wel.Addrs = append(wel.Addrs, a)
+	}
+	return wel, nil
+}
+
+func writeMeshPreamble(w io.Writer, from, to int) error {
+	buf := appendU32(nil, meshMagic)
+	buf = append(buf, ProtocolVersion)
+	buf = appendU32(buf, uint32(from))
+	buf = appendU32(buf, uint32(to))
+	_, err := w.Write(buf)
+	return err
+}
+
+func readMeshPreamble(r io.Reader) (from, to int, err error) {
+	if err := readMagicVersion(r, meshMagic, "mesh preamble"); err != nil {
+		return 0, 0, err
+	}
+	var fixed [8]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return 0, 0, fmt.Errorf("cluster: mesh preamble: %w", err)
+	}
+	return int(binary.LittleEndian.Uint32(fixed[0:])),
+		int(binary.LittleEndian.Uint32(fixed[4:])), nil
+}
+
+// readMagicVersion consumes and validates the shared magic + version
+// prefix of every protocol message.
+func readMagicVersion(r io.Reader, magic uint32, kind string) error {
+	var fixed [5]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return fmt.Errorf("cluster: %s header: %w", kind, err)
+	}
+	if got := binary.LittleEndian.Uint32(fixed[0:]); got != magic {
+		return fmt.Errorf("cluster: bad %s magic %#x", kind, got)
+	}
+	if v := fixed[4]; v != ProtocolVersion {
+		return fmt.Errorf("cluster: %s speaks protocol version %d, this build speaks %d", kind, v, ProtocolVersion)
+	}
+	return nil
+}
+
+func readString8(r io.Reader, what string) (string, error) {
+	var l [1]byte
+	if _, err := io.ReadFull(r, l[:]); err != nil {
+		return "", fmt.Errorf("cluster: %s length: %w", what, err)
+	}
+	buf := make([]byte, l[0])
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("cluster: %s: %w", what, err)
+	}
+	return string(buf), nil
+}
+
+func readString16(r io.Reader, cap int, what string) (string, error) {
+	var l [2]byte
+	if _, err := io.ReadFull(r, l[:]); err != nil {
+		return "", fmt.Errorf("cluster: %s length: %w", what, err)
+	}
+	n := int(binary.LittleEndian.Uint16(l[:]))
+	if n > cap {
+		return "", fmt.Errorf("cluster: %s of %d bytes exceeds cap %d", what, n, cap)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("cluster: %s: %w", what, err)
+	}
+	return string(buf), nil
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return append(dst, b[:]...)
+}
+
+func appendU16(dst []byte, v uint16) []byte {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	return append(dst, b[:]...)
+}

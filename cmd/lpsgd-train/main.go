@@ -7,14 +7,25 @@
 //
 //	lpsgd-train -task image -codec qsgd4 -workers 8 -epochs 20
 //	lpsgd-train -task sequence -codec 1bit -workers 2 -nccl
+//
+// With -cluster N the run becomes a single-machine multi-process smoke
+// test of the cluster runtime: this process is rank 0 and coordinator,
+// and it forks N−1 copies of itself as worker processes that join the
+// rendezvous, negotiate the codec, and train over the dialled TCP
+// mesh (for real multi-machine runs, launch cmd/lpsgd-worker on each
+// host instead):
+//
+//	lpsgd-train -task image -codec qsgd4 -cluster 3 -epochs 6
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"strconv"
 
-	"repro/data"
+	"repro/cluster"
 	"repro/internal/harness"
 	"repro/internal/report"
 	"repro/lpsgd"
@@ -34,28 +45,16 @@ func main() {
 		testN   = flag.Int("test-samples", 384, "test set size")
 		saveTo  = flag.String("save", "", "write a checkpoint of the trained model to this file")
 		loadFrm = flag.String("load", "", "initialise weights from this checkpoint before training")
+
+		clusterN    = flag.Int("cluster", 0, "train as a cluster of this many worker processes (this process is rank 0; it forks the rest)")
+		clusterAddr = flag.String("cluster-addr", "", "internal: rendezvous address of the parent coordinator (marks a forked worker)")
+		clusterRank = flag.Int("cluster-rank", 0, "internal: rank of a forked worker")
 	)
 	flag.Parse()
 
-	var (
-		model       lpsgd.BuildFunc
-		train, test *data.Dataset
-	)
-	switch *task {
-	case "image":
-		train, test = data.MakeImages(data.ImageConfig{
-			Classes: 10, Channels: 3, H: 12, W: 12,
-			TrainN: *trainN, TestN: *testN, Noise: 2.0, Shift: true, Seed: *seed,
-		})
-		model = harness.ImageModel(10)
-	case "sequence":
-		train, test = data.MakeSequences(data.SequenceConfig{
-			Classes: 6, Frames: 12, Features: 8,
-			TrainN: *trainN, TestN: *testN, Noise: 1.0, Seed: *seed,
-		})
-		model = harness.SequenceModel(12, 8, 6)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown task %q (want image or sequence)\n", *task)
+	model, train, test, err := harness.Task(*task, *trainN, *testN, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
@@ -63,7 +62,7 @@ func main() {
 	if *useNCCL {
 		primitive = lpsgd.NCCL
 	}
-	trainer, err := lpsgd.NewTrainer(model,
+	opts := []lpsgd.Option{
 		lpsgd.WithCodec(*codec),
 		lpsgd.WithWorkers(*workers),
 		lpsgd.WithPrimitive(primitive),
@@ -71,7 +70,69 @@ func main() {
 		lpsgd.WithEpochs(*epochs),
 		lpsgd.WithLearningRate(float32(*lr)),
 		lpsgd.WithSeed(*seed),
-	)
+	}
+
+	// Cluster smoke mode: rank 0 coordinates on an ephemeral port and
+	// forks the other ranks as copies of this binary; forked workers
+	// recognise themselves by -cluster-addr and dial back in. All ranks
+	// train the same task with the same seed, so the mesh replicas stay
+	// bit-identical.
+	var children []*exec.Cmd
+	isChild := *clusterAddr != ""
+	if *clusterN > 0 && *loadFrm != "" {
+		// The forked ranks build their replicas from the seed alone; a
+		// checkpoint loaded into rank 0 only would break the replica
+		// bit-identity the synchronous algorithm depends on.
+		fmt.Fprintln(os.Stderr, "-load is not supported with -cluster: every rank must start from the same weights")
+		os.Exit(2)
+	}
+	switch {
+	case isChild:
+		opts = append(opts, lpsgd.WithCluster(*clusterAddr, *clusterRank, *clusterN))
+	case *clusterN > 0:
+		coord, err := cluster.NewCoordinator(cluster.Config{
+			Addr: "127.0.0.1:0", World: *clusterN, Accept: []string{*codec},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for r := 1; r < *clusterN; r++ {
+			args := []string{
+				"-task", *task, "-codec", *codec,
+				"-epochs", strconv.Itoa(*epochs), "-batch", strconv.Itoa(*batch),
+				"-lr", fmt.Sprint(*lr), "-seed", strconv.FormatUint(*seed, 10),
+				"-train-samples", strconv.Itoa(*trainN), "-test-samples", strconv.Itoa(*testN),
+				"-cluster", strconv.Itoa(*clusterN),
+				"-cluster-addr", coord.Addr(), "-cluster-rank", strconv.Itoa(r),
+			}
+			// Every rank must run the same aggregation primitive.
+			if *useNCCL {
+				args = append(args, "-nccl")
+			}
+			child := exec.Command(exe, args...)
+			child.Stdout = os.Stdout
+			child.Stderr = os.Stderr
+			if err := child.Start(); err != nil {
+				fmt.Fprintf(os.Stderr, "fork rank %d: %v\n", r, err)
+				os.Exit(1)
+			}
+			children = append(children, child)
+		}
+		sess, err := coord.Join()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		opts = append(opts, lpsgd.WithClusterSession(sess))
+	}
+
+	trainer, err := lpsgd.NewTrainer(model, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -113,13 +174,37 @@ func main() {
 		fmt.Printf("checkpoint written to %s\n", *saveTo)
 	}
 
+	if isChild {
+		// Forked workers share the parent's terminal; a one-line summary
+		// keeps the parent's table readable.
+		fmt.Printf("rank %d/%d: codec=%s final accuracy %.2f%%, %.1f MB sent by this rank\n",
+			trainer.Rank(), trainer.World(), trainer.Plan().Quantised.Name(),
+			100*h.FinalAccuracy, float64(h.TotalWireBytes)/1e6)
+		return
+	}
+
 	prim := "MPI"
 	if *useNCCL {
 		prim = "NCCL"
 	}
+	codecName := *codec
+	world := *workers
+	wireCol := "wire_MB"
+	wireNote := ""
+	if *clusterN > 0 {
+		codecName = trainer.Plan().Quantised.Name()
+		world = trainer.World()
+		prim += fmt.Sprintf(", cluster of %d processes", *clusterN)
+		// A cluster rank's byte counter sees its own sends only — the
+		// other ranks' traffic lives in their processes — so the volume
+		// is not comparable to the whole-fabric number of a
+		// single-process run.
+		wireCol = "rank0_wire_MB"
+		wireNote = " sent by rank 0"
+	}
 	t := report.New(
-		fmt.Sprintf("%s task, codec=%s, %d workers, %s", *task, *codec, *workers, prim),
-		"epoch", "train_loss", "test_acc_%", "lr", "wire_MB", "elapsed")
+		fmt.Sprintf("%s task, codec=%s, %d workers, %s", *task, codecName, world, prim),
+		"epoch", "train_loss", "test_acc_%", "lr", wireCol, "elapsed")
 	for _, e := range h.Epochs {
 		acc := "-"
 		if e.TestAccuracy >= 0 {
@@ -128,7 +213,14 @@ func main() {
 		t.Addf("%d\t%.4f\t%s\t%.4f\t%.1f\t%s",
 			e.Epoch, e.TrainLoss, acc, e.LR, float64(e.WireBytes)/1e6, e.Elapsed.Round(1e6))
 	}
-	t.Note("final accuracy %.2f%%, best %.2f%%, total wire %.1f MB",
-		100*h.FinalAccuracy, 100*h.BestAccuracy, float64(h.TotalWireBytes)/1e6)
+	t.Note("final accuracy %.2f%%, best %.2f%%, total wire %.1f MB%s",
+		100*h.FinalAccuracy, 100*h.BestAccuracy, float64(h.TotalWireBytes)/1e6, wireNote)
 	t.Render(os.Stdout)
+
+	for _, child := range children {
+		if err := child.Wait(); err != nil {
+			fmt.Fprintf(os.Stderr, "cluster worker exited badly: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }

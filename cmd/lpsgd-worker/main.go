@@ -1,0 +1,128 @@
+// Command lpsgd-worker is one rank of a multi-process training
+// cluster: it joins the rendezvous, negotiates a gradient codec with
+// its peers, trains its shard of every batch over the dialled TCP
+// mesh, and reports a digest of the final model so the launcher can
+// verify that all ranks converged to bit-identical state.
+//
+// Rank 0 is the coordinator — it listens on -coordinator and prints
+// the bound address (useful with port 0) before waiting for the other
+// ranks:
+//
+//	lpsgd-worker -coordinator 127.0.0.1:7070 -rank 0 -world 3 -accept qsgd4b512,1bit
+//	lpsgd-worker -coordinator 127.0.0.1:7070 -rank 1 -world 3 -accept qsgd4b512
+//	lpsgd-worker -coordinator 127.0.0.1:7070 -rank 2 -world 3 -accept qsgd4b512,topk0.01
+//
+// Every rank must be launched with the same -task, -seed, -batch,
+// -epochs and -lr, or the replicas will not stay bit-identical. The
+// final stdout line is machine-readable:
+//
+//	rank=1 world=3 codec=qsgd4b512 final_loss=0.1234 final_acc=0.8750 model=<sha256>
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/cluster"
+	"repro/internal/harness"
+	"repro/lpsgd"
+)
+
+func main() {
+	var (
+		coordAddr = flag.String("coordinator", "127.0.0.1:7070", "rendezvous address (rank 0 listens, others dial)")
+		rank      = flag.Int("rank", 0, "this process's rank in [0, world)")
+		world     = flag.Int("world", 2, "total number of worker processes")
+		accept    = flag.String("accept", "32bit", "comma-separated codec names this rank accepts (quant.Parse grammar)")
+		joinWait  = flag.Duration("join-timeout", 30*time.Second, "rendezvous handshake timeout (raise for hand-launched multi-machine runs)")
+		task      = flag.String("task", "image", "task: image or sequence")
+		epochs    = flag.Int("epochs", 4, "training epochs")
+		batch     = flag.Int("batch", 64, "global minibatch size, sharded over ranks")
+		lr        = flag.Float64("lr", 0.05, "learning rate")
+		seed      = flag.Uint64("seed", 17, "random seed (identical on every rank)")
+		trainN    = flag.Int("train-samples", 384, "training set size")
+		testN     = flag.Int("test-samples", 192, "test set size")
+		saveTo    = flag.String("save", "", "write a checkpoint of the trained model to this file")
+	)
+	flag.Parse()
+
+	model, train, test, err := harness.Task(*task, *trainN, *testN, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var names []string
+	for _, name := range strings.Split(*accept, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			names = append(names, name)
+		}
+	}
+
+	// Rank 0 goes through the explicit coordinator path so that a ":0"
+	// rendezvous port is printed before the other ranks need it.
+	var sess *cluster.Session
+	cfg := cluster.Config{
+		Addr: *coordAddr, Rank: *rank, World: *world,
+		Accept: names, Timeout: *joinWait,
+	}
+	if *rank == 0 {
+		coord, err := cluster.NewCoordinator(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("coordinator %s\n", coord.Addr())
+		if sess, err = coord.Join(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		if sess, err = cluster.Join(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "lpsgd-worker: rank %d/%d up, negotiated codec %s\n",
+		sess.Rank(), sess.World(), sess.CodecName())
+
+	trainer, err := lpsgd.NewTrainer(model,
+		lpsgd.WithClusterSession(sess),
+		lpsgd.WithBatchSize(*batch),
+		lpsgd.WithEpochs(*epochs),
+		lpsgd.WithLearningRate(float32(*lr)),
+		lpsgd.WithSeed(*seed),
+	)
+	if err != nil {
+		sess.Close()
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer trainer.Close()
+
+	h, err := trainer.Run(train, test)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var ckpt bytes.Buffer
+	if err := trainer.SaveCheckpoint(&ckpt); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *saveTo != "" {
+		if err := os.WriteFile(*saveTo, ckpt.Bytes(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	last := h.Epochs[len(h.Epochs)-1]
+	fmt.Printf("rank=%d world=%d codec=%s final_loss=%.4f final_acc=%.4f model=%x\n",
+		sess.Rank(), sess.World(), sess.CodecName(),
+		last.TrainLoss, h.FinalAccuracy, sha256.Sum256(ckpt.Bytes()))
+}

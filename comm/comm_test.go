@@ -43,6 +43,24 @@ func runExchange(t *testing.T, red Reducer, inputs [][][]float32) [][][]float32 
 	return out
 }
 
+// mustSend and mustRecv wrap the error-returning Transport calls for
+// tests exercising happy paths.
+func mustSend(t *testing.T, f Transport, from, to int, payload []byte) {
+	t.Helper()
+	if err := f.Send(from, to, payload); err != nil {
+		t.Fatalf("send %d->%d: %v", from, to, err)
+	}
+}
+
+func mustRecv(t *testing.T, f Transport, from, to int) []byte {
+	t.Helper()
+	buf, err := f.Recv(from, to)
+	if err != nil {
+		t.Fatalf("recv %d->%d: %v", from, to, err)
+	}
+	return buf
+}
+
 func randInputs(r *rng.RNG, k int, sizes []int) [][][]float32 {
 	inputs := make([][][]float32, k)
 	for w := 0; w < k; w++ {
@@ -74,12 +92,12 @@ func exactSums(inputs [][][]float32) [][]float64 {
 
 func TestFabricFIFO(t *testing.T) {
 	f := NewFabric(2)
-	f.Send(0, 1, []byte{1})
-	f.Send(0, 1, []byte{2})
-	if got := f.Recv(0, 1); got[0] != 1 {
+	mustSend(t, f, 0, 1, []byte{1})
+	mustSend(t, f, 0, 1, []byte{2})
+	if got := mustRecv(t, f, 0, 1); got[0] != 1 {
 		t.Fatal("FIFO order violated")
 	}
-	if got := f.Recv(0, 1); got[0] != 2 {
+	if got := mustRecv(t, f, 0, 1); got[0] != 2 {
 		t.Fatal("FIFO order violated")
 	}
 }
@@ -87,17 +105,17 @@ func TestFabricFIFO(t *testing.T) {
 func TestFabricCopiesPayload(t *testing.T) {
 	f := NewFabric(2)
 	buf := []byte{1, 2, 3}
-	f.Send(0, 1, buf)
+	mustSend(t, f, 0, 1, buf)
 	buf[0] = 99
-	if got := f.Recv(0, 1); got[0] != 1 {
+	if got := mustRecv(t, f, 0, 1); got[0] != 1 {
 		t.Fatal("send did not copy payload")
 	}
 }
 
 func TestFabricByteAccounting(t *testing.T) {
 	f := NewFabric(3)
-	f.Send(0, 1, make([]byte, 10))
-	f.Send(1, 2, make([]byte, 5))
+	mustSend(t, f, 0, 1, make([]byte, 10))
+	mustSend(t, f, 1, 2, make([]byte, 5))
 	if f.BytesOnLink(0, 1) != 10 || f.BytesOnLink(1, 2) != 5 {
 		t.Fatal("per-link counters wrong")
 	}

@@ -1,10 +1,12 @@
-// Package comm is the communication substrate of the reproduction: an
-// in-process message-passing fabric standing in for the PCIe/NVLink
-// interconnect, plus the two gradient-aggregation primitives the paper
-// compares — the MPI-style reduce-and-broadcast pattern (§2.4.1), which
-// can carry quantised payloads, and the NCCL-style ring allreduce
-// (§2.4.2), whose reduction semantics are hardwired to full-precision
-// sums exactly as NCCL's are.
+// Package comm is the communication substrate of the reproduction:
+// three Transport fabrics — in-process channels standing in for the
+// PCIe/NVLink interconnect, a loopback TCP mesh (TCPFabric), and the
+// single-rank RemoteFabric view of a multi-process mesh built by the
+// cluster rendezvous — plus the two gradient-aggregation primitives
+// the paper compares: the MPI-style reduce-and-broadcast pattern
+// (§2.4.1), which can carry quantised payloads, and the NCCL-style
+// ring allreduce (§2.4.2), whose reduction semantics are hardwired to
+// full-precision sums exactly as NCCL's are.
 //
 // Every byte that crosses a link is counted, so tests and experiments can
 // verify that the quantised wire volumes match quant.Codec.EncodedBytes —
@@ -69,19 +71,21 @@ func (f *Fabric) link(from, to int) int {
 }
 
 // Send transmits payload from peer `from` to peer `to`, copying it. It
-// blocks only when the link buffer is full.
-func (f *Fabric) Send(from, to int, payload []byte) {
+// blocks only when the link buffer is full. The in-process fabric has
+// no failure modes, so the error is always nil.
+func (f *Fabric) Send(from, to int, payload []byte) error {
 	l := f.link(from, to)
 	msg := append([]byte(nil), payload...)
 	f.bytes[l].Add(int64(len(msg)))
 	f.sends[l].Add(1)
 	f.links[l] <- msg
+	return nil
 }
 
 // Recv blocks until a message from peer `from` arrives at peer `to` and
-// returns it in FIFO order.
-func (f *Fabric) Recv(from, to int) []byte {
-	return <-f.links[f.link(from, to)]
+// returns it in FIFO order. The error is always nil.
+func (f *Fabric) Recv(from, to int) ([]byte, error) {
+	return <-f.links[f.link(from, to)], nil
 }
 
 // BytesOnLink returns the cumulative bytes sent from -> to.

@@ -45,10 +45,10 @@ func TestFramedWireNeedsNoSharedConfig(t *testing.T) {
 		if _, err := enc.EncodeTo(&frame, src); err != nil {
 			t.Fatalf("%s: EncodeTo: %v", name, err)
 		}
-		f.Send(0, 1, frame.Bytes())
+		mustSend(t, f, 0, 1, frame.Bytes())
 
 		// Receiver: raw bytes in, values out. No codec, no shape, no n.
-		got, err := quant.DecodeAny(bytes.NewReader(f.Recv(0, 1)))
+		got, err := quant.DecodeAny(bytes.NewReader(mustRecv(t, f, 0, 1)))
 		if err != nil {
 			t.Fatalf("%s: DecodeAny on received frame: %v", name, err)
 		}

@@ -83,9 +83,24 @@ type rbWorker struct {
 }
 
 // NewReduceBroadcast builds the primitive for the given tensors over the
-// fabric. seed separates the stochastic quantisation streams of
-// different experiments.
+// fabric, with encoder state for every rank. seed separates the
+// stochastic quantisation streams of different experiments.
 func NewReduceBroadcast(f Transport, specs []TensorSpec, seed uint64) *ReduceBroadcast {
+	ranks := make([]int, f.K())
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return NewReduceBroadcastLocal(f, specs, seed, ranks)
+}
+
+// NewReduceBroadcastLocal builds the primitive with encoder state only
+// for the given local ranks — what a cluster worker process needs,
+// since it drives exactly one rank of the world and the other ranks'
+// error-feedback residuals and RNG streams live in their own
+// processes. Seeds are derived per (rank, tensor, stripe) coordinate,
+// so the encoders a rank builds here are bit-identical to the ones it
+// would get from the all-ranks constructor.
+func NewReduceBroadcastLocal(f Transport, specs []TensorSpec, seed uint64, ranks []int) *ReduceBroadcast {
 	k := f.K()
 	rb := &ReduceBroadcast{
 		fabric:  f,
@@ -104,7 +119,10 @@ func NewReduceBroadcast(f Transport, specs []TensorSpec, seed uint64) *ReduceBro
 			}
 		}
 	}
-	for w := 0; w < k; w++ {
+	for _, w := range ranks {
+		if w < 0 || w >= k {
+			panic(fmt.Sprintf("comm: local rank %d outside world of %d", w, k))
+		}
 		ws := &rbWorker{
 			stripeEnc: make([][]quant.Encoder, len(specs)),
 			aggEnc:    make([]quant.Encoder, len(specs)),
@@ -150,15 +168,25 @@ func (rb *ReduceBroadcast) Name() string { return "mpi-rb" }
 // framed transport every message additionally carries the
 // self-describing frame header.
 func (rb *ReduceBroadcast) WireBytesPerExchange() int64 {
-	k := rb.fabric.K()
+	return ReduceBroadcastWireBytes(rb.specs, rb.fabric.K(), rb.framed)
+}
+
+// ReduceBroadcastWireBytes predicts the bytes one full gradient exchange
+// of the given tensors puts on a k-peer fabric under the
+// reduce-and-broadcast pattern, without building the primitive. With
+// framed set, every message additionally carries the self-describing
+// quant frame header — the overhead a TCP byte counter measures. The
+// performance simulator prices exchanges through this same function, so
+// simulated and measured TCP volumes agree byte-for-byte.
+func ReduceBroadcastWireBytes(specs []TensorSpec, k int, framed bool) int64 {
 	var total int64
-	for t, spec := range rb.specs {
+	for _, spec := range specs {
 		var overhead int64
-		if rb.framed {
+		if framed {
 			overhead = int64(quant.FrameOverhead(spec.Codec.Name()))
 		}
-		for o := 0; o < k; o++ {
-			st := rb.stripes[t][o]
+		stripes := splitStripes(spec.N, spec.Codec.GroupSize(spec.Wire), k)
+		for _, st := range stripes {
 			if st.n == 0 {
 				continue
 			}
@@ -182,6 +210,9 @@ func (rb *ReduceBroadcast) Reduce(rank, tensorID int, g []float32) error {
 	k := rb.fabric.K()
 	if k == 1 {
 		return nil
+	}
+	if rank < 0 || rank >= k || rb.workers[rank] == nil {
+		return fmt.Errorf("comm: rank %d has no local reduce-broadcast state", rank)
 	}
 	ws := rb.workers[rank]
 	stripes := rb.stripes[tensorID]
@@ -217,7 +248,10 @@ func (rb *ReduceBroadcast) Reduce(rank, tensorID int, g []float32) error {
 			if p == rank {
 				continue
 			}
-			wire := rb.fabric.Recv(p, rank)
+			wire, err := rb.fabric.Recv(p, rank)
+			if err != nil {
+				return fmt.Errorf("comm: recv stripe of %s from %d: %w", spec.Name, p, err)
+			}
 			if err := rb.decodeWire(spec, wire, own.n, tmp); err != nil {
 				return fmt.Errorf("comm: decode stripe of %s from %d: %w", spec.Name, p, err)
 			}
@@ -235,7 +269,9 @@ func (rb *ReduceBroadcast) Reduce(rank, tensorID int, g []float32) error {
 			}
 			for p := 0; p < k; p++ {
 				if p != rank {
-					rb.fabric.Send(rank, p, ws.frame.Bytes())
+					if err := rb.fabric.Send(rank, p, ws.frame.Bytes()); err != nil {
+						return fmt.Errorf("comm: broadcast aggregate of %s to %d: %w", spec.Name, p, err)
+					}
 				}
 			}
 			if _, err := quant.DecodeFramed(ws.frame.Bytes(), dst); err != nil {
@@ -245,7 +281,9 @@ func (rb *ReduceBroadcast) Reduce(rank, tensorID int, g []float32) error {
 			aggWire := ws.aggEnc[tensorID].Encode(accum)
 			for p := 0; p < k; p++ {
 				if p != rank {
-					rb.fabric.Send(rank, p, aggWire)
+					if err := rb.fabric.Send(rank, p, aggWire); err != nil {
+						return fmt.Errorf("comm: broadcast aggregate of %s to %d: %w", spec.Name, p, err)
+					}
 				}
 			}
 			if err := spec.Codec.Decode(aggWire, own.n, spec.Wire, dst); err != nil {
@@ -260,7 +298,10 @@ func (rb *ReduceBroadcast) Reduce(rank, tensorID int, g []float32) error {
 		if o == rank || st.n == 0 {
 			continue
 		}
-		wire := rb.fabric.Recv(o, rank)
+		wire, err := rb.fabric.Recv(o, rank)
+		if err != nil {
+			return fmt.Errorf("comm: recv aggregate of %s from %d: %w", spec.Name, o, err)
+		}
 		if err := rb.decodeWire(spec, wire, st.n, g[st.off:st.off+st.n]); err != nil {
 			return fmt.Errorf("comm: decode aggregate of %s from %d: %w", spec.Name, o, err)
 		}
@@ -272,15 +313,13 @@ func (rb *ReduceBroadcast) Reduce(rank, tensorID int, g []float32) error {
 // in a self-describing frame when the transport demands one.
 func (rb *ReduceBroadcast) sendEncoded(ws *rbWorker, enc quant.Encoder, from, to int, src []float32) error {
 	if !rb.framed {
-		rb.fabric.Send(from, to, enc.Encode(src))
-		return nil
+		return rb.fabric.Send(from, to, enc.Encode(src))
 	}
 	ws.frame.Reset()
 	if _, err := enc.EncodeTo(&ws.frame, src); err != nil {
 		return err
 	}
-	rb.fabric.Send(from, to, ws.frame.Bytes())
-	return nil
+	return rb.fabric.Send(from, to, ws.frame.Bytes())
 }
 
 // decodeWire decodes one received message of n elements into dst. On a

@@ -1,0 +1,322 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RemoteFabric is the single-rank view of a K-peer TCP mesh: one OS
+// process holds the local end of a duplex connection to every other
+// rank and moves length-prefixed frames over them. The connections are
+// established out of band — by the cluster rendezvous for multi-process
+// training, or by NewTCPFabric's loopback mesh for in-process tests —
+// so the fabric itself is transport policy only: per-peer writer
+// goroutines, FIFO framing, byte accounting and a clean ErrClosed
+// shutdown path.
+//
+// Send may only be called with from == Local and Recv with
+// to == Local: a process can speak for its own rank alone. The
+// aggregation primitives already observe this discipline (each rank
+// sends as itself and receives as itself), which is what lets the same
+// reducer code run unmodified over a fully local fabric or one rank of
+// a machine-spanning mesh.
+//
+// Frame format per message: uint32 little-endian payload length, then
+// the payload bytes — identical in both directions of every link.
+type RemoteFabric struct {
+	k     int
+	local int
+	// conns[p] is the duplex link to peer p (nil at p == local). The
+	// local end writes p-bound messages and reads p-originated ones.
+	conns []net.Conn
+	// queues[p] feeds the writer goroutine of the link to peer p. qmu
+	// serialises enqueueing against Close closing the channels.
+	queues []chan []byte
+	qmu    sync.RWMutex
+	// aborted is closed by the first asynchronous write failure, and
+	// closing at the start of Close, so senders blocked on the full
+	// queue of a stalled or dead link get out (and release qmu) instead
+	// of wedging Close.
+	aborted   chan struct{}
+	abortOnce sync.Once
+	closing   chan struct{}
+	writers   sync.WaitGroup
+	rmu       []sync.Mutex
+	bytes     atomic.Int64
+	sends     atomic.Int64
+	closed    atomic.Bool
+	// werr records the first asynchronous socket write failure; Send
+	// reports it on the next call.
+	werr atomic.Pointer[error]
+}
+
+// maxRemoteMessage bounds a single message announced by a peer (1 GiB);
+// larger length prefixes are treated as stream corruption.
+const maxRemoteMessage = 1 << 30
+
+// drainTimeout bounds how long Close flushes queued messages to peers
+// before closing the sockets. Orderly shutdown must deliver the tail of
+// the final exchange — a faster rank finishes an epoch and closes while
+// slower peers are still reading — but a dead peer must not wedge
+// Close forever. A variable so the shutdown tests can shrink it.
+var drainTimeout = 10 * time.Second
+
+// NewRemoteFabric wraps pre-established duplex connections into the
+// local rank's Transport. conns must have length k with a non-nil
+// connection for every peer and nil at index local. The fabric takes
+// ownership of the connections and closes them on Close.
+func NewRemoteFabric(local, k int, conns []net.Conn) (*RemoteFabric, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("comm: remote fabric needs at least one peer, got %d", k)
+	}
+	if local < 0 || local >= k {
+		return nil, fmt.Errorf("comm: local rank %d outside world of %d", local, k)
+	}
+	if len(conns) != k {
+		return nil, fmt.Errorf("comm: remote fabric wants %d connections, got %d", k, len(conns))
+	}
+	for p, c := range conns {
+		if p == local && c != nil {
+			return nil, fmt.Errorf("comm: rank %d must not hold a connection to itself", local)
+		}
+		if p != local && c == nil {
+			return nil, fmt.Errorf("comm: rank %d is missing the connection to rank %d", local, p)
+		}
+	}
+	f := &RemoteFabric{
+		k:       k,
+		local:   local,
+		conns:   append([]net.Conn(nil), conns...),
+		queues:  make([]chan []byte, k),
+		aborted: make(chan struct{}),
+		closing: make(chan struct{}),
+		rmu:     make([]sync.Mutex, k),
+	}
+	for p := range f.conns {
+		if p == local {
+			continue
+		}
+		f.queues[p] = make(chan []byte, linkBuffer)
+		f.writers.Add(1)
+		go f.writeLoop(p, f.conns[p])
+	}
+	return f, nil
+}
+
+// writeLoop drains one peer's queue onto its socket. It runs until the
+// queue is closed and empty (orderly Close flushes the tail of the
+// final exchange this way) or the socket fails, after which it keeps
+// consuming and discarding so queued senders and Close are never stuck
+// behind a dead link.
+func (f *RemoteFabric) writeLoop(peer int, conn net.Conn) {
+	defer f.writers.Done()
+	var hdr [4]byte
+	for payload := range f.queues[peer] {
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+		if _, err := conn.Write(hdr[:]); err != nil {
+			f.writeFail(peer, err)
+			break
+		}
+		if len(payload) > 0 {
+			if _, err := conn.Write(payload); err != nil {
+				f.writeFail(peer, err)
+				break
+			}
+		}
+	}
+	for range f.queues[peer] {
+		// Discard until Close closes the channel.
+	}
+}
+
+// writeFail records a socket write error so the next Send reports it,
+// and aborts senders blocked on this fabric's queues. Errors during
+// shutdown are expected (the drain deadline fires, or the peer closed
+// first) and not recorded.
+func (f *RemoteFabric) writeFail(peer int, err error) {
+	if !f.closed.Load() {
+		e := fmt.Errorf("comm: send to rank %d: %w", peer, err)
+		f.werr.CompareAndSwap(nil, &e)
+	}
+	f.abortOnce.Do(func() { close(f.aborted) })
+}
+
+// K implements Transport.
+func (f *RemoteFabric) K() int { return f.k }
+
+// Local returns the rank this fabric speaks for.
+func (f *RemoteFabric) Local() int { return f.local }
+
+// Framed implements Transport: payloads leave the process, so every
+// message carries the self-describing quant frame header.
+func (f *RemoteFabric) Framed() bool { return true }
+
+// checkPeer panics on addressing bugs (out-of-range ranks, self-links)
+// and returns an error when the link does not terminate at the local
+// rank — the one misuse a distributed caller can plausibly make.
+func (f *RemoteFabric) checkPeer(local, peer int, op string) error {
+	if peer < 0 || peer >= f.k || local < 0 || local >= f.k {
+		panic(fmt.Sprintf("comm: peer out of range (%d, %d of %d)", local, peer, f.k))
+	}
+	if peer == local {
+		panic("comm: self-send")
+	}
+	if local != f.local {
+		return fmt.Errorf("comm: rank %d cannot %s as rank %d", f.local, op, local)
+	}
+	return nil
+}
+
+// Send implements Transport. The payload is copied and enqueued for the
+// peer's writer goroutine; Send blocks only when the link queue is
+// full. from must be the local rank.
+func (f *RemoteFabric) Send(from, to int, payload []byte) error {
+	if err := f.checkPeer(from, to, "send"); err != nil {
+		return err
+	}
+	// Closed wins over a recorded writer error: after an orderly Close
+	// the caller must see ErrClosed, not the stale socket failure that
+	// preceded it.
+	if f.closed.Load() {
+		return ErrClosed
+	}
+	if e := f.werr.Load(); e != nil {
+		return *e
+	}
+	msg := append([]byte(nil), payload...)
+	// The read lock spans the enqueue so Close cannot close the channel
+	// under a blocked send; the aborted case frees senders stuck on the
+	// full queue of a link whose writer died.
+	f.qmu.RLock()
+	if f.closed.Load() {
+		f.qmu.RUnlock()
+		return ErrClosed
+	}
+	select {
+	case f.queues[to] <- msg:
+		f.qmu.RUnlock()
+		f.bytes.Add(int64(len(msg)))
+		f.sends.Add(1)
+		return nil
+	case <-f.aborted:
+		f.qmu.RUnlock()
+		if e := f.werr.Load(); e != nil {
+			return *e
+		}
+		return ErrClosed
+	case <-f.closing:
+		f.qmu.RUnlock()
+		return ErrClosed
+	}
+}
+
+// Recv implements Transport. to must be the local rank.
+func (f *RemoteFabric) Recv(from, to int) ([]byte, error) {
+	if err := f.checkPeer(to, from, "receive"); err != nil {
+		return nil, err
+	}
+	f.rmu[from].Lock()
+	defer f.rmu[from].Unlock()
+	if f.closed.Load() {
+		return nil, ErrClosed
+	}
+	conn := f.conns[from]
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, f.recvErr(from, err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxRemoteMessage {
+		return nil, fmt.Errorf("comm: rank %d announces a %d-byte message, cap is %d", from, n, maxRemoteMessage)
+	}
+	// Grow in bounded chunks so a corrupted length prefix fails on the
+	// (truncated) stream instead of allocating the announced size.
+	const chunk = 1 << 20
+	buf := make([]byte, 0, min(int(n), chunk))
+	for len(buf) < int(n) {
+		m := min(int(n)-len(buf), chunk)
+		start := len(buf)
+		buf = append(buf, make([]byte, m)...)
+		if _, err := io.ReadFull(conn, buf[start:]); err != nil {
+			return nil, f.recvErr(from, err)
+		}
+	}
+	return buf, nil
+}
+
+// recvErr maps a socket read failure to ErrClosed during shutdown.
+func (f *RemoteFabric) recvErr(from int, err error) error {
+	if f.closed.Load() {
+		return ErrClosed
+	}
+	return fmt.Errorf("comm: recv from rank %d: %w", from, err)
+}
+
+// TotalBytes implements Transport: bytes sent by the local rank.
+func (f *RemoteFabric) TotalBytes() int64 { return f.bytes.Load() }
+
+// TotalMessages implements Transport: messages sent by the local rank.
+func (f *RemoteFabric) TotalMessages() int64 { return f.sends.Load() }
+
+// Close flushes queued messages to the peers (bounded by drainTimeout —
+// slower ranks may still be reading this rank's tail of the final
+// exchange) and then shuts every connection down. Subsequent — and
+// concurrently blocked — Send and Recv calls return ErrClosed. Close is
+// idempotent.
+func (f *RemoteFabric) Close() error {
+	if !f.beginClose() {
+		return nil
+	}
+	return f.teardown(time.Now().Add(drainTimeout))
+}
+
+// beginClose marks the fabric closed, reporting whether this call won
+// the transition. TCPFabric marks all of its rank views closed before
+// tearing any of them down, so a Recv blocked on one rank observes
+// ErrClosed — not a spurious transport error — when a sibling rank's
+// socket end disappears first.
+func (f *RemoteFabric) beginClose() bool {
+	return f.closed.CompareAndSwap(false, true)
+}
+
+// teardown drains and closes a fabric already marked closed. The
+// caller supplies the drain deadline so that a multi-rank owner
+// (TCPFabric) can tear its ranks down sequentially under one shared
+// bound instead of paying the drain timeout once per rank.
+func (f *RemoteFabric) teardown(deadline time.Time) error {
+	// Bound the drain first: a peer that has stalled mid-stream (full
+	// TCP window, frozen process) keeps its writer blocked inside
+	// conn.Write, and a training goroutine may be blocked in Send on
+	// that link's full queue holding qmu's read lock — the deadline
+	// unsticks the writer, closing unsticks the sender, and only then
+	// can the write lock be taken to close the queues.
+	for _, c := range f.conns {
+		if c != nil {
+			c.SetWriteDeadline(deadline)
+		}
+	}
+	close(f.closing)
+	// Stop new sends, then let the writers drain what is queued.
+	f.qmu.Lock()
+	for _, q := range f.queues {
+		if q != nil {
+			close(q)
+		}
+	}
+	f.qmu.Unlock()
+	f.writers.Wait()
+	var first error
+	for _, c := range f.conns {
+		if c != nil {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

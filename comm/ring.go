@@ -37,15 +37,26 @@ func (r *Ring) Name() string { return "nccl-ring" }
 // one frame header per message on a framed transport (each peer sends
 // one chunk per step, 2(K−1) steps).
 func (r *Ring) WireBytesPerExchange(n int) int64 {
-	k := int64(r.fabric.K())
-	if k == 1 {
+	return RingWireBytes(n, r.fabric.K(), r.framed)
+}
+
+// RingWireBytes predicts the bytes one ring allreduce of n float32
+// values puts on a k-peer fabric, without building the primitive. With
+// framed set, every chunk message additionally carries a
+// self-describing "32bit" frame header — the overhead a TCP byte
+// counter measures. The performance simulator prices exchanges through
+// this same function, so simulated and measured volumes agree
+// byte-for-byte.
+func RingWireBytes(n, k int, framed bool) int64 {
+	kk := int64(k)
+	if kk == 1 {
 		return 0
 	}
 	// Each of the 2(K−1) steps moves every chunk boundary exactly once
 	// per peer; summed over peers each step moves the whole vector once.
-	total := 2 * (k - 1) * int64(4*n)
-	if r.framed {
-		total += 2 * (k - 1) * k * int64(quant.FrameOverhead("32bit"))
+	total := 2 * (kk - 1) * int64(4*n)
+	if framed {
+		total += 2 * (kk - 1) * kk * int64(quant.FrameOverhead("32bit"))
 	}
 	return total
 }
@@ -101,13 +112,19 @@ func (r *Ring) Reduce(rank, _ int, g []float32) error {
 	right := (rank + 1) % k
 	left := (rank - 1 + k) % k
 
-	sendChunk := func(c int) {
+	sendChunk := func(c int) error {
 		lo, hi := chunkRange(n, k, c)
-		r.fabric.Send(rank, right, packF32(g[lo:hi], r.framed))
+		if err := r.fabric.Send(rank, right, packF32(g[lo:hi], r.framed)); err != nil {
+			return fmt.Errorf("comm: ring send chunk %d: %w", c, err)
+		}
+		return nil
 	}
 	recvChunk := func(c int, add bool) error {
 		lo, hi := chunkRange(n, k, c)
-		buf := r.fabric.Recv(left, rank)
+		buf, err := r.fabric.Recv(left, rank)
+		if err != nil {
+			return fmt.Errorf("comm: ring recv chunk %d: %w", c, err)
+		}
 		vals, err := unpackF32(buf, hi-lo, r.framed)
 		if err != nil {
 			return fmt.Errorf("comm: ring chunk %d: %w", c, err)
@@ -126,14 +143,18 @@ func (r *Ring) Reduce(rank, _ int, g []float32) error {
 	// contributions; after K−1 steps rank r owns the complete chunk
 	// (r+1) mod K.
 	for step := 0; step < k-1; step++ {
-		sendChunk(((rank-step)%k + k) % k)
+		if err := sendChunk(((rank-step)%k + k) % k); err != nil {
+			return err
+		}
 		if err := recvChunk(((rank-step-1)%k+k)%k, true); err != nil {
 			return err
 		}
 	}
 	// Allgather: rotate finished chunks around the ring.
 	for step := 0; step < k-1; step++ {
-		sendChunk(((rank-step+1)%k + k) % k)
+		if err := sendChunk(((rank-step+1)%k + k) % k); err != nil {
+			return err
+		}
 		if err := recvChunk(((rank-step)%k+k)%k, false); err != nil {
 			return err
 		}
@@ -209,7 +230,9 @@ func (a *AllGather) Reduce(rank, _ int, g []float32) error {
 	buf := packF32(g, framed)
 	for p := 0; p < k; p++ {
 		if p != rank {
-			a.fabric.Send(rank, p, buf)
+			if err := a.fabric.Send(rank, p, buf); err != nil {
+				return fmt.Errorf("comm: allgather to %d: %w", p, err)
+			}
 		}
 	}
 	// Sum contributions in rank order for cross-peer determinism.
@@ -223,7 +246,11 @@ func (a *AllGather) Reduce(rank, _ int, g []float32) error {
 			}
 			continue
 		}
-		in, err := unpackF32(a.fabric.Recv(p, rank), n, framed)
+		buf, err := a.fabric.Recv(p, rank)
+		if err != nil {
+			return fmt.Errorf("comm: allgather from %d: %w", p, err)
+		}
+		in, err := unpackF32(buf, n, framed)
 		if err != nil {
 			return fmt.Errorf("comm: allgather from %d: %w", p, err)
 		}

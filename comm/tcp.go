@@ -5,39 +5,27 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"sync"
-	"sync/atomic"
+	"time"
 )
 
-// TCPFabric connects K peers through real loopback TCP sockets, one
-// connection per directed link, with length-prefixed frames. It is the
-// closest stdlib-only analogue of the MPI transport the paper's CNTK
-// uses: bytes cross a real kernel boundary (socket buffers, copies,
-// framing) instead of being handed over via channels. The aggregation
-// primitives run unchanged over either fabric because both satisfy
-// Transport.
+// TCPFabric connects K peers through real loopback TCP sockets: one
+// duplex connection per unordered rank pair, each direction carrying
+// length-prefixed frames. It is the closest stdlib-only analogue of the
+// MPI transport the paper's CNTK uses: bytes cross a real kernel
+// boundary (socket buffers, copies, framing) instead of being handed
+// over via channels. The aggregation primitives run unchanged over
+// either fabric because both satisfy Transport.
 //
-// Each link has a dedicated writer goroutine fed by a buffered queue,
-// so Send enqueues a copy and returns like Fabric.Send does instead of
-// blocking on the socket write. Without this, peers that all write
-// before reading (the aggregation patterns do) would deadlock as soon
-// as one message outgrew the kernel's socket buffers.
-//
-// Frame format per message: uint32 little-endian payload length, then
-// the payload bytes.
+// Since PR 2 the fabric is assembled from K RemoteFabrics — the same
+// single-rank mesh view the cluster rendezvous builds across OS
+// processes — so "dial yourself on loopback" is literally the
+// one-process special case of the deployable multi-process mesh: each
+// rank owns its connection ends, its writer goroutines and its byte
+// counters, and TCPFabric merely routes Send/Recv to the rank they
+// belong to.
 type TCPFabric struct {
-	k int
-	// wconns[from*k+to] is the sender-side end of the link's TCP
-	// stream; rconns the receiver-side end.
-	wconns []net.Conn
-	rconns []net.Conn
-	// queues[from*k+to] feeds the link's writer goroutine.
-	queues  []chan []byte
-	writers sync.WaitGroup
-	rmu     []sync.Mutex
-	bytes   atomic.Int64
-	sends   atomic.Int64
-	closed  atomic.Bool
+	k     int
+	ranks []*RemoteFabric
 }
 
 // NewTCPFabric builds a fully connected loopback mesh between k peers.
@@ -45,201 +33,189 @@ func NewTCPFabric(k int) (*TCPFabric, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("comm: tcp fabric needs at least one peer, got %d", k)
 	}
-	f := &TCPFabric{
-		k:      k,
-		wconns: make([]net.Conn, k*k),
-		rconns: make([]net.Conn, k*k),
-		queues: make([]chan []byte, k*k),
-		rmu:    make([]sync.Mutex, k*k),
+	// conns[r][p] is rank r's end of the duplex link to rank p.
+	conns := make([][]net.Conn, k)
+	for r := range conns {
+		conns[r] = make([]net.Conn, k)
 	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return nil, fmt.Errorf("comm: tcp fabric listen: %w", err)
-	}
-	defer ln.Close()
-
-	// The acceptor slots each incoming connection by an 8-byte
-	// (from, to) preamble written by the dialler.
-	nLinks := k * (k - 1)
-	acceptErr := make(chan error, 1)
-	go func() {
-		for i := 0; i < nLinks; i++ {
-			conn, err := ln.Accept()
-			if err != nil {
-				acceptErr <- err
-				return
+	closeAll := func() {
+		for _, row := range conns {
+			for _, c := range row {
+				if c != nil {
+					c.Close()
+				}
 			}
-			var hdr [8]byte
-			if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-				acceptErr <- err
-				return
-			}
-			from := int(binary.LittleEndian.Uint32(hdr[0:]))
-			to := int(binary.LittleEndian.Uint32(hdr[4:]))
-			if from < 0 || from >= k || to < 0 || to >= k || from == to {
-				acceptErr <- fmt.Errorf("comm: tcp fabric bad preamble %d->%d", from, to)
-				return
-			}
-			f.rconns[from*k+to] = conn
-		}
-		acceptErr <- nil
-	}()
-
-	// fail tears the half-built mesh down safely: the acceptor goroutine
-	// writes f.rconns concurrently, so it must be stopped (listener
-	// closed) and joined (acceptErr drained) before Close walks the
-	// connection slices.
-	fail := func(err error) (*TCPFabric, error) {
-		ln.Close()
-		<-acceptErr
-		f.Close()
-		return nil, err
-	}
-
-	addr := ln.Addr().String()
-	for from := 0; from < k; from++ {
-		for to := 0; to < k; to++ {
-			if from == to {
-				continue
-			}
-			conn, err := net.Dial("tcp", addr)
-			if err != nil {
-				return fail(fmt.Errorf("comm: tcp fabric dial: %w", err))
-			}
-			var hdr [8]byte
-			binary.LittleEndian.PutUint32(hdr[0:], uint32(from))
-			binary.LittleEndian.PutUint32(hdr[4:], uint32(to))
-			if _, err := conn.Write(hdr[:]); err != nil {
-				conn.Close()
-				return fail(fmt.Errorf("comm: tcp fabric preamble: %w", err))
-			}
-			f.wconns[from*k+to] = conn
 		}
 	}
-	if err := <-acceptErr; err != nil {
-		f.Close()
-		return nil, err
-	}
-	// One writer goroutine per outgoing link, mirroring Fabric's
-	// buffered channels: FIFO order is preserved because each link has
-	// exactly one writer.
-	for l, conn := range f.wconns {
-		if conn == nil {
-			continue
+	if k > 1 {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("comm: tcp fabric listen: %w", err)
 		}
-		f.queues[l] = make(chan []byte, linkBuffer)
-		f.writers.Add(1)
-		go f.writeLoop(l, conn)
+		defer ln.Close()
+
+		// The acceptor slots each incoming connection by an 8-byte
+		// (lo, hi) pair preamble written by the dialler: the accept side
+		// becomes the lower rank's end of the link.
+		nPairs := k * (k - 1) / 2
+		acceptErr := make(chan error, 1)
+		go func() {
+			for i := 0; i < nPairs; i++ {
+				conn, err := ln.Accept()
+				if err != nil {
+					acceptErr <- err
+					return
+				}
+				var hdr [8]byte
+				if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+					conn.Close()
+					acceptErr <- err
+					return
+				}
+				lo := int(binary.LittleEndian.Uint32(hdr[0:]))
+				hi := int(binary.LittleEndian.Uint32(hdr[4:]))
+				if lo < 0 || hi >= k || lo >= hi {
+					conn.Close()
+					acceptErr <- fmt.Errorf("comm: tcp fabric bad preamble %d<->%d", lo, hi)
+					return
+				}
+				conns[lo][hi] = conn
+			}
+			acceptErr <- nil
+		}()
+
+		// fail tears the half-built mesh down safely: the acceptor
+		// goroutine writes conns concurrently, so it must be stopped
+		// (listener closed) and joined (acceptErr drained) before the
+		// connection slices are walked.
+		fail := func(err error) (*TCPFabric, error) {
+			ln.Close()
+			<-acceptErr
+			closeAll()
+			return nil, err
+		}
+
+		addr := ln.Addr().String()
+		for lo := 0; lo < k; lo++ {
+			for hi := lo + 1; hi < k; hi++ {
+				conn, err := net.Dial("tcp", addr)
+				if err != nil {
+					return fail(fmt.Errorf("comm: tcp fabric dial: %w", err))
+				}
+				var hdr [8]byte
+				binary.LittleEndian.PutUint32(hdr[0:], uint32(lo))
+				binary.LittleEndian.PutUint32(hdr[4:], uint32(hi))
+				if _, err := conn.Write(hdr[:]); err != nil {
+					conn.Close()
+					return fail(fmt.Errorf("comm: tcp fabric preamble: %w", err))
+				}
+				conns[hi][lo] = conn
+			}
+		}
+		if err := <-acceptErr; err != nil {
+			closeAll()
+			return nil, err
+		}
+	}
+	f := &TCPFabric{k: k, ranks: make([]*RemoteFabric, k)}
+	for r := 0; r < k; r++ {
+		rf, err := NewRemoteFabric(r, k, conns[r])
+		if err != nil {
+			// Close the ranks already wrapped, then the raw remainder.
+			for _, built := range f.ranks {
+				if built != nil {
+					built.Close()
+				}
+			}
+			for rr := r; rr < k; rr++ {
+				for _, c := range conns[rr] {
+					if c != nil {
+						c.Close()
+					}
+				}
+			}
+			return nil, err
+		}
+		f.ranks[r] = rf
 	}
 	return f, nil
-}
-
-// writeLoop drains one link's queue onto its socket until Close.
-func (f *TCPFabric) writeLoop(l int, conn net.Conn) {
-	defer f.writers.Done()
-	var hdr [4]byte
-	for payload := range f.queues[l] {
-		binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
-		if _, err := conn.Write(hdr[:]); err != nil {
-			f.writeFail(l, err)
-			return
-		}
-		if len(payload) > 0 {
-			if _, err := conn.Write(payload); err != nil {
-				f.writeFail(l, err)
-				return
-			}
-		}
-	}
-}
-
-// writeFail handles a socket write error: silent during shutdown
-// (Close races the last in-flight writes), fatal otherwise — matching
-// the previous synchronous Send behaviour.
-func (f *TCPFabric) writeFail(l int, err error) {
-	if f.closed.Load() {
-		return
-	}
-	panic(fmt.Sprintf("comm: tcp send on link %d->%d: %v", l/f.k, l%f.k, err))
 }
 
 // K implements Transport.
 func (f *TCPFabric) K() int { return f.k }
 
-// Framed implements Transport: socket payloads leave the process, so
-// every message carries the self-describing quant frame header and a
-// peer on the far side needs no shared codec configuration.
+// Framed implements Transport: socket payloads leave the process's
+// memory space, so every message carries the self-describing quant
+// frame header and a peer on the far side needs no shared codec
+// configuration.
 func (f *TCPFabric) Framed() bool { return true }
 
-func (f *TCPFabric) link(from, to int) int {
-	if from < 0 || from >= f.k || to < 0 || to >= f.k {
+// Rank exposes one rank's single-rank view of the mesh — what a worker
+// process would hold after a cluster rendezvous.
+func (f *TCPFabric) Rank(r int) *RemoteFabric {
+	if r < 0 || r >= f.k {
+		panic(fmt.Sprintf("comm: rank %d outside world of %d", r, f.k))
+	}
+	return f.ranks[r]
+}
+
+// Send implements Transport by routing to the sending rank's mesh view.
+func (f *TCPFabric) Send(from, to int, payload []byte) error {
+	if from < 0 || from >= f.k {
 		panic(fmt.Sprintf("comm: peer out of range (%d->%d of %d)", from, to, f.k))
 	}
-	if from == to {
-		panic("comm: self-send")
-	}
-	return from*f.k + to
+	return f.ranks[from].Send(from, to, payload)
 }
 
-// Send implements Transport. The payload is copied and enqueued for
-// the link's writer goroutine, so callers may reuse encode buffers
-// immediately; Send blocks only when the link queue is full.
-func (f *TCPFabric) Send(from, to int, payload []byte) {
-	l := f.link(from, to)
-	msg := append([]byte(nil), payload...)
-	f.bytes.Add(int64(len(msg)))
-	f.sends.Add(1)
-	f.queues[l] <- msg
+// Recv implements Transport by routing to the receiving rank's mesh
+// view.
+func (f *TCPFabric) Recv(from, to int) ([]byte, error) {
+	if to < 0 || to >= f.k {
+		panic(fmt.Sprintf("comm: peer out of range (%d->%d of %d)", from, to, f.k))
+	}
+	return f.ranks[to].Recv(from, to)
 }
 
-// Recv implements Transport.
-func (f *TCPFabric) Recv(from, to int) []byte {
-	l := f.link(from, to)
-	f.rmu[l].Lock()
-	defer f.rmu[l].Unlock()
-	conn := f.rconns[l]
-	var hdr [4]byte
-	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-		panic(fmt.Sprintf("comm: tcp recv header %d->%d: %v", from, to, err))
+// TotalBytes implements Transport: the sum over every rank's sends.
+func (f *TCPFabric) TotalBytes() int64 {
+	var total int64
+	for _, r := range f.ranks {
+		total += r.TotalBytes()
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
-	buf := make([]byte, n)
-	if n > 0 {
-		if _, err := io.ReadFull(conn, buf); err != nil {
-			panic(fmt.Sprintf("comm: tcp recv payload %d->%d: %v", from, to, err))
-		}
-	}
-	return buf
+	return total
 }
-
-// TotalBytes implements Transport.
-func (f *TCPFabric) TotalBytes() int64 { return f.bytes.Load() }
 
 // TotalMessages implements Transport.
-func (f *TCPFabric) TotalMessages() int64 { return f.sends.Load() }
+func (f *TCPFabric) TotalMessages() int64 {
+	var total int64
+	for _, r := range f.ranks {
+		total += r.TotalMessages()
+	}
+	return total
+}
 
-// Close shuts down every connection. Sending after Close panics;
-// in-flight queued messages are abandoned (their writers stop when the
-// sockets close).
+// Close shuts down every rank's connections: all ranks are marked
+// closed before any socket is torn down, so Send/Recv calls blocked on
+// any rank — whose link's far end is a sibling rank in this same
+// fabric — observe ErrClosed rather than a spurious transport error.
+// Queued messages are flushed within each rank's drain bound.
 func (f *TCPFabric) Close() error {
-	if !f.closed.CompareAndSwap(false, true) {
-		return nil
+	won := make([]bool, len(f.ranks))
+	for i, r := range f.ranks {
+		won[i] = r.beginClose()
 	}
-	for _, q := range f.queues {
-		if q != nil {
-			close(q)
-		}
-	}
+	// One shared drain bound across all ranks: the sequential teardowns
+	// race the same absolute deadline, so an error-path shutdown with
+	// wedged links costs at most one drain timeout, not K of them.
+	deadline := time.Now().Add(drainTimeout)
 	var first error
-	for _, conns := range [][]net.Conn{f.wconns, f.rconns} {
-		for _, c := range conns {
-			if c != nil {
-				if err := c.Close(); err != nil && first == nil {
-					first = err
-				}
-			}
+	for i, r := range f.ranks {
+		if !won[i] {
+			continue
+		}
+		if err := r.teardown(deadline); err != nil && first == nil {
+			first = err
 		}
 	}
-	f.writers.Wait()
 	return first
 }

@@ -14,12 +14,12 @@ func TestTCPFabricBasicSendRecv(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	f.Send(0, 1, []byte{1, 2, 3})
-	f.Send(0, 1, []byte{4})
-	if got := f.Recv(0, 1); len(got) != 3 || got[0] != 1 {
+	mustSend(t, f, 0, 1, []byte{1, 2, 3})
+	mustSend(t, f, 0, 1, []byte{4})
+	if got := mustRecv(t, f, 0, 1); len(got) != 3 || got[0] != 1 {
 		t.Fatalf("first message wrong: %v", got)
 	}
-	if got := f.Recv(0, 1); len(got) != 1 || got[0] != 4 {
+	if got := mustRecv(t, f, 0, 1); len(got) != 1 || got[0] != 4 {
 		t.Fatalf("second message wrong: %v", got)
 	}
 	if f.TotalBytes() != 4 || f.TotalMessages() != 2 {
@@ -33,8 +33,8 @@ func TestTCPFabricEmptyPayload(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	f.Send(0, 1, nil)
-	if got := f.Recv(0, 1); len(got) != 0 {
+	mustSend(t, f, 0, 1, nil)
+	if got := mustRecv(t, f, 0, 1); len(got) != 0 {
 		t.Fatalf("expected empty message, got %d bytes", len(got))
 	}
 }
@@ -50,8 +50,14 @@ func TestTCPFabricLargeMessage(t *testing.T) {
 		big[i] = byte(i)
 	}
 	done := make(chan []byte)
-	go func() { done <- f.Recv(1, 0) }()
-	f.Send(1, 0, big)
+	go func() {
+		buf, err := f.Recv(1, 0)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- buf
+	}()
+	mustSend(t, f, 1, 0, big)
 	got := <-done
 	if len(got) != len(big) {
 		t.Fatalf("length %d, want %d", len(got), len(big))
@@ -131,8 +137,12 @@ func BenchmarkTCPvsChanFabric(b *testing.B) {
 		f := NewFabric(2)
 		b.SetBytes(int64(len(payload)))
 		for i := 0; i < b.N; i++ {
-			f.Send(0, 1, payload)
-			f.Recv(0, 1)
+			if err := f.Send(0, 1, payload); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := f.Recv(0, 1); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 	b.Run("tcp", func(b *testing.B) {
@@ -144,8 +154,12 @@ func BenchmarkTCPvsChanFabric(b *testing.B) {
 		b.SetBytes(int64(len(payload)))
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			f.Send(0, 1, payload)
-			f.Recv(0, 1)
+			if err := f.Send(0, 1, payload); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := f.Recv(0, 1); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

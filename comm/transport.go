@@ -1,23 +1,42 @@
 package comm
 
+import "errors"
+
+// ErrClosed is returned by Send and Recv once a fabric has been closed.
+// Orderly shutdown races — a peer tearing its sockets down while the
+// last messages of an exchange are still in flight — surface as this
+// error instead of a panic, so callers can distinguish "the run is
+// over" from a genuine transport fault.
+var ErrClosed = errors.New("comm: fabric closed")
+
 // Transport is the byte-moving substrate beneath the aggregation
 // primitives: K peers connected by reliable, ordered, directed links.
-// Two implementations ship with the repository — the in-process Fabric
-// (channels, standing in for PCIe/NVLink peer-to-peer copies) and
-// TCPFabric (real loopback sockets, standing in for the
-// host-mediated MPI path). Reducers are written against this interface
-// so the same aggregation code runs over either.
+// Three implementations ship with the repository — the in-process
+// Fabric (channels, standing in for PCIe/NVLink peer-to-peer copies),
+// TCPFabric (a loopback socket mesh inside one process, standing in
+// for the host-mediated MPI path) and RemoteFabric (one rank of a
+// multi-process mesh built from pre-established connections by the
+// cluster rendezvous). Reducers are written against this interface so
+// the same aggregation code runs over any of them.
+//
+// Addressing a peer outside [0, K) or a self-link panics — that is a
+// caller bug. Lifecycle and socket failures return errors: ErrClosed
+// after Close, a wrapped transport error otherwise.
 type Transport interface {
 	// K returns the number of peers.
 	K() int
 	// Send transmits payload from peer `from` to peer `to`. The payload
 	// is copied (or fully written) before Send returns, so callers may
-	// reuse encode buffers immediately.
-	Send(from, to int, payload []byte)
+	// reuse encode buffers immediately. Sending on a closed fabric
+	// returns ErrClosed.
+	Send(from, to int, payload []byte) error
 	// Recv blocks until the next message on the (from, to) link and
-	// returns it.
-	Recv(from, to int) []byte
-	// TotalBytes returns cumulative bytes sent across all links.
+	// returns it. Receiving on a closed fabric — or having the fabric
+	// closed under a blocked Recv — returns ErrClosed.
+	Recv(from, to int) ([]byte, error)
+	// TotalBytes returns cumulative bytes sent across all links this
+	// transport instance observes (for a RemoteFabric, the local rank's
+	// sends only).
 	TotalBytes() int64
 	// TotalMessages returns cumulative messages sent across all links.
 	TotalMessages() int64
@@ -31,8 +50,9 @@ type Transport interface {
 	Framed() bool
 }
 
-// Compile-time checks that both fabrics satisfy Transport.
+// Compile-time checks that all fabrics satisfy Transport.
 var (
 	_ Transport = (*Fabric)(nil)
 	_ Transport = (*TCPFabric)(nil)
+	_ Transport = (*RemoteFabric)(nil)
 )

@@ -8,11 +8,15 @@
 // gradient codecs — the paper's primary contribution — plus the
 // self-describing framed wire format and the Parse name grammar),
 // comm/parallel (the synchronous data-parallel engine with MPI-style
-// and NCCL-style aggregation over in-process or TCP fabrics), and
-// nn/tensor/data/rng (the deep-learning substrate). The experiment
-// machinery stays under internal/: workload/simulate (the calibrated
-// performance model of the paper's machines) and harness (one runner
-// per table and figure). See README.md for a quickstart and a tour;
-// the top-level bench_test.go regenerates every figure as a Go
+// and NCCL-style aggregation over in-process, loopback-TCP or remote
+// mesh fabrics), cluster (the multi-process runtime: TCP rendezvous,
+// per-session codec negotiation with a 32bit floor, and mesh
+// establishment across machine boundaries — launched via
+// cmd/lpsgd-worker or lpsgd.WithCluster), and nn/tensor/data/rng (the
+// deep-learning substrate). The experiment machinery stays under
+// internal/: workload/simulate (the calibrated performance model of
+// the paper's machines, framing overhead included) and harness (one
+// runner per table and figure). See README.md for a quickstart and a
+// tour; the top-level bench_test.go regenerates every figure as a Go
 // benchmark.
 package repro

@@ -26,6 +26,7 @@ package simulate
 import (
 	"fmt"
 
+	"repro/comm"
 	"repro/internal/workload"
 	"repro/quant"
 )
@@ -87,6 +88,14 @@ type Config struct {
 	// ... are already being sent"). The default 0 matches the paper's
 	// additive bar charts; the ablation benchmark sweeps it.
 	Overlap float64
+	// Framed prices the transport as a framed one (comm.Transport.
+	// Framed, e.g. the TCP mesh): every message carries a
+	// self-describing quant frame header on top of the codec payload.
+	// The overhead arithmetic is shared with comm — the same
+	// ReduceBroadcastWireBytes / RingWireBytes the fabrics' byte
+	// counters are tested against — so the simulated and measured TCP
+	// byte volumes agree exactly.
+	Framed bool
 }
 
 // Result is one priced configuration.
@@ -108,9 +117,15 @@ type Result struct {
 	SamplesPerSec float64
 	EpochSec      float64
 
-	// Wire accounting per gradient exchange.
-	WireBytes int64
-	RawBytes  int64
+	// Wire accounting per gradient exchange. WireBytes is the encoded
+	// volume of one model copy (the quantity the link model prices,
+	// including per-copy frame headers when Framed); RawBytes is the
+	// float32 volume of one copy. ExchangeBytes is the total a full
+	// exchange puts on the fabric across all K peers — the number a
+	// framed transport's byte counter measures per iteration.
+	WireBytes     int64
+	RawBytes      int64
+	ExchangeBytes int64
 }
 
 // EpochHours returns the epoch time in hours (the unit of Figures 6–9).
@@ -180,6 +195,17 @@ func Run(cfg Config) (Result, error) {
 
 	if cfg.GPUs > 1 {
 		res.QuantSec = quantTime(plan, net.Tensors, kernel, cfg.Primitive, m.GPU.ComputeScale)
+		rawTotal := exchangeBytes(plan, net.Tensors, cfg.Primitive, cfg.GPUs, false)
+		res.ExchangeBytes = rawTotal
+		if cfg.Framed {
+			// One model copy's share of the per-message frame headers:
+			// the full exchange carries 2(K−1) encoded copies, so the
+			// total framed overhead divides exactly.
+			framedTotal := exchangeBytes(plan, net.Tensors, cfg.Primitive, cfg.GPUs, true)
+			wireBytes += (framedTotal - rawTotal) / int64(2*(cfg.GPUs-1))
+			res.WireBytes = wireBytes
+			res.ExchangeBytes = framedTotal
+		}
 		switch cfg.Primitive {
 		case MPI:
 			res.CommSec = m.MPI.TransferTime(wireBytes, cfg.GPUs, len(net.Tensors))
@@ -205,6 +231,33 @@ func Run(cfg Config) (Result, error) {
 		res.EpochSec = float64(samples) / res.SamplesPerSec
 	}
 	return res, nil
+}
+
+// exchangeBytes predicts the bytes one full gradient exchange moves
+// across all k peers, through the same arithmetic comm's fabrics are
+// tested against. For MPI that is the reduce-and-broadcast stripe
+// pattern under the plan's per-tensor codecs; for NCCL it is the
+// full-precision ring (the volume a real ring actually ships — the
+// paper's low-precision NCCL numbers scale it by the codec's
+// compression, see comm.SimulatedRing).
+func exchangeBytes(plan *quant.Plan, tensors []quant.TensorInfo, prim Primitive, k int, framed bool) int64 {
+	if prim == NCCL {
+		var total int64
+		for _, ti := range tensors {
+			total += comm.RingWireBytes(ti.Shape.Len(), k, framed)
+		}
+		return total
+	}
+	specs := make([]comm.TensorSpec, len(tensors))
+	for i, ti := range tensors {
+		specs[i] = comm.TensorSpec{
+			Name:  ti.Name,
+			N:     ti.Shape.Len(),
+			Wire:  ti.Shape,
+			Codec: plan.CodecFor(i),
+		}
+	}
+	return comm.ReduceBroadcastWireBytes(specs, k, framed)
 }
 
 // quantTime prices encode/decode work for one exchange. Per worker, the

@@ -3,8 +3,10 @@ package simulate
 import (
 	"math"
 	"sort"
+	"sync"
 	"testing"
 
+	"repro/comm"
 	"repro/internal/workload"
 	"repro/quant"
 )
@@ -403,5 +405,135 @@ func TestTopKInSimulator(t *testing.T) {
 	}
 	if r.SamplesPerSec < 100 {
 		t.Fatalf("implausible throughput %v", r.SamplesPerSec)
+	}
+}
+
+// frameNet is a laptop-sized network literal for the framed-volume
+// tests: small enough to push through a real TCP mesh in-process.
+func frameNet() workload.Network {
+	return workload.Network{
+		Name: "frame-test",
+		Tensors: []quant.TensorInfo{
+			{Name: "conv.W", Shape: quant.Shape{Rows: 3, Cols: 512}},
+			{Name: "fc.W", Shape: quant.Shape{Rows: 256, Cols: 64}},
+			{Name: "fc.b", Shape: quant.Shape{Rows: 130, Cols: 1}},
+		},
+		ThroughputK80: 1000,
+	}
+}
+
+// TestFramedSimulatedVolumeMatchesMeasuredTCP: the headline of the
+// framing satellite — the simulator's framed ExchangeBytes must equal,
+// byte for byte, what a real TCP exchange of the same tensors under the
+// same plan puts on the wire.
+func TestFramedSimulatedVolumeMatchesMeasuredTCP(t *testing.T) {
+	const k = 3
+	net := frameNet()
+	for _, codec := range []quant.Codec{
+		quant.FP32{},
+		quant.NewQSGD(4, 512, quant.MaxNorm),
+		quant.NewOneBitReshaped(64),
+	} {
+		res := mustRun(t, Config{Network: net, Machine: workload.EC2P2,
+			Primitive: MPI, Codec: codec, GPUs: k, BatchOverride: 3 * k, Framed: true})
+
+		// Measure: run one real exchange over a loopback TCP mesh with
+		// the same plan.
+		plan := quant.NewPlan(codec, net.Tensors, 0.99)
+		specs := make([]comm.TensorSpec, len(net.Tensors))
+		for i, ti := range net.Tensors {
+			specs[i] = comm.TensorSpec{Name: ti.Name, N: ti.Shape.Len(),
+				Wire: ti.Shape, Codec: plan.CodecFor(i)}
+		}
+		tcp, err := comm.NewTCPFabric(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb := comm.NewReduceBroadcast(tcp, specs, 5)
+		var wg sync.WaitGroup
+		errs := make([]error, k)
+		for w := 0; w < k; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for ti := range specs {
+					g := make([]float32, specs[ti].N)
+					for i := range g {
+						g[i] = float32(i%7) - 3
+					}
+					if err := rb.Reduce(w, ti, g); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		measured := tcp.TotalBytes()
+		tcp.Close()
+		if res.ExchangeBytes != measured {
+			t.Errorf("%s: simulator predicts %d exchange bytes, TCP moved %d",
+				codec.Name(), res.ExchangeBytes, measured)
+		}
+
+		// And the framed prediction must exceed the headerless one by
+		// exactly the per-copy header share.
+		raw := mustRun(t, Config{Network: net, Machine: workload.EC2P2,
+			Primitive: MPI, Codec: codec, GPUs: k, BatchOverride: 3 * k})
+		wantPerCopy := (res.ExchangeBytes - raw.ExchangeBytes) / int64(2*(k-1))
+		if res.WireBytes != raw.WireBytes+wantPerCopy {
+			t.Errorf("%s: framed WireBytes %d, want %d + %d",
+				codec.Name(), res.WireBytes, raw.WireBytes, wantPerCopy)
+		}
+		if res.CommSec <= raw.CommSec {
+			t.Errorf("%s: frame headers must cost transfer time (%v <= %v)",
+				codec.Name(), res.CommSec, raw.CommSec)
+		}
+	}
+}
+
+// TestFramedRingVolumeMatchesMeasuredTCP: same agreement for the
+// NCCL-style full-precision ring.
+func TestFramedRingVolumeMatchesMeasuredTCP(t *testing.T) {
+	const k = 3
+	net := frameNet()
+	res := mustRun(t, Config{Network: net, Machine: workload.EC2P2,
+		Primitive: NCCL, GPUs: k, BatchOverride: 3 * k, Framed: true})
+
+	tcp, err := comm.NewTCPFabric(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcp.Close()
+	ring := comm.NewRing(tcp)
+	var wg sync.WaitGroup
+	errs := make([]error, k)
+	for w := 0; w < k; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for ti, info := range net.Tensors {
+				g := make([]float32, info.Shape.Len())
+				if err := ring.Reduce(w, ti, g); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if measured := tcp.TotalBytes(); res.ExchangeBytes != measured {
+		t.Errorf("ring: simulator predicts %d exchange bytes, TCP moved %d",
+			res.ExchangeBytes, measured)
 	}
 }

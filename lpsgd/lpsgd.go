@@ -19,11 +19,25 @@
 // "1bit*64", "topk0.01", ...). Over the TCP transport every gradient
 // message is a self-describing quant frame, so peers decode with no
 // out-of-band codec agreement.
+//
+// Training can also span OS processes and machines: WithCluster joins
+// a repro/cluster rendezvous, negotiates the gradient codec with the
+// peers (WithAcceptedCodecs, floored at "32bit") and trains this rank
+// of the world over the dialled TCP mesh:
+//
+//	trainer, err := lpsgd.NewTrainer(model,
+//	    lpsgd.WithCluster("10.0.0.1:7070", rank, 3),
+//	    lpsgd.WithAcceptedCodecs("qsgd4b512", "1bit*64"),
+//	)
+//
+// See cmd/lpsgd-worker for the ready-made per-rank binary.
 package lpsgd
 
 import (
 	"fmt"
+	"time"
 
+	"repro/cluster"
 	"repro/nn"
 	"repro/parallel"
 	"repro/quant"
@@ -76,9 +90,19 @@ func (t Transport) String() string {
 
 // config accumulates options before they are handed to the engine.
 type config struct {
-	cfg parallel.Config
-	lr  float32
-	err error
+	cfg     parallel.Config
+	lr      float32
+	err     error
+	cluster *clusterJoin
+	accept  []string
+}
+
+// clusterJoin is a pending or pre-established cluster membership.
+type clusterJoin struct {
+	addr        string
+	rank, world int
+	timeout     time.Duration
+	session     *cluster.Session
 }
 
 // Option mutates the trainer configuration; invalid options surface
@@ -125,6 +149,82 @@ func WithTransport(t Transport) Option {
 // WithPrimitive selects MPI reduce-and-broadcast or the NCCL ring.
 func WithPrimitive(p Primitive) Option {
 	return func(c *config) { c.cfg.Primitive = p }
+}
+
+// WithCluster runs this process as one rank of a multi-process world:
+// NewTrainer performs the cluster rendezvous at addr (rank 0 listens
+// and coordinates, other ranks dial in), negotiates the session codec
+// with the peers, and returns a trainer that drives only this rank —
+// gradients cross process and machine boundaries over the dialled TCP
+// mesh. The negotiated codec overrides WithCodec (which still
+// contributes to the advertised set; see WithAcceptedCodecs), and the
+// world size overrides WithWorkers. Every rank must use the same seed,
+// schedule, batch size and model builder, or the replicas will not
+// stay bit-identical.
+func WithCluster(addr string, rank, world int) Option {
+	return func(c *config) {
+		if c.cluster == nil {
+			c.cluster = &clusterJoin{}
+		}
+		// An already-adopted session is owned and must not leak when a
+		// later option replaces the membership.
+		if c.cluster.session != nil {
+			c.cluster.session.Close()
+			c.cluster.session = nil
+		}
+		c.cluster.addr = addr
+		c.cluster.rank = rank
+		c.cluster.world = world
+	}
+}
+
+// WithClusterSession adopts an already-established cluster membership —
+// for launchers that need cluster.NewCoordinator first to learn a
+// ":0" rendezvous port before spawning the other ranks. The trainer
+// takes ownership of the session and closes it on Close.
+func WithClusterSession(s *cluster.Session) Option {
+	return func(c *config) {
+		if s == nil {
+			c.fail(fmt.Errorf("lpsgd: nil cluster session"))
+			return
+		}
+		if c.cluster == nil {
+			c.cluster = &clusterJoin{}
+		}
+		if c.cluster.session != nil && c.cluster.session != s {
+			c.cluster.session.Close()
+		}
+		c.cluster.session = s
+	}
+}
+
+// WithClusterTimeout bounds every step of the WithCluster rendezvous
+// handshake — dialling the coordinator (with retries while it is not
+// up yet), the hello/welcome exchange, and mesh establishment. The
+// default is 30 seconds; hand-launched multi-machine runs or
+// schedulers that place ranks slowly need more. It does not bound the
+// training traffic that follows, and has no effect with
+// WithClusterSession (the session was already established).
+func WithClusterTimeout(d time.Duration) Option {
+	return func(c *config) {
+		if d <= 0 {
+			c.fail(fmt.Errorf("lpsgd: cluster timeout must be positive, got %v", d))
+			return
+		}
+		if c.cluster == nil {
+			c.cluster = &clusterJoin{}
+		}
+		c.cluster.timeout = d
+	}
+}
+
+// WithAcceptedCodecs sets the codec names (quant.Parse grammar) this
+// rank advertises during the cluster rendezvous; the session settles on
+// the cheapest codec every peer accepts, with "32bit" as the floor.
+// Without this option the rank advertises the WithCodec selection (plus
+// the floor). Outside cluster mode the option has no effect.
+func WithAcceptedCodecs(names ...string) Option {
+	return func(c *config) { c.accept = names }
 }
 
 // WithBatchSize sets the global minibatch size, sharded over workers.
@@ -201,9 +301,6 @@ func (c *config) fail(err error) {
 // momentum 0.9, full-precision gradients, the MPI primitive over the
 // in-process transport.
 func NewTrainer(model BuildFunc, opts ...Option) (*Trainer, error) {
-	if model == nil {
-		return nil, fmt.Errorf("lpsgd: model builder is required")
-	}
 	c := config{
 		cfg: parallel.Config{
 			Workers:   4,
@@ -216,11 +313,63 @@ func NewTrainer(model BuildFunc, opts ...Option) (*Trainer, error) {
 	for _, opt := range opts {
 		opt(&c)
 	}
+	// An adopted session is owned from the moment the option ran: every
+	// error path must release it, or the mesh stays open and the peer
+	// ranks block in their first exchange forever.
+	if model == nil {
+		c.fail(fmt.Errorf("lpsgd: model builder is required"))
+	}
 	if c.err != nil {
+		if c.cluster != nil && c.cluster.session != nil {
+			c.cluster.session.Close()
+		}
 		return nil, c.err
 	}
 	if c.cfg.Schedule == nil {
 		c.cfg.Schedule = nn.ConstantLR(c.lr)
 	}
+	// A bare WithClusterTimeout without WithCluster/WithClusterSession
+	// names no cluster to join and is ignored.
+	if c.cluster != nil && (c.cluster.session != nil || c.cluster.addr != "") {
+		sess := c.cluster.session
+		if sess == nil {
+			var err error
+			sess, err = cluster.Join(cluster.Config{
+				Addr:    c.cluster.addr,
+				Rank:    c.cluster.rank,
+				World:   c.cluster.world,
+				Accept:  c.acceptedCodecs(),
+				Timeout: c.cluster.timeout,
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		// The rendezvous outcome drives the engine: negotiated codec,
+		// world size, this rank, and the established mesh.
+		c.cfg.Codec = sess.Codec()
+		c.cfg.Workers = sess.World()
+		c.cfg.Rank = sess.Rank()
+		c.cfg.Fabric = sess.Fabric()
+		c.cfg.UseTCP = false
+		t, err := parallel.NewTrainer(model, c.cfg)
+		if err != nil {
+			sess.Close()
+			return nil, err
+		}
+		return t, nil
+	}
 	return parallel.NewTrainer(model, c.cfg)
+}
+
+// acceptedCodecs resolves the advertised codec set for a rendezvous:
+// the explicit WithAcceptedCodecs list, or the WithCodec selection.
+func (c *config) acceptedCodecs() []string {
+	if len(c.accept) > 0 {
+		return c.accept
+	}
+	if c.cfg.Codec != nil {
+		return []string{c.cfg.Codec.Name()}
+	}
+	return nil
 }

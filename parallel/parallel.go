@@ -68,8 +68,19 @@ type Config struct {
 	WeightDecay float32
 	// UseTCP moves gradients over real loopback TCP sockets instead of
 	// in-process channels — same aggregation algorithms, real kernel
-	// boundary (see comm.TCPFabric).
+	// boundary (see comm.TCPFabric). Ignored when Fabric is set.
 	UseTCP bool
+	// Fabric supplies an externally established transport — typically
+	// the mesh a cluster rendezvous built (repro/cluster). When set,
+	// the trainer runs as the single rank Rank of a Workers-sized
+	// world: it holds one local replica, drives one worker goroutine,
+	// and exchanges gradients with the other ranks' processes over the
+	// mesh. Fabric.K() must equal Workers. The trainer takes ownership
+	// and closes the fabric on Close.
+	Fabric comm.Transport
+	// Rank is this process's rank in [0, Workers) when Fabric is set;
+	// ignored otherwise.
+	Rank int
 	// ClipNorm bounds the global gradient L2 norm after aggregation
 	// (0 disables clipping). CNTK's recurrent recipes clip gradients;
 	// clipping after the exchange keeps replicas bit-identical.
@@ -141,9 +152,16 @@ func (h *History) EpochsToReach(target float64) int {
 	return -1
 }
 
-// Trainer runs synchronous data-parallel SGD.
+// Trainer runs synchronous data-parallel SGD. In the default
+// single-process mode it owns all K replicas and drives them from K
+// goroutines; with Config.Fabric set it is one rank of a multi-process
+// world and owns only the local replica — the remaining ranks live in
+// other OS processes reachable over the mesh.
 type Trainer struct {
-	cfg      Config
+	cfg Config
+	// ranks lists the global ranks this process drives; replicas[i],
+	// opts[i] and losses[i] belong to ranks[i].
+	ranks    []int
 	replicas []*nn.Network
 	opts     []*nn.SGD
 	losses   []*nn.SoftmaxCrossEntropy
@@ -153,18 +171,37 @@ type Trainer struct {
 	specs    []comm.TensorSpec
 }
 
-// NewTrainer builds K replicas with identical initial weights using
-// build, which must be deterministic in its RNG argument.
+// NewTrainer builds the local replicas with identical initial weights
+// using build, which must be deterministic in its RNG argument. In
+// single-process mode that is all K replicas; in cluster mode
+// (cfg.Fabric set) it is the one replica of cfg.Rank, bit-identical to
+// every other rank's because each process seeds build with the same
+// cfg.Seed.
 func NewTrainer(build func(r *rng.RNG) *nn.Network, cfg Config) (*Trainer, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
 	t := &Trainer{cfg: cfg}
-	for w := 0; w < cfg.Workers; w++ {
-		// Same init seed for every replica: weights start identical.
-		// (Per-worker stochastic behaviour such as dropout uses layer
-		// RNGs forked from this same stream; masks may coincide across
-		// replicas, which only makes shards more, not less, comparable.)
+	if cfg.Fabric != nil {
+		if k := cfg.Fabric.K(); k != cfg.Workers {
+			return nil, fmt.Errorf("parallel: fabric spans %d ranks, config wants %d workers", k, cfg.Workers)
+		}
+		if cfg.Rank < 0 || cfg.Rank >= cfg.Workers {
+			return nil, fmt.Errorf("parallel: rank %d outside world of %d", cfg.Rank, cfg.Workers)
+		}
+		t.ranks = []int{cfg.Rank}
+	} else {
+		for w := 0; w < cfg.Workers; w++ {
+			t.ranks = append(t.ranks, w)
+		}
+	}
+	for range t.ranks {
+		// Same init seed for every replica: weights start identical —
+		// across goroutines here and across OS processes in cluster
+		// mode. (Per-worker stochastic behaviour such as dropout uses
+		// layer RNGs forked from this same stream; masks may coincide
+		// across replicas, which only makes shards more, not less,
+		// comparable.)
 		net := build(rng.New(cfg.Seed))
 		t.replicas = append(t.replicas, net)
 		opt := nn.NewSGD(net.Params(), cfg.Schedule.LRAt(0), cfg.Momentum)
@@ -174,13 +211,16 @@ func NewTrainer(build func(r *rng.RNG) *nn.Network, cfg Config) (*Trainer, error
 	}
 	infos := t.replicas[0].TensorInfos()
 	t.plan = quant.NewPlan(cfg.Codec, infos, cfg.MinQuantisedFraction)
-	if cfg.UseTCP {
+	switch {
+	case cfg.Fabric != nil:
+		t.fabric = cfg.Fabric
+	case cfg.UseTCP:
 		tcp, err := comm.NewTCPFabric(cfg.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("parallel: tcp fabric: %w", err)
 		}
 		t.fabric = tcp
-	} else {
+	default:
 		t.fabric = comm.NewFabric(cfg.Workers)
 	}
 	params := t.replicas[0].Params()
@@ -195,7 +235,7 @@ func NewTrainer(build func(r *rng.RNG) *nn.Network, cfg Config) (*Trainer, error
 	}
 	switch cfg.Primitive {
 	case MPI:
-		t.reducer = comm.NewReduceBroadcast(t.fabric, t.specs, cfg.Seed)
+		t.reducer = comm.NewReduceBroadcastLocal(t.fabric, t.specs, cfg.Seed, t.ranks)
 	case NCCL:
 		if _, fp := cfg.Codec.(quant.FP32); fp || cfg.Workers == 1 {
 			t.reducer = comm.NewRing(t.fabric)
@@ -226,6 +266,14 @@ func (t *Trainer) Close() error {
 
 // Plan exposes the codec assignment (for reporting).
 func (t *Trainer) Plan() *quant.Plan { return t.plan }
+
+// Rank returns the lowest rank this process drives: the cluster rank
+// in multi-process mode, 0 when the trainer owns the whole world.
+func (t *Trainer) Rank() int { return t.ranks[0] }
+
+// World returns the global worker count K, whether the ranks live in
+// this process or across a cluster.
+func (t *Trainer) World() int { return t.cfg.Workers }
 
 // Reducer exposes the aggregation primitive (for reporting).
 func (t *Trainer) Reducer() comm.Reducer { return t.reducer }
@@ -304,28 +352,31 @@ func (t *Trainer) Run(train, test *data.Dataset) (*History, error) {
 }
 
 // step performs one synchronous iteration over the given global batch.
+// Sharding is by global rank, so every process of a cluster world
+// computes gradients over a disjoint slice of the same deterministic
+// batch; the loss it reports averages its local shards only.
 func (t *Trainer) step(train *data.Dataset, batch []int) (float64, error) {
 	k := t.cfg.Workers
-	losses := make([]float64, k)
-	errs := make([]error, k)
+	losses := make([]float64, len(t.ranks))
+	errs := make([]error, len(t.ranks))
 	var wg sync.WaitGroup
-	for w := 0; w < k; w++ {
+	for li, w := range t.ranks {
 		wg.Add(1)
-		go func(w int) {
+		go func(li, w int) {
 			defer wg.Done()
 			shard := batch[w*len(batch)/k : (w+1)*len(batch)/k]
 			x, labels := train.Gather(shard)
-			net := t.replicas[w]
+			net := t.replicas[li]
 			net.ZeroGrads()
-			loss := t.losses[w]
-			losses[w] = loss.Forward(net.Forward(x, true), labels)
+			loss := t.losses[li]
+			losses[li] = loss.Forward(net.Forward(x, true), labels)
 			net.Backward(loss.Backward(labels))
 			// Exchange every tensor, then average over workers: the
 			// paper's x ← x − (η/K)·Σ g̃.
 			invK := 1 / float32(k)
 			for i, p := range net.Params() {
 				if err := t.reducer.Reduce(w, i, p.Grad.Data); err != nil {
-					errs[w] = err
+					errs[li] = err
 					return
 				}
 				if k > 1 {
@@ -335,8 +386,8 @@ func (t *Trainer) step(train *data.Dataset, batch []int) (float64, error) {
 			if t.cfg.ClipNorm > 0 {
 				nn.ClipGradNorm(net.Params(), t.cfg.ClipNorm)
 			}
-			t.opts[w].Step()
-		}(w)
+			t.opts[li].Step()
+		}(li, w)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -348,7 +399,7 @@ func (t *Trainer) step(train *data.Dataset, batch []int) (float64, error) {
 	for _, l := range losses {
 		sum += l
 	}
-	return sum / float64(k), nil
+	return sum / float64(len(t.ranks)), nil
 }
 
 // Evaluate returns top-1 accuracy of the canonical replica on ds.

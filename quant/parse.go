@@ -61,6 +61,20 @@ func MustParse(name string) Codec {
 	return c
 }
 
+// Canonical resolves a codec name to its canonical spelling — the one
+// Codec.Name() produces — so that aliases compare as equals: "fp32"
+// canonicalises to "32bit", "qsgd4" (the paper's tuned default bucket)
+// to "qsgd4b512", "qsgd4b512mx" to "qsgd4b512". Capability exchanges
+// (cluster codec negotiation) intersect advertised sets by canonical
+// name, not by raw spelling.
+func Canonical(name string) (string, error) {
+	c, err := Parse(name)
+	if err != nil {
+		return "", err
+	}
+	return c.Name(), nil
+}
+
 // Names returns canonical example names for every codec family, in the
 // paper's presentation order. These are exact Parse inputs, but unlike
 // the old fixed registry they are samples of a grammar, not the full

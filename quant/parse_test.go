@@ -107,3 +107,28 @@ func TestMustParsePanics(t *testing.T) {
 	}()
 	MustParse("qsgd3")
 }
+
+func TestCanonical(t *testing.T) {
+	cases := map[string]string{
+		"fp32":        "32bit",
+		"32bit":       "32bit",
+		"qsgd4":       "qsgd4b512",
+		"qsgd4b512mx": "qsgd4b512",
+		"qsgd2":       "qsgd2b128",
+		"1bit*":       "1bit*64",
+		"topk0.010":   "topk0.01",
+	}
+	for in, want := range cases {
+		got, err := Canonical(in)
+		if err != nil {
+			t.Errorf("Canonical(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("Canonical(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if _, err := Canonical("qsgd3"); err == nil {
+		t.Error("Canonical must reject unknown names")
+	}
+}
