@@ -360,3 +360,45 @@ func itoa(v int) string {
 	}
 	return string(buf[i:])
 }
+
+// --- Precision policies: wire volume across the paper's codec ladder
+// and mixed per-layer schemes (the study the policy grammar opens) ---
+
+// BenchmarkPolicyWireBytes prices one AlexNet gradient exchange under
+// every paper codec and two mixed per-layer policies, reporting the
+// encoded volume of one model copy, the full K=8 framed exchange, and
+// the compression over raw float32 — the traffic side of the
+// accuracy-vs-traffic frontier per-layer assignment moves along.
+func BenchmarkPolicyWireBytes(b *testing.B) {
+	net := workload.AlexNet
+	var policies []string
+	for _, c := range quant.PaperCodecs() {
+		policies = append(policies, c.Name())
+	}
+	policies = append(policies,
+		// Sparse giant FC layers, raw biases, 4-bit elsewhere.
+		"qsgd4b512;fc6=topk0.001;fc7=topk0.001;*.b=32bit",
+		// Conservative 8-bit convolutions under a 4-bit default.
+		"qsgd4b512;minfrac=1;conv*=qsgd8b512",
+	)
+	const k = 8
+	for _, name := range policies {
+		policy := quant.MustParsePolicy(name)
+		b.Run(name, func(b *testing.B) {
+			var plan *quant.Plan
+			var exchange int64
+			for i := 0; i < b.N; i++ {
+				plan = quant.NewPlan(policy, net.Tensors)
+				specs := make([]comm.TensorSpec, len(net.Tensors))
+				for t, ti := range net.Tensors {
+					specs[t] = comm.TensorSpec{Name: ti.Name, N: ti.Shape.Len(),
+						Wire: ti.Shape, Codec: plan.CodecFor(t)}
+				}
+				exchange = comm.ReduceBroadcastWireBytes(specs, k, true)
+			}
+			b.ReportMetric(float64(plan.WireBytes())/1e6, "wire_MB/copy")
+			b.ReportMetric(float64(exchange)/1e6, "exchange_MB@8")
+			b.ReportMetric(float64(plan.RawBytes())/float64(plan.WireBytes()), "compression_x")
+		})
+	}
+}

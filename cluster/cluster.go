@@ -9,12 +9,13 @@
 //   - Rank 0 (the coordinator) listens on a well-known address; every
 //     other rank dials in and sends a versioned hello carrying its
 //     rank, the world size it expects, the address of its own mesh
-//     listener, and the gradient codec names it accepts.
+//     listener, and the precision policy strings it accepts
+//     (quant.ParsePolicy grammar — bare codec names included).
 //   - The coordinator validates the hellos (protocol version, rank
-//     uniqueness, world agreement, parseable codec names), negotiates
-//     the session codec — the cheapest codec every peer accepts, with
-//     "32bit" as the floor (see Negotiate) — and broadcasts the
-//     membership table.
+//     uniqueness, world agreement, parseable policy strings),
+//     negotiates the session policy — the cheapest policy every peer
+//     accepts by canonical spelling, with "32bit" as the floor (see
+//     Negotiate) — and broadcasts the membership table.
 //   - Every pair of ranks then establishes its duplex TCP link (the
 //     higher rank dials the lower rank's mesh listener), and each
 //     process wraps its local connection ends into a comm.RemoteFabric
@@ -22,7 +23,7 @@
 //     on loopback, so the trainer code cannot tell a simulated mesh
 //     from a deployed one.
 //
-// The result is a Session: rank, world size, negotiated codec and a
+// The result is a Session: rank, world size, negotiated policy and a
 // ready Transport. repro/lpsgd exposes it as
 // lpsgd.WithCluster(addr, rank, world), and cmd/lpsgd-worker is the
 // process you actually launch.
@@ -46,8 +47,9 @@ type Config struct {
 	Rank int
 	// World is the total number of worker processes.
 	World int
-	// Accept lists the gradient codec names (quant.Parse grammar) this
-	// rank is willing to decode. The Floor codec "32bit" is always
+	// Accept lists the precision policy strings (quant.ParsePolicy
+	// grammar; bare codec names are valid policies) this rank is
+	// willing to train under. The Floor policy "32bit" is always
 	// implicitly accepted. Empty means floor-only.
 	Accept []string
 	// Timeout bounds every handshake step (default 30s). It does not
@@ -93,19 +95,20 @@ func (c Config) validate() error {
 		return fmt.Errorf("cluster: rendezvous address is required")
 	}
 	for _, name := range c.Accept {
-		if _, err := quant.Parse(name); err != nil {
-			return fmt.Errorf("cluster: accepted codec: %w", err)
+		if _, err := quant.ParsePolicy(name); err != nil {
+			return fmt.Errorf("cluster: accepted policy: %w", err)
 		}
 	}
 	return nil
 }
 
 // Session is one rank's membership in a running cluster: its identity,
-// the codec the rendezvous negotiated, and the established mesh.
+// the precision policy the rendezvous negotiated, and the established
+// mesh.
 type Session struct {
 	rank, world int
-	codecName   string
-	codec       quant.Codec
+	policyName  string
+	policy      *quant.Policy
 	fabric      *comm.RemoteFabric
 	peers       []string
 }
@@ -116,11 +119,22 @@ func (s *Session) Rank() int { return s.rank }
 // World returns the number of worker processes.
 func (s *Session) World() int { return s.world }
 
-// CodecName returns the negotiated codec's canonical name.
-func (s *Session) CodecName() string { return s.codecName }
+// PolicyName returns the negotiated policy's canonical spelling.
+func (s *Session) PolicyName() string { return s.policyName }
 
-// Codec returns the negotiated gradient codec.
-func (s *Session) Codec() quant.Codec { return s.codec }
+// Policy returns the negotiated precision policy.
+func (s *Session) Policy() *quant.Policy { return s.policy }
+
+// CodecName returns the negotiated policy's canonical spelling.
+//
+// Deprecated: sessions negotiate whole policies now; use PolicyName.
+func (s *Session) CodecName() string { return s.policyName }
+
+// Codec returns the negotiated policy's base codec.
+//
+// Deprecated: the base codec alone loses the policy's exemption target
+// and per-tensor rules; use Policy.
+func (s *Session) Codec() quant.Codec { return s.policy.Base }
 
 // Fabric returns the established mesh transport. The session owns it;
 // Close tears it down.
@@ -262,9 +276,9 @@ func (c *Coordinator) Join() (*Session, error) {
 	defer meshLn.Close()
 	addrs[0] = meshLn.Addr().String()
 
-	// Phase 2: negotiate the session codec over every rank's accepted
+	// Phase 2: negotiate the session policy over every rank's accepted
 	// set, the coordinator's own included.
-	codecName, err := Negotiate(accepts...)
+	policyName, err := Negotiate(accepts...)
 	if err != nil {
 		for _, conn := range rendConns {
 			if conn != nil {
@@ -276,7 +290,7 @@ func (c *Coordinator) Join() (*Session, error) {
 
 	// Phase 3: broadcast the membership table.
 	for rank := 1; rank < cfg.World; rank++ {
-		if err := writeWelcome(rendConns[rank], welcome{Codec: codecName, Addrs: addrs}); err != nil {
+		if err := writeWelcome(rendConns[rank], welcome{Codec: policyName, Addrs: addrs}); err != nil {
 			return nil, fmt.Errorf("cluster: welcome rank %d: %w", rank, err)
 		}
 	}
@@ -288,7 +302,7 @@ func (c *Coordinator) Join() (*Session, error) {
 		closeConns(conns)
 		return nil, err
 	}
-	return newSession(cfg, codecName, addrs, conns)
+	return newSession(cfg, policyName, addrs, conns)
 }
 
 // checkHello validates one worker's hello against the coordinator's
@@ -308,7 +322,7 @@ func (c *Coordinator) checkHello(h hello, rendConns []net.Conn) error {
 		return fmt.Errorf("cluster: rank %d advertises no mesh address", h.Rank)
 	}
 	for _, name := range h.Accept {
-		if _, err := quant.Parse(name); err != nil {
+		if _, err := quant.ParsePolicy(name); err != nil {
 			return fmt.Errorf("cluster: rank %d: %w", h.Rank, err)
 		}
 	}
@@ -429,11 +443,11 @@ func acceptMeshLinks(ln net.Listener, local, world, need int, deadline time.Time
 
 // newSession finalises a rendezvous: clears the handshake deadlines and
 // wraps the mesh into the local rank's Transport.
-func newSession(cfg Config, codecName string, addrs []string, conns []net.Conn) (*Session, error) {
-	codec, err := quant.Parse(codecName)
+func newSession(cfg Config, policyName string, addrs []string, conns []net.Conn) (*Session, error) {
+	policy, err := quant.ParsePolicy(policyName)
 	if err != nil {
 		closeConns(conns)
-		return nil, fmt.Errorf("cluster: negotiated codec: %w", err)
+		return nil, fmt.Errorf("cluster: negotiated policy: %w", err)
 	}
 	for _, conn := range conns {
 		if conn != nil {
@@ -446,12 +460,12 @@ func newSession(cfg Config, codecName string, addrs []string, conns []net.Conn) 
 		return nil, err
 	}
 	return &Session{
-		rank:      cfg.Rank,
-		world:     cfg.World,
-		codecName: codecName,
-		codec:     codec,
-		fabric:    fabric,
-		peers:     addrs,
+		rank:       cfg.Rank,
+		world:      cfg.World,
+		policyName: policy.Name(),
+		policy:     policy,
+		fabric:     fabric,
+		peers:      addrs,
 	}, nil
 }
 

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"net"
 	"strings"
 	"sync"
@@ -39,6 +40,36 @@ func TestNegotiateMatrix(t *testing.T) {
 		// codec is only worth negotiating if it beats full precision.
 		{"sparse cheaper than dense", [][]string{
 			{"topk0.001", "qsgd8b512"}, {"topk0.001", "qsgd8b512"}}, "topk0.001"},
+
+		// --- policy sets (overlapping but non-identical schemes) ---
+
+		// A mixed policy and its bare base are different schemes: a peer
+		// that never agreed to decode the embedding layer's topk frames
+		// must not receive them, so the intersection is empty and the
+		// session floors.
+		{"policy and bare base do not intersect", [][]string{
+			{"qsgd4b512;embedding=topk0.01"}, {"qsgd4b512"}}, "32bit"},
+		// Identical mixed policies negotiate like identical codecs.
+		{"identical mixed policies", [][]string{
+			{"qsgd4b512;embedding=topk0.01"},
+			{"qsgd4b512;embedding=topk0.01"}}, "qsgd4b512;embedding=topk0.01"},
+		// Overlapping-but-non-identical sets settle on the shared member.
+		{"overlapping policy sets", [][]string{
+			{"qsgd4b512;*.b=32bit", "qsgd8b512"},
+			{"topk0.01", "qsgd8b512"}}, "qsgd8b512"},
+		// Policies intersect by canonical spelling: a spelled-out default
+		// minfrac, a default bucket and codec aliases inside rules all
+		// collapse to the same canonical policy.
+		{"canonical policy aliases", [][]string{
+			{"qsgd4;minfrac=0.99"}, {"qsgd4b512"}}, "qsgd4b512"},
+		{"rule codec aliases", [][]string{
+			{"qsgd4b512;emb=fp32"}, {"qsgd4;emb=32bit"}}, "qsgd4b512;emb=32bit"},
+		// A rule that sends the (reference) embedding tensor sparse makes
+		// the whole policy cheaper than its bare base, so it wins when
+		// both are shared.
+		{"mixed policy cheaper than base", [][]string{
+			{"qsgd4b512;embedding=topk0.001", "qsgd4b512"},
+			{"qsgd4b512", "qsgd4b512;embedding=topk0.001"}}, "qsgd4b512;embedding=topk0.001"},
 	}
 	for _, tc := range cases {
 		got, err := Negotiate(tc.accepts...)
@@ -59,21 +90,50 @@ func TestNegotiateRejectsUnknownCodec(t *testing.T) {
 	if _, err := Negotiate([]string{"florp"}); err == nil {
 		t.Fatal("unknown codec family must be an error")
 	}
+	if _, err := Negotiate([]string{"qsgd4b512;;"}); err == nil {
+		t.Fatal("malformed policy string must be an error")
+	}
+	if _, err := Negotiate([]string{"qsgd4b512;emb=florp"}); err == nil {
+		t.Fatal("policy with an unknown rule codec must be an error")
+	}
 }
 
-// TestNegotiatedCodecAlwaysParses: whatever Negotiate returns must be
-// constructible — the session builds its plan from this name.
-func TestNegotiatedCodecAlwaysParses(t *testing.T) {
-	sets := [][]string{
-		{"qsgd4b512", "1bit*64", "topk0.01"},
-		{"1bit*64", "qsgd4b512"},
+// TestNegotiatedPolicyAlwaysParses: whatever Negotiate returns must be
+// constructible — the session builds its plan from this string.
+func TestNegotiatedPolicyAlwaysParses(t *testing.T) {
+	for _, sets := range [][][]string{
+		{
+			{"qsgd4b512", "1bit*64", "topk0.01"},
+			{"1bit*64", "qsgd4b512"},
+		},
+		{
+			{"qsgd4b512;embedding=topk0.001;*.b=32bit"},
+			{"qsgd4b512;embedding=topk0.001;*.b=32bit", "qsgd8b512"},
+		},
+	} {
+		name, err := Negotiate(sets...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := quant.ParsePolicy(name)
+		if err != nil {
+			t.Fatalf("negotiated %q does not parse: %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("negotiated %q is not canonical (re-names as %q)", name, p.Name())
+		}
 	}
-	name, err := Negotiate(sets...)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := quant.Parse(name); err != nil {
-		t.Fatalf("negotiated %q does not parse: %v", name, err)
+}
+
+// TestWelcomeRejectsOverlongPolicy: canonicalisation can lengthen a
+// policy past the hello's raw 255-byte cap; the welcome writer must
+// fail loudly instead of wrapping the length byte and corrupting the
+// handshake stream.
+func TestWelcomeRejectsOverlongPolicy(t *testing.T) {
+	long := strings.Repeat("x", 256)
+	var sink bytes.Buffer
+	if err := writeWelcome(&sink, welcome{Codec: long}); err == nil {
+		t.Fatal("a >255-byte policy string must not be writable as a welcome")
 	}
 }
 
@@ -357,6 +417,32 @@ func TestRendezvousNegotiatesFloorOnDisjointSets(t *testing.T) {
 	for rank, s := range sessions {
 		if s.CodecName() != "32bit" {
 			t.Fatalf("rank %d negotiated %q, want the 32bit floor", rank, s.CodecName())
+		}
+	}
+}
+
+// TestRendezvousNegotiatesMixedPolicy: a full rendezvous over
+// non-canonically-spelled mixed-policy advertisements settles every
+// rank on the same canonical policy, with the rules intact in the
+// session's parsed Policy.
+func TestRendezvousNegotiatesMixedPolicy(t *testing.T) {
+	sessions := joinAll(t, 3, [][]string{
+		{"qsgd4b512;embedding=topk0.01;*.b=32bit", "qsgd8b512"},
+		{"qsgd4;embedding=topk0.01;*.b=fp32"}, // alias spelling of the same policy
+		{"1bit", "qsgd4b512;embedding=topk0.01;*.b=32bit"},
+	})
+	const want = "qsgd4b512;embedding=topk0.01;*.b=32bit"
+	for rank, s := range sessions {
+		if s.PolicyName() != want {
+			t.Fatalf("rank %d negotiated %q, want %q", rank, s.PolicyName(), want)
+		}
+		p := s.Policy()
+		if p.Base.Name() != "qsgd4b512" || len(p.Rules) != 2 {
+			t.Fatalf("rank %d parsed policy %+v", rank, p)
+		}
+		if p.Rules[0].Pattern != "embedding" || p.Rules[0].Codec.Name() != "topk0.01" ||
+			p.Rules[1].Pattern != "*.b" || p.Rules[1].Codec.Name() != "32bit" {
+			t.Fatalf("rank %d rules %+v", rank, p.Rules)
 		}
 	}
 }

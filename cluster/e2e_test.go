@@ -20,11 +20,32 @@ import (
 // TestThreeProcessClusterTraining is the acceptance test for the
 // multi-process runtime: it builds cmd/lpsgd-worker and launches three
 // separate OS processes — one coordinator (rank 0) and two workers —
-// that rendezvous over loopback, negotiate a codec, and complete a
-// training run over the dialled TCP mesh. It asserts that every
-// process converges on the negotiated codec and ends with bit-identical
-// model state (equal checkpoint digests).
+// that rendezvous over loopback, negotiate a precision policy, and
+// complete a training run over the dialled TCP mesh. It asserts that
+// every process converges on the negotiated policy and ends with
+// bit-identical model state (equal checkpoint digests).
 func TestThreeProcessClusterTraining(t *testing.T) {
+	// Overlapping-but-distinct advertisements: qsgd4b512 is the cheapest
+	// policy all three share, so that must be the negotiated outcome.
+	runThreeProcessCluster(t,
+		[]string{"qsgd4b512,1bit", "qsgd4b512,qsgd8b512", "topk0.01,qsgd4b512"},
+		"qsgd4b512")
+}
+
+// TestThreeProcessClusterTrainingMixedPolicy is the same acceptance
+// test under a mixed per-layer policy: the fc1 weights travel as 8-bit
+// QSGD, every bias at full precision, everything else as 4-bit QSGD —
+// so one exchange interleaves frames naming three different codecs —
+// and the ranks must still end with identical model digests.
+func TestThreeProcessClusterTrainingMixedPolicy(t *testing.T) {
+	const policy = "qsgd4b512;fc1=qsgd8b512;*.b=32bit"
+	runThreeProcessCluster(t,
+		[]string{policy, policy + ",qsgd8b512", "1bit," + policy},
+		policy)
+}
+
+func runThreeProcessCluster(t *testing.T, accepts []string, wantPolicy string) {
+	t.Helper()
 	if testing.Short() {
 		t.Skip("multi-process smoke test skipped in -short mode")
 	}
@@ -46,9 +67,6 @@ func TestThreeProcessClusterTraining(t *testing.T) {
 		"-task", "image", "-epochs", "2", "-batch", "24",
 		"-train-samples", "96", "-test-samples", "48", "-seed", "41",
 	}
-	// Overlapping-but-distinct advertisements: qsgd4b512 is the cheapest
-	// codec all three share, so that must be the negotiated outcome.
-	accepts := []string{"qsgd4b512,1bit", "qsgd4b512,qsgd8b512", "topk0.01,qsgd4b512"}
 
 	// Rank 0 coordinates on an ephemeral port and prints the bound
 	// address on its first stdout line.
@@ -126,8 +144,8 @@ func TestThreeProcessClusterTraining(t *testing.T) {
 		}
 	}
 	for rank := 0; rank < world; rank++ {
-		if codecs[rank] != "qsgd4b512" {
-			t.Errorf("rank %d trained with codec %q, want the negotiated qsgd4b512", rank, codecs[rank])
+		if codecs[rank] != wantPolicy {
+			t.Errorf("rank %d trained with policy %q, want the negotiated %q", rank, codecs[rank], wantPolicy)
 		}
 		if models[rank] == "" {
 			t.Fatalf("rank %d reported no model digest", rank)

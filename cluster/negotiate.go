@@ -7,46 +7,61 @@ import (
 	"repro/quant"
 )
 
-// negotiationShape is the reference tensor negotiation prices codecs
-// on: large enough that every codec family amortises its per-group
-// overhead (512-element columns keep classic column-wise 1bitSGD
-// honest), so "cheapest" reflects steady-state wire cost rather than
-// small-tensor edge effects.
-var negotiationShape = quant.Shape{Rows: 512, Cols: 128}
+// negotiationInventory is the reference tensor inventory negotiation
+// prices policies on: tensors large enough that every codec family
+// amortises its per-group overhead (512-element columns keep classic
+// column-wise 1bitSGD honest), so "cheapest" reflects steady-state wire
+// cost rather than small-tensor edge effects, plus a named embedding
+// tensor and a bias vector so common per-layer rule patterns
+// ("embedding=...", "*.b=...") register in the price. Rule patterns
+// that match none of these tensors simply do not affect a policy's
+// price; such ties break on the canonical policy string.
+var negotiationInventory = []quant.TensorInfo{
+	{Name: "embedding.W", Shape: quant.Shape{Rows: 512, Cols: 128}},
+	{Name: "dense0.W", Shape: quant.Shape{Rows: 512, Cols: 128}},
+	{Name: "dense0.b", Shape: quant.Shape{Rows: 512, Cols: 1}},
+}
 
-// Floor is the codec every peer implicitly accepts: full-precision
+// Floor is the policy every peer implicitly accepts: full-precision
 // gradients are always decodable, so a session can never negotiate
-// itself into a codec nobody shares — disjoint advertisements settle
+// itself into a policy nobody shares — disjoint advertisements settle
 // on the floor.
 const Floor = "32bit"
 
-// Negotiate picks the gradient codec a session will train with, given
-// each peer's advertised set of accepted codec names (quant.Parse
-// grammar). The result is the cheapest codec — fewest wire bytes on a
-// reference tensor — accepted by every peer, with Floor ("32bit") as
-// the codec of last resort: it is always a candidate, so an empty or
+// Negotiate picks the precision policy a session will train with,
+// given each peer's advertised set of accepted policy strings
+// (quant.ParsePolicy grammar; bare codec names are valid policies).
+// The result is the cheapest policy — fewest wire bytes on a reference
+// tensor inventory — accepted by every peer, with Floor ("32bit") as
+// the policy of last resort: it is always a candidate, so an empty or
 // disjoint advertisement matrix degrades to full precision rather than
 // failing the rendezvous.
 //
-// Names are canonicalised through quant.Parse before comparison, so
-// "qsgd4" and "qsgd4b512" (the same codec under the paper's tuned
-// default bucket) intersect as equals. A name that does not parse is an
+// Policies intersect rule-by-rule through their canonical spelling
+// (quant.CanonicalPolicy): base codec, exemption target and every
+// pattern rule must agree once aliases are resolved, so
+// "qsgd4;minfrac=0.99" and "qsgd4b512" (the same policy under the
+// paper's tuned default bucket and default exemption target) count as
+// one advertisement, while "qsgd4b512" and "qsgd4b512;*.b=32bit" —
+// overlapping but not identical schemes — do not: a peer that never
+// agreed to decode topk frames for the embedding layer must not be
+// negotiated into receiving them. A string that does not parse is an
 // error — a peer advertising formats it cannot name is misconfigured,
-// and silently dropping the entry could negotiate a codec the peer
+// and silently dropping the entry could negotiate a policy the peer
 // never meant to accept.
 func Negotiate(accepts ...[]string) (string, error) {
 	if len(accepts) == 0 {
 		return Floor, nil
 	}
-	// Canonicalise each peer's set; count, per canonical name, how many
-	// peers accept it.
+	// Canonicalise each peer's set; count, per canonical spelling, how
+	// many peers accept it.
 	votes := make(map[string]int)
 	for p, set := range accepts {
 		seen := make(map[string]bool, len(set))
 		for _, name := range set {
-			canon, err := quant.Canonical(name)
+			canon, err := quant.CanonicalPolicy(name)
 			if err != nil {
-				return "", fmt.Errorf("cluster: peer %d advertises unusable codec: %w", p, err)
+				return "", fmt.Errorf("cluster: peer %d advertises unusable policy: %w", p, err)
 			}
 			if !seen[canon] {
 				seen[canon] = true
@@ -61,7 +76,7 @@ func Negotiate(accepts ...[]string) (string, error) {
 		}
 	}
 	sort.Slice(candidates, func(i, j int) bool {
-		ci, cj := codecCost(candidates[i]), codecCost(candidates[j])
+		ci, cj := policyCost(candidates[i]), policyCost(candidates[j])
 		if ci != cj {
 			return ci < cj
 		}
@@ -70,12 +85,13 @@ func Negotiate(accepts ...[]string) (string, error) {
 	return candidates[0], nil
 }
 
-// codecCost prices one codec on the reference tensor. Lower is cheaper.
-func codecCost(name string) int {
-	c, err := quant.Parse(name)
+// policyCost prices one policy on the reference inventory. Lower is
+// cheaper.
+func policyCost(name string) int64 {
+	p, err := quant.ParsePolicy(name)
 	if err != nil {
-		// Candidates are canonical names that already parsed once.
-		panic(fmt.Sprintf("cluster: canonical codec %q no longer parses: %v", name, err))
+		// Candidates are canonical spellings that already parsed once.
+		panic(fmt.Sprintf("cluster: canonical policy %q no longer parses: %v", name, err))
 	}
-	return c.EncodedBytes(negotiationShape.Len(), negotiationShape)
+	return quant.NewPlan(p, negotiationInventory).WireBytes()
 }

@@ -13,18 +13,18 @@ import (
 //
 //	hello (worker → coordinator):
 //	  uint32  magic "LPSC"
-//	  uint8   protocol version (currently 1)
+//	  uint8   protocol version (currently 2)
 //	  uint32  rank
 //	  uint32  world size
 //	  uint16  mesh address length, then the address bytes
-//	  uint16  accepted codec count, then per codec uint8 length + name
+//	  uint16  accepted policy count, then per policy uint8 length + string
 //
 //	welcome (coordinator → worker):
 //	  uint32  magic "LPSC"
 //	  uint8   protocol version
 //	  uint8   status (0 = ok, 1 = rejected)
 //	  rejected: uint16 message length + message
-//	  ok:       uint8 codec name length + negotiated codec name,
+//	  ok:       uint8 policy length + negotiated policy string,
 //	            uint32 world size,
 //	            per rank uint16 address length + mesh address
 //
@@ -43,8 +43,11 @@ const (
 	// ProtocolVersion is the rendezvous wire version this package
 	// speaks. Coordinator and workers must match exactly; a mismatch is
 	// rejected during the hello exchange, before any training state is
-	// built.
-	ProtocolVersion = 1
+	// built. Version 2 changed the capability strings from bare codec
+	// names to precision policy strings (quant.ParsePolicy grammar) —
+	// structurally identical on the wire, but a v1 build cannot parse a
+	// policy with rules, so mixed builds must not rendezvous.
+	ProtocolVersion = 2
 
 	// maxAddrLen and maxCodecs bound attacker-controlled lengths in a
 	// hello so a garbage connection cannot make the coordinator allocate
@@ -72,7 +75,7 @@ func writeHello(w io.Writer, h hello) error {
 		return fmt.Errorf("cluster: mesh address %q too long", h.MeshAddr)
 	}
 	if len(h.Accept) > maxCodecs {
-		return fmt.Errorf("cluster: %d accepted codecs exceeds cap %d", len(h.Accept), maxCodecs)
+		return fmt.Errorf("cluster: %d accepted policies exceeds cap %d", len(h.Accept), maxCodecs)
 	}
 	buf := appendU32(nil, rendezvousMagic)
 	buf = append(buf, ProtocolVersion)
@@ -83,7 +86,7 @@ func writeHello(w io.Writer, h hello) error {
 	buf = appendU16(buf, uint16(len(h.Accept)))
 	for _, name := range h.Accept {
 		if len(name) > 255 {
-			return fmt.Errorf("cluster: codec name %q too long", name)
+			return fmt.Errorf("cluster: policy string %q too long", name)
 		}
 		buf = append(buf, byte(len(name)))
 		buf = append(buf, name...)
@@ -110,14 +113,14 @@ func readHello(r io.Reader) (hello, error) {
 	h.MeshAddr = addr
 	var cnt [2]byte
 	if _, err := io.ReadFull(r, cnt[:]); err != nil {
-		return h, fmt.Errorf("cluster: hello codec count: %w", err)
+		return h, fmt.Errorf("cluster: hello policy count: %w", err)
 	}
 	n := int(binary.LittleEndian.Uint16(cnt[:]))
 	if n > maxCodecs {
-		return h, fmt.Errorf("cluster: hello advertises %d codecs, cap is %d", n, maxCodecs)
+		return h, fmt.Errorf("cluster: hello advertises %d policies, cap is %d", n, maxCodecs)
 	}
 	for i := 0; i < n; i++ {
-		name, err := readString8(r, "codec name")
+		name, err := readString8(r, "policy string")
 		if err != nil {
 			return h, err
 		}
@@ -127,6 +130,13 @@ func readHello(r io.Reader) (hello, error) {
 }
 
 func writeWelcome(w io.Writer, wel welcome) error {
+	// The hello bounds each *raw* advertised string at 255 bytes, but
+	// the negotiated result is the canonical spelling, which can be
+	// longer ("x=qsgd4" canonicalises to "x=qsgd4b512"); an unchecked
+	// byte(len) would wrap and corrupt the whole welcome stream.
+	if len(wel.Codec) > 255 {
+		return fmt.Errorf("cluster: negotiated policy %q exceeds the 255-byte wire limit", wel.Codec)
+	}
 	buf := appendU32(nil, rendezvousMagic)
 	buf = append(buf, ProtocolVersion, 0)
 	buf = append(buf, byte(len(wel.Codec)))
@@ -172,7 +182,7 @@ func readWelcome(r io.Reader) (welcome, error) {
 		}
 		return wel, fmt.Errorf("cluster: coordinator rejected the hello: %s", msg)
 	}
-	codec, err := readString8(r, "codec name")
+	codec, err := readString8(r, "policy string")
 	if err != nil {
 		return wel, err
 	}

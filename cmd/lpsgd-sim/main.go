@@ -6,6 +6,11 @@
 //
 //	lpsgd-sim -network AlexNet -machine EC2-P2 -primitive MPI -precision qsgd4 -gpus 8
 //	lpsgd-sim -network VGG19 -machine DGX-1 -primitive NCCL -gpus 8 -all-precisions
+//	lpsgd-sim -network AlexNet -precision "qsgd4b512;fc6=topk0.01;minfrac=1" -gpus 8
+//
+// -precision accepts the full precision-policy grammar
+// (quant.ParsePolicy), so mixed per-layer schemes price exactly like
+// the single-codec rows.
 package main
 
 import (
@@ -23,7 +28,7 @@ func main() {
 		network   = flag.String("network", "AlexNet", "network: AlexNet, VGG19, BN-Inception, ResNet50, ResNet152, ResNet110, LSTM")
 		machine   = flag.String("machine", "EC2-P2", "machine: EC2-P2 or DGX-1")
 		primitive = flag.String("primitive", "MPI", "communication primitive: MPI or NCCL")
-		precision = flag.String("precision", "32bit", "gradient precision: 32bit, qsgd2/4/8/16, 1bit, 1bit*")
+		precision = flag.String("precision", "32bit", "precision policy (quant.ParsePolicy grammar): 32bit, qsgd2/4/8/16, 1bit, 1bit*, or e.g. 'qsgd4b512;fc6=topk0.01'")
 		gpus      = flag.Int("gpus", 8, "GPU count")
 		batch     = flag.Int("batch", 0, "global batch override (0 = paper's Figure 4)")
 		allPrec   = flag.Bool("all-precisions", false, "sweep the paper's precision ladder")

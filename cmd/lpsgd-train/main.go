@@ -7,6 +7,11 @@
 //
 //	lpsgd-train -task image -codec qsgd4 -workers 8 -epochs 20
 //	lpsgd-train -task sequence -codec 1bit -workers 2 -nccl
+//	lpsgd-train -task image -policy "qsgd4b512;*.b=32bit" -workers 4
+//
+// -policy accepts the full precision-policy grammar (quant.ParsePolicy):
+// base codec, small-matrix exemption target, and per-tensor pattern
+// rules; it supersedes -codec when both are given.
 //
 // With -cluster N the run becomes a single-machine multi-process smoke
 // test of the cluster runtime: this process is rank 0 and coordinator,
@@ -35,6 +40,7 @@ func main() {
 	var (
 		task    = flag.String("task", "image", "task: image or sequence")
 		codec   = flag.String("codec", "32bit", "gradient codec (quant.Parse grammar): 32bit, qsgd2/4/8/16, qsgd4b512, 1bit, 1bit*64, topk0.01, ...")
+		policy  = flag.String("policy", "", "precision policy (quant.ParsePolicy grammar), e.g. 'qsgd4b512;minfrac=0.95;*.b=32bit'; supersedes -codec")
 		workers = flag.Int("workers", 4, "simulated GPU count")
 		epochs  = flag.Int("epochs", 12, "training epochs")
 		batch   = flag.Int("batch", 64, "global minibatch size")
@@ -62,8 +68,14 @@ func main() {
 	if *useNCCL {
 		primitive = lpsgd.NCCL
 	}
+	// A bare codec name is a valid policy, so one option covers both
+	// flags; -policy wins when both are given.
+	policySpec := *policy
+	if policySpec == "" {
+		policySpec = *codec
+	}
 	opts := []lpsgd.Option{
-		lpsgd.WithCodec(*codec),
+		lpsgd.WithPolicy(policySpec),
 		lpsgd.WithWorkers(*workers),
 		lpsgd.WithPrimitive(primitive),
 		lpsgd.WithBatchSize(*batch),
@@ -91,7 +103,7 @@ func main() {
 		opts = append(opts, lpsgd.WithCluster(*clusterAddr, *clusterRank, *clusterN))
 	case *clusterN > 0:
 		coord, err := cluster.NewCoordinator(cluster.Config{
-			Addr: "127.0.0.1:0", World: *clusterN, Accept: []string{*codec},
+			Addr: "127.0.0.1:0", World: *clusterN, Accept: []string{policySpec},
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -104,7 +116,7 @@ func main() {
 		}
 		for r := 1; r < *clusterN; r++ {
 			args := []string{
-				"-task", *task, "-codec", *codec,
+				"-task", *task, "-policy", policySpec,
 				"-epochs", strconv.Itoa(*epochs), "-batch", strconv.Itoa(*batch),
 				"-lr", fmt.Sprint(*lr), "-seed", strconv.FormatUint(*seed, 10),
 				"-train-samples", strconv.Itoa(*trainN), "-test-samples", strconv.Itoa(*testN),
@@ -177,8 +189,8 @@ func main() {
 	if isChild {
 		// Forked workers share the parent's terminal; a one-line summary
 		// keeps the parent's table readable.
-		fmt.Printf("rank %d/%d: codec=%s final accuracy %.2f%%, %.1f MB sent by this rank\n",
-			trainer.Rank(), trainer.World(), trainer.Plan().Quantised.Name(),
+		fmt.Printf("rank %d/%d: policy=%s final accuracy %.2f%%, %.1f MB sent by this rank\n",
+			trainer.Rank(), trainer.World(), trainer.Policy().Name(),
 			100*h.FinalAccuracy, float64(h.TotalWireBytes)/1e6)
 		return
 	}
@@ -187,12 +199,11 @@ func main() {
 	if *useNCCL {
 		prim = "NCCL"
 	}
-	codecName := *codec
+	policyName := trainer.Policy().Name()
 	world := *workers
 	wireCol := "wire_MB"
 	wireNote := ""
 	if *clusterN > 0 {
-		codecName = trainer.Plan().Quantised.Name()
 		world = trainer.World()
 		prim += fmt.Sprintf(", cluster of %d processes", *clusterN)
 		// A cluster rank's byte counter sees its own sends only — the
@@ -203,7 +214,7 @@ func main() {
 		wireNote = " sent by rank 0"
 	}
 	t := report.New(
-		fmt.Sprintf("%s task, codec=%s, %d workers, %s", *task, codecName, world, prim),
+		fmt.Sprintf("%s task, policy=%s, %d workers, %s", *task, policyName, world, prim),
 		"epoch", "train_loss", "test_acc_%", "lr", wireCol, "elapsed")
 	for _, e := range h.Epochs {
 		acc := "-"

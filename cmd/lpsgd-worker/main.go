@@ -1,5 +1,5 @@
 // Command lpsgd-worker is one rank of a multi-process training
-// cluster: it joins the rendezvous, negotiates a gradient codec with
+// cluster: it joins the rendezvous, negotiates a precision policy with
 // its peers, trains its shard of every batch over the dialled TCP
 // mesh, and reports a digest of the final model so the launcher can
 // verify that all ranks converged to bit-identical state.
@@ -12,9 +12,17 @@
 //	lpsgd-worker -coordinator 127.0.0.1:7070 -rank 1 -world 3 -accept qsgd4b512
 //	lpsgd-worker -coordinator 127.0.0.1:7070 -rank 2 -world 3 -accept qsgd4b512,topk0.01
 //
+// -accept takes full policy strings (quant.ParsePolicy grammar), so
+// per-layer mixed-precision schemes negotiate like codecs do; -policy
+// is shorthand for advertising one preferred policy ahead of the
+// -accept list:
+//
+//	lpsgd-worker ... -policy "qsgd4b512;embedding=topk0.01" -accept qsgd4b512
+//
 // Every rank must be launched with the same -task, -seed, -batch,
 // -epochs and -lr, or the replicas will not stay bit-identical. The
-// final stdout line is machine-readable:
+// final stdout line is machine-readable (codec= carries the negotiated
+// policy string):
 //
 //	rank=1 world=3 codec=qsgd4b512 final_loss=0.1234 final_acc=0.8750 model=<sha256>
 package main
@@ -38,7 +46,8 @@ func main() {
 		coordAddr = flag.String("coordinator", "127.0.0.1:7070", "rendezvous address (rank 0 listens, others dial)")
 		rank      = flag.Int("rank", 0, "this process's rank in [0, world)")
 		world     = flag.Int("world", 2, "total number of worker processes")
-		accept    = flag.String("accept", "32bit", "comma-separated codec names this rank accepts (quant.Parse grammar)")
+		accept    = flag.String("accept", "32bit", "comma-separated policy strings this rank accepts (quant.ParsePolicy grammar)")
+		policy    = flag.String("policy", "", "preferred precision policy, advertised ahead of the -accept list")
 		joinWait  = flag.Duration("join-timeout", 30*time.Second, "rendezvous handshake timeout (raise for hand-launched multi-machine runs)")
 		task      = flag.String("task", "image", "task: image or sequence")
 		epochs    = flag.Int("epochs", 4, "training epochs")
@@ -57,6 +66,9 @@ func main() {
 		os.Exit(2)
 	}
 	var names []string
+	if *policy != "" {
+		names = append(names, *policy)
+	}
 	for _, name := range strings.Split(*accept, ",") {
 		if name = strings.TrimSpace(name); name != "" {
 			names = append(names, name)
@@ -87,8 +99,8 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "lpsgd-worker: rank %d/%d up, negotiated codec %s\n",
-		sess.Rank(), sess.World(), sess.CodecName())
+	fmt.Fprintf(os.Stderr, "lpsgd-worker: rank %d/%d up, negotiated policy %s\n",
+		sess.Rank(), sess.World(), sess.PolicyName())
 
 	trainer, err := lpsgd.NewTrainer(model,
 		lpsgd.WithClusterSession(sess),
@@ -123,6 +135,6 @@ func main() {
 	}
 	last := h.Epochs[len(h.Epochs)-1]
 	fmt.Printf("rank=%d world=%d codec=%s final_loss=%.4f final_acc=%.4f model=%x\n",
-		sess.Rank(), sess.World(), sess.CodecName(),
+		sess.Rank(), sess.World(), sess.PolicyName(),
 		last.TrainLoss, h.FinalAccuracy, sha256.Sum256(ckpt.Bytes()))
 }

@@ -111,6 +111,60 @@ func TestFramedReduceBroadcastMatchesHeaderless(t *testing.T) {
 	}
 }
 
+// TestFramedMixedPolicyExchangeSelfDescribes: one reduce-broadcast
+// exchange under a per-tensor policy plan interleaves frames naming
+// three different codecs on the same TCP links; every message
+// self-describes, the decoded values match the headerless in-process
+// exchange exactly, and the byte counter matches the prediction with
+// each tensor priced under its own codec's frame header.
+func TestFramedMixedPolicyExchangeSelfDescribes(t *testing.T) {
+	const k = 3
+	tensors := []quant.TensorInfo{
+		{Name: "embedding.W", Shape: quant.Shape{Rows: 32, Cols: 48}},
+		{Name: "dense0.W", Shape: quant.Shape{Rows: 32, Cols: 24}},
+		{Name: "dense0.b", Shape: quant.Shape{Rows: 130, Cols: 1}},
+	}
+	plan := quant.NewPlan(
+		quant.MustParsePolicy("qsgd4b512;minfrac=1;embedding=topk0.25;*.b=32bit"), tensors)
+	specs := make([]TensorSpec, len(tensors))
+	sizes := make([]int, len(tensors))
+	for i, ti := range tensors {
+		specs[i] = TensorSpec{Name: ti.Name, N: ti.Shape.Len(), Wire: ti.Shape,
+			Codec: plan.CodecFor(i)}
+		sizes[i] = ti.Shape.Len()
+	}
+	wantCodecs := []string{"topk0.25", "qsgd4b512", "32bit"}
+	for i, want := range wantCodecs {
+		if got := specs[i].Codec.Name(); got != want {
+			t.Fatalf("tensor %s assigned %s, want %s", specs[i].Name, got, want)
+		}
+	}
+
+	r := rng.New(33)
+	inputs := randInputs(r, k, sizes)
+	tcp, err := NewTCPFabric(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcp.Close()
+	rbTCP := NewReduceBroadcast(tcp, specs, 9)
+	overTCP := runExchange(t, rbTCP, inputs)
+	overChan := runExchange(t, NewReduceBroadcast(NewFabric(k), specs, 9), inputs)
+	for w := 0; w < k; w++ {
+		for ti := range specs {
+			for i := range overTCP[w][ti] {
+				if overTCP[w][ti][i] != overChan[w][ti][i] {
+					t.Fatalf("worker %d tensor %s element %d: framed %v vs headerless %v",
+						w, specs[ti].Name, i, overTCP[w][ti][i], overChan[w][ti][i])
+				}
+			}
+		}
+	}
+	if got, want := tcp.TotalBytes(), ReduceBroadcastWireBytes(specs, k, true); got != want {
+		t.Fatalf("mixed exchange moved %d bytes, predicted %d", got, want)
+	}
+}
+
 // TestTCPLargeMessagesDontDeadlock: every peer writes before reading in
 // the aggregation patterns, so a chunk bigger than the kernel's socket
 // buffers used to deadlock the fabric when Send was a blocking write.

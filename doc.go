@@ -6,14 +6,19 @@
 // The public surface is the lpsgd facade (functional-options trainer
 // construction) over the public packages: quant (the low-precision
 // gradient codecs — the paper's primary contribution — plus the
-// self-describing framed wire format and the Parse name grammar),
-// comm/parallel (the synchronous data-parallel engine with MPI-style
-// and NCCL-style aggregation over in-process, loopback-TCP or remote
-// mesh fabrics), cluster (the multi-process runtime: TCP rendezvous,
-// per-session codec negotiation with a 32bit floor, and mesh
-// establishment across machine boundaries — launched via
-// cmd/lpsgd-worker or lpsgd.WithCluster), and nn/tensor/data/rng (the
-// deep-learning substrate). The experiment machinery stays under
+// self-describing framed wire format, the Parse name grammar, and the
+// precision-policy layer: quant.Policy/ParsePolicy assign codecs per
+// tensor through one round-tripping string such as
+// "qsgd4b512;minfrac=0.99;embedding=topk0.001;*.bias=32bit", and
+// quant.NewPlan evaluates a policy against a model's tensor inventory
+// as the single source of truth for per-tensor codecs, wire bytes and
+// kernel pricing), comm/parallel (the synchronous data-parallel engine
+// with MPI-style and NCCL-style aggregation over in-process,
+// loopback-TCP or remote mesh fabrics), cluster (the multi-process
+// runtime: TCP rendezvous, per-session policy negotiation with a 32bit
+// floor, and mesh establishment across machine boundaries — launched
+// via cmd/lpsgd-worker or lpsgd.WithCluster), and nn/tensor/data/rng
+// (the deep-learning substrate). The experiment machinery stays under
 // internal/: workload/simulate (the calibrated performance model of
 // the paper's machines, framing overhead included) and harness (one
 // runner per table and figure). See README.md for a quickstart and a

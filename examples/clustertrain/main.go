@@ -34,9 +34,10 @@ func main() {
 	train, test := lpsgd.SyntheticImages(10, 512, 256, 3)
 	trainer, err := lpsgd.NewTrainer(lpsgd.MLP(64, 48, 10),
 		lpsgd.WithCluster(*addr, *rank, *world),
-		// Advertise a preference ladder; the session settles on the
-		// cheapest codec every rank accepts, floored at "32bit".
-		lpsgd.WithAcceptedCodecs("qsgd4b512", "qsgd8b512", "1bit*64"),
+		// Advertise a preference ladder of precision policies — a mixed
+		// per-layer scheme first, then plain codecs; the session settles
+		// on the cheapest one every rank accepts, floored at "32bit".
+		lpsgd.WithAcceptedPolicies("qsgd4b512;*.b=32bit", "qsgd4b512", "qsgd8b512", "1bit*64"),
 		lpsgd.WithBatchSize(96),
 		lpsgd.WithEpochs(8),
 		lpsgd.WithLearningRate(0.1),
@@ -47,15 +48,15 @@ func main() {
 	}
 	defer trainer.Close()
 
-	codec := trainer.Plan().Quantised.Name()
-	fmt.Printf("rank %d/%d training with negotiated codec %s\n",
-		trainer.Rank(), trainer.World(), codec)
+	policy := trainer.Policy().Name()
+	fmt.Printf("rank %d/%d training with negotiated policy %s\n",
+		trainer.Rank(), trainer.World(), policy)
 
 	h, err := trainer.Run(train, test)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("rank %d/%d: final accuracy %.2f%% over %s (%.1f kB on the wire from this rank)\n",
-		trainer.Rank(), trainer.World(), 100*h.FinalAccuracy, codec,
+		trainer.Rank(), trainer.World(), 100*h.FinalAccuracy, policy,
 		float64(h.TotalWireBytes)/1e3)
 }

@@ -63,7 +63,11 @@ type TrainOptions struct {
 	Model func(r *rng.RNG) *nn.Network
 	// Train and Test are the datasets.
 	Train, Test *data.Dataset
-	// Codec compresses gradients (nil = full precision).
+	// Policy is the precision policy (base codec, exemption target,
+	// per-tensor rules). Nil falls back to Codec.
+	Policy *quant.Policy
+	// Codec compresses gradients (nil = full precision). Ignored when
+	// Policy is set.
 	Codec Codec
 	// Workers is the simulated GPU count.
 	Workers int
@@ -119,6 +123,7 @@ func NewSession(opts TrainOptions) (*Session, error) {
 	}
 	tr, err := parallel.NewTrainer(opts.Model, parallel.Config{
 		Workers:   opts.Workers,
+		Policy:    opts.Policy,
 		Codec:     opts.Codec,
 		Primitive: prim,
 		BatchSize: opts.BatchSize,
@@ -162,7 +167,9 @@ type EstimateOptions struct {
 	Machine string
 	// Primitive is MPI or NCCL.
 	Primitive string
-	// Precision is a paper row label: 32bit, qsgd16/8/4/2, 1bit, 1bit*.
+	// Precision is a precision policy string (quant.ParsePolicy
+	// grammar): a paper row label such as 32bit, qsgd16/8/4/2, 1bit,
+	// 1bit*, or a full mixed policy like "qsgd4b512;fc6=topk0.01".
 	Precision string
 	// GPUs is the device count.
 	GPUs int
@@ -193,7 +200,7 @@ func Estimate(opts EstimateOptions) (simulate.Result, error) {
 	if precision == "" {
 		precision = "32bit"
 	}
-	codec, err := quant.Parse(precision)
+	policy, err := quant.ParsePolicy(precision)
 	if err != nil {
 		return simulate.Result{}, err
 	}
@@ -201,7 +208,7 @@ func Estimate(opts EstimateOptions) (simulate.Result, error) {
 		Network:       net,
 		Machine:       m,
 		Primitive:     prim,
-		Codec:         codec,
+		Policy:        policy,
 		GPUs:          opts.GPUs,
 		BatchOverride: opts.Batch,
 	})

@@ -75,7 +75,14 @@ type Config struct {
 	Network   workload.Network
 	Machine   workload.Machine
 	Primitive Primitive
+	// Policy is the precision policy to price: base codec, small-matrix
+	// exemption target and per-tensor pattern rules. Nil falls back to
+	// the deprecated Codec field (wrapped into a default policy with
+	// quant.DefaultMinFrac), and to full precision when that is nil too.
+	Policy *quant.Policy
 	// Codec is the gradient codec; nil means full precision.
+	//
+	// Deprecated: set Policy. Ignored when Policy is set.
 	Codec quant.Codec
 	GPUs  int
 	// BatchOverride replaces Figure 4's batch when positive.
@@ -150,9 +157,13 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("simulate: NCCL supports at most %d GPUs on %s",
 			m.NCCLMaxGPUs, m.Name)
 	}
-	codec := cfg.Codec
-	if codec == nil {
-		codec = quant.FP32{}
+	policy := cfg.Policy
+	if policy == nil {
+		codec := cfg.Codec
+		if codec == nil {
+			codec = quant.FP32{}
+		}
+		policy = quant.NewPolicy(codec)
 	}
 	kernel := cfg.Kernel
 	if kernel == (KernelModel{}) {
@@ -176,7 +187,10 @@ func Run(cfg Config) (Result, error) {
 	sampleSec := 1 / (net.ThroughputK80 * net.SampleSpeedup(perGPU) * m.GPU.ComputeScale)
 	computeSec := float64(perGPU) * sampleSec
 
-	plan := quant.NewPlan(codec, net.Tensors, 0.99)
+	// The caller's policy (exemption target included) prices the plan,
+	// so simulated ExchangeBytes match a live exchange under the same
+	// policy byte-for-byte — no hardcoded exemption fraction.
+	plan := quant.NewPlan(policy, net.Tensors)
 	wireBytes := plan.WireBytes()
 	rawBytes := plan.RawBytes()
 
@@ -184,7 +198,7 @@ func Run(cfg Config) (Result, error) {
 		Network:   net.Name,
 		Machine:   m.Name,
 		Primitive: cfg.Primitive.String(),
-		Codec:     codec.Name(),
+		Codec:     policy.Name(),
 		GPUs:      cfg.GPUs,
 		Batch:     batch,
 

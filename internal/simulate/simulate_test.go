@@ -425,21 +425,27 @@ func frameNet() workload.Network {
 // TestFramedSimulatedVolumeMatchesMeasuredTCP: the headline of the
 // framing satellite — the simulator's framed ExchangeBytes must equal,
 // byte for byte, what a real TCP exchange of the same tensors under the
-// same plan puts on the wire.
+// same policy puts on the wire. The policies cover the whole surface:
+// plain codecs (wrapped into default policies), a tightened exemption
+// target, and mixed per-tensor rule policies whose frames carry a
+// different codec name per tensor.
 func TestFramedSimulatedVolumeMatchesMeasuredTCP(t *testing.T) {
 	const k = 3
 	net := frameNet()
-	for _, codec := range []quant.Codec{
-		quant.FP32{},
-		quant.NewQSGD(4, 512, quant.MaxNorm),
-		quant.NewOneBitReshaped(64),
+	for _, policy := range []*quant.Policy{
+		quant.NewPolicy(quant.FP32{}),
+		quant.NewPolicy(quant.NewQSGD(4, 512, quant.MaxNorm)),
+		quant.NewPolicy(quant.NewOneBitReshaped(64)),
+		quant.MustParsePolicy("qsgd4b512;minfrac=0.5"),
+		quant.MustParsePolicy("qsgd4b512;conv.W=topk0.01;*.b=32bit"),
+		quant.MustParsePolicy("1bit*64;minfrac=1;fc.W=qsgd8b512"),
 	} {
 		res := mustRun(t, Config{Network: net, Machine: workload.EC2P2,
-			Primitive: MPI, Codec: codec, GPUs: k, BatchOverride: 3 * k, Framed: true})
+			Primitive: MPI, Policy: policy, GPUs: k, BatchOverride: 3 * k, Framed: true})
 
 		// Measure: run one real exchange over a loopback TCP mesh with
 		// the same plan.
-		plan := quant.NewPlan(codec, net.Tensors, 0.99)
+		plan := quant.NewPlan(policy, net.Tensors)
 		specs := make([]comm.TensorSpec, len(net.Tensors))
 		for i, ti := range net.Tensors {
 			specs[i] = comm.TensorSpec{Name: ti.Name, N: ti.Shape.Len(),
@@ -478,22 +484,55 @@ func TestFramedSimulatedVolumeMatchesMeasuredTCP(t *testing.T) {
 		tcp.Close()
 		if res.ExchangeBytes != measured {
 			t.Errorf("%s: simulator predicts %d exchange bytes, TCP moved %d",
-				codec.Name(), res.ExchangeBytes, measured)
+				policy.Name(), res.ExchangeBytes, measured)
 		}
 
 		// And the framed prediction must exceed the headerless one by
 		// exactly the per-copy header share.
 		raw := mustRun(t, Config{Network: net, Machine: workload.EC2P2,
-			Primitive: MPI, Codec: codec, GPUs: k, BatchOverride: 3 * k})
+			Primitive: MPI, Policy: policy, GPUs: k, BatchOverride: 3 * k})
 		wantPerCopy := (res.ExchangeBytes - raw.ExchangeBytes) / int64(2*(k-1))
 		if res.WireBytes != raw.WireBytes+wantPerCopy {
 			t.Errorf("%s: framed WireBytes %d, want %d + %d",
-				codec.Name(), res.WireBytes, raw.WireBytes, wantPerCopy)
+				policy.Name(), res.WireBytes, raw.WireBytes, wantPerCopy)
 		}
 		if res.CommSec <= raw.CommSec {
 			t.Errorf("%s: frame headers must cost transfer time (%v <= %v)",
-				codec.Name(), res.CommSec, raw.CommSec)
+				policy.Name(), res.CommSec, raw.CommSec)
 		}
+	}
+}
+
+// TestPolicyPlumbedThroughSimulator: the deprecated Codec field and an
+// equivalent Policy must price identically, and the exemption target is
+// the caller's, not a hardcoded 0.99.
+func TestPolicyPlumbedThroughSimulator(t *testing.T) {
+	codec := quant.NewQSGD(4, 512, quant.MaxNorm)
+	viaCodec := mustRun(t, Config{Network: workload.AlexNet, Machine: workload.EC2P2,
+		Primitive: MPI, Codec: codec, GPUs: 8})
+	viaPolicy := mustRun(t, Config{Network: workload.AlexNet, Machine: workload.EC2P2,
+		Primitive: MPI, Policy: quant.NewPolicy(codec), GPUs: 8})
+	if viaCodec.WireBytes != viaPolicy.WireBytes || viaCodec.ExchangeBytes != viaPolicy.ExchangeBytes {
+		t.Fatalf("codec shim (%d/%d) and default policy (%d/%d) priced differently",
+			viaCodec.WireBytes, viaCodec.ExchangeBytes, viaPolicy.WireBytes, viaPolicy.ExchangeBytes)
+	}
+	if viaPolicy.Codec != "qsgd4b512" {
+		t.Fatalf("result names policy %q, want qsgd4b512", viaPolicy.Codec)
+	}
+	// minfrac=1 exempts nothing, so it must move at least as few bytes
+	// as the default target, and a rule forcing a tensor to 32bit must
+	// show up in the priced volume.
+	all := mustRun(t, Config{Network: workload.AlexNet, Machine: workload.EC2P2,
+		Primitive: MPI, Policy: quant.MustParsePolicy("qsgd4b512;minfrac=1"), GPUs: 8})
+	if all.WireBytes > viaPolicy.WireBytes {
+		t.Fatalf("minfrac=1 (%d bytes) must not exceed the default exemption (%d bytes)",
+			all.WireBytes, viaPolicy.WireBytes)
+	}
+	ruled := mustRun(t, Config{Network: workload.AlexNet, Machine: workload.EC2P2,
+		Primitive: MPI, Policy: quant.MustParsePolicy("qsgd4b512;minfrac=1;fc6=32bit"), GPUs: 8})
+	if ruled.WireBytes <= all.WireBytes {
+		t.Fatalf("an fc6=32bit rule must increase the priced volume (%d <= %d)",
+			ruled.WireBytes, all.WireBytes)
 	}
 }
 

@@ -20,14 +20,25 @@
 // message is a self-describing quant frame, so peers decode with no
 // out-of-band codec agreement.
 //
+// The full precision surface is the policy grammar (quant.ParsePolicy):
+// one string naming the base codec, the small-matrix exemption target,
+// and per-tensor pattern rules — WithPolicy is the primary option, and
+// WithCodec/WithMinQuantisedFraction are shorthands editing one
+// component of the same policy:
+//
+//	trainer, err := lpsgd.NewTrainer(model,
+//	    lpsgd.WithPolicy("qsgd4b512;embedding=topk0.001;*.b=32bit"),
+//	    lpsgd.WithWorkers(8),
+//	)
+//
 // Training can also span OS processes and machines: WithCluster joins
-// a repro/cluster rendezvous, negotiates the gradient codec with the
-// peers (WithAcceptedCodecs, floored at "32bit") and trains this rank
+// a repro/cluster rendezvous, negotiates the precision policy with the
+// peers (WithAcceptedPolicies, floored at "32bit") and trains this rank
 // of the world over the dialled TCP mesh:
 //
 //	trainer, err := lpsgd.NewTrainer(model,
 //	    lpsgd.WithCluster("10.0.0.1:7070", rank, 3),
-//	    lpsgd.WithAcceptedCodecs("qsgd4b512", "1bit*64"),
+//	    lpsgd.WithAcceptedPolicies("qsgd4b512;*.b=32bit", "qsgd4b512"),
 //	)
 //
 // See cmd/lpsgd-worker for the ready-made per-rank binary.
@@ -90,11 +101,24 @@ func (t Transport) String() string {
 
 // config accumulates options before they are handed to the engine.
 type config struct {
-	cfg     parallel.Config
+	cfg parallel.Config
+	// policy is the working precision policy the codec-shaped options
+	// edit component-wise; nil means "never touched" and lets the
+	// engine default to full precision.
+	policy  *quant.Policy
 	lr      float32
 	err     error
 	cluster *clusterJoin
 	accept  []string
+}
+
+// editPolicy returns the working policy, creating the default
+// (full-precision base, DefaultMinFrac, no rules) on first use.
+func (c *config) editPolicy() *quant.Policy {
+	if c.policy == nil {
+		c.policy = quant.NewPolicy(nil)
+	}
+	return c.policy
 }
 
 // clusterJoin is a pending or pre-established cluster membership.
@@ -109,8 +133,56 @@ type clusterJoin struct {
 // their error from NewTrainer, not at the call site.
 type Option func(*config)
 
+// WithPolicy selects the complete precision policy by name via
+// quant.ParsePolicy — base codec, small-matrix exemption target and
+// per-tensor pattern rules in one string:
+//
+//	lpsgd.WithPolicy("qsgd4b512")                          // plain codec
+//	lpsgd.WithPolicy("qsgd4b512;minfrac=0.95")             // tighter exemption
+//	lpsgd.WithPolicy("qsgd4b512;embedding=topk0.001;*.b=32bit")
+//
+// This is the primary precision option; WithCodec and
+// WithMinQuantisedFraction are shorthands that edit one component of
+// the same policy. WithPolicy replaces the whole working policy, so
+// codec-shaped options given before it are discarded and ones given
+// after it refine it.
+func WithPolicy(name string) Option {
+	return func(c *config) {
+		p, err := quant.ParsePolicy(name)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.policy = p
+	}
+}
+
+// WithPolicyValue supplies an already-constructed policy. Like
+// WithCodecValue it validates at option-apply time that the policy
+// round-trips its own canonical name — the invariant cluster
+// negotiation and framed decoding depend on.
+func WithPolicyValue(p *quant.Policy) Option {
+	return func(c *config) {
+		if p == nil {
+			c.fail(fmt.Errorf("lpsgd: nil policy"))
+			return
+		}
+		if err := p.Validate(); err != nil {
+			c.fail(fmt.Errorf("lpsgd: %w", err))
+			return
+		}
+		// Later options (WithCodec, WithMinQuantisedFraction) edit the
+		// working policy; a copy keeps those edits off the caller's
+		// object.
+		cp := *p
+		c.policy = &cp
+	}
+}
+
 // WithCodec selects the gradient codec by name via quant.Parse
-// ("32bit", "qsgd4b512", "1bit*64", "topk0.01", ...).
+// ("32bit", "qsgd4b512", "1bit*64", "topk0.01", ...). It edits the
+// base codec of the working policy, preserving any exemption target or
+// rules set by other options; WithPolicy subsumes it.
 func WithCodec(name string) Option {
 	return func(c *config) {
 		codec, err := quant.Parse(name)
@@ -118,13 +190,34 @@ func WithCodec(name string) Option {
 			c.fail(err)
 			return
 		}
-		c.cfg.Codec = codec
+		c.editPolicy().Base = codec
 	}
 }
 
-// WithCodecValue supplies an already-constructed codec.
+// WithCodecValue supplies an already-constructed codec as the working
+// policy's base. The codec's Name() must round-trip through quant.Parse
+// to the same canonical spelling — that name is what travels in frame
+// headers and cluster negotiation, so a codec that cannot be
+// reconstructed from it would decode wrongly (or not at all) on every
+// peer; such codecs are rejected here, at option-apply time.
 func WithCodecValue(codec quant.Codec) Option {
-	return func(c *config) { c.cfg.Codec = codec }
+	return func(c *config) {
+		if codec == nil {
+			c.fail(fmt.Errorf("lpsgd: nil codec"))
+			return
+		}
+		name := codec.Name()
+		rt, err := quant.Parse(name)
+		if err != nil {
+			c.fail(fmt.Errorf("lpsgd: codec name %q does not round-trip through quant.Parse (frames and negotiation could not reconstruct it): %w", name, err))
+			return
+		}
+		if rt.Name() != name {
+			c.fail(fmt.Errorf("lpsgd: codec name %q re-parses as %q; peers would reconstruct a different codec", name, rt.Name()))
+			return
+		}
+		c.editPolicy().Base = codec
+	}
 }
 
 // WithWorkers sets K, the number of simulated GPUs.
@@ -153,14 +246,14 @@ func WithPrimitive(p Primitive) Option {
 
 // WithCluster runs this process as one rank of a multi-process world:
 // NewTrainer performs the cluster rendezvous at addr (rank 0 listens
-// and coordinates, other ranks dial in), negotiates the session codec
-// with the peers, and returns a trainer that drives only this rank —
-// gradients cross process and machine boundaries over the dialled TCP
-// mesh. The negotiated codec overrides WithCodec (which still
-// contributes to the advertised set; see WithAcceptedCodecs), and the
-// world size overrides WithWorkers. Every rank must use the same seed,
-// schedule, batch size and model builder, or the replicas will not
-// stay bit-identical.
+// and coordinates, other ranks dial in), negotiates the session's
+// precision policy with the peers, and returns a trainer that drives
+// only this rank — gradients cross process and machine boundaries over
+// the dialled TCP mesh. The negotiated policy overrides WithPolicy and
+// WithCodec (which still contribute to the advertised set; see
+// WithAcceptedPolicies), and the world size overrides WithWorkers.
+// Every rank must use the same seed, schedule, batch size and model
+// builder, or the replicas will not stay bit-identical.
 func WithCluster(addr string, rank, world int) Option {
 	return func(c *config) {
 		if c.cluster == nil {
@@ -218,13 +311,22 @@ func WithClusterTimeout(d time.Duration) Option {
 	}
 }
 
-// WithAcceptedCodecs sets the codec names (quant.Parse grammar) this
-// rank advertises during the cluster rendezvous; the session settles on
-// the cheapest codec every peer accepts, with "32bit" as the floor.
-// Without this option the rank advertises the WithCodec selection (plus
+// WithAcceptedPolicies sets the policy strings (quant.ParsePolicy
+// grammar — bare codec names included) this rank advertises during the
+// cluster rendezvous; the session settles on the cheapest policy every
+// peer accepts by canonical spelling, with "32bit" as the floor.
+// Without this option the rank advertises its configured policy (plus
 // the floor). Outside cluster mode the option has no effect.
-func WithAcceptedCodecs(names ...string) Option {
+func WithAcceptedPolicies(names ...string) Option {
 	return func(c *config) { c.accept = names }
+}
+
+// WithAcceptedCodecs sets the accepted advertisement from codec names.
+//
+// Deprecated: use WithAcceptedPolicies — every codec name is a valid
+// policy string, so this is the same option under its old name.
+func WithAcceptedCodecs(names ...string) Option {
+	return WithAcceptedPolicies(names...)
 }
 
 // WithBatchSize sets the global minibatch size, sharded over workers.
@@ -275,17 +377,19 @@ func WithEvalEvery(n int) Option {
 
 // WithMinQuantisedFraction sets the small-matrix exemption target
 // (default: the paper's 0.99): the plan picks the largest exemption
-// threshold that still quantises at least this fraction of all
-// parameters. It must lie in (0, 1]; zero is rejected rather than
-// silently falling back to the default — to disable quantisation
-// entirely, use WithCodec("32bit").
+// threshold that still quantises at least this fraction of the
+// parameters no policy rule claims. It must lie in (0, 1]; zero is
+// rejected rather than silently falling back to the default — to
+// disable quantisation entirely, use WithCodec("32bit"). It edits the
+// working policy's MinFrac; "minfrac=<f>" inside WithPolicy is the
+// same knob.
 func WithMinQuantisedFraction(f float64) Option {
 	return func(c *config) {
 		if !(f > 0 && f <= 1) {
 			c.fail(fmt.Errorf("lpsgd: min quantised fraction %v outside (0,1]; use WithCodec(\"32bit\") to disable quantisation", f))
 			return
 		}
-		c.cfg.MinQuantisedFraction = f
+		c.editPolicy().MinFrac = f
 	}
 }
 
@@ -328,6 +432,7 @@ func NewTrainer(model BuildFunc, opts ...Option) (*Trainer, error) {
 	if c.cfg.Schedule == nil {
 		c.cfg.Schedule = nn.ConstantLR(c.lr)
 	}
+	c.cfg.Policy = c.policy
 	// A bare WithClusterTimeout without WithCluster/WithClusterSession
 	// names no cluster to join and is ignored.
 	if c.cluster != nil && (c.cluster.session != nil || c.cluster.addr != "") {
@@ -338,16 +443,16 @@ func NewTrainer(model BuildFunc, opts ...Option) (*Trainer, error) {
 				Addr:    c.cluster.addr,
 				Rank:    c.cluster.rank,
 				World:   c.cluster.world,
-				Accept:  c.acceptedCodecs(),
+				Accept:  c.acceptedPolicies(),
 				Timeout: c.cluster.timeout,
 			})
 			if err != nil {
 				return nil, err
 			}
 		}
-		// The rendezvous outcome drives the engine: negotiated codec,
+		// The rendezvous outcome drives the engine: negotiated policy,
 		// world size, this rank, and the established mesh.
-		c.cfg.Codec = sess.Codec()
+		c.cfg.Policy = sess.Policy()
 		c.cfg.Workers = sess.World()
 		c.cfg.Rank = sess.Rank()
 		c.cfg.Fabric = sess.Fabric()
@@ -362,14 +467,15 @@ func NewTrainer(model BuildFunc, opts ...Option) (*Trainer, error) {
 	return parallel.NewTrainer(model, c.cfg)
 }
 
-// acceptedCodecs resolves the advertised codec set for a rendezvous:
-// the explicit WithAcceptedCodecs list, or the WithCodec selection.
-func (c *config) acceptedCodecs() []string {
+// acceptedPolicies resolves the advertised policy set for a
+// rendezvous: the explicit WithAcceptedPolicies list, or the configured
+// policy's canonical name.
+func (c *config) acceptedPolicies() []string {
 	if len(c.accept) > 0 {
 		return c.accept
 	}
-	if c.cfg.Codec != nil {
-		return []string{c.cfg.Codec.Name()}
+	if c.policy != nil {
+		return []string{c.policy.Name()}
 	}
 	return nil
 }

@@ -48,13 +48,25 @@ func (p Primitive) String() string {
 type Config struct {
 	// Workers is K, the number of simulated GPUs.
 	Workers int
+	// Policy is the precision policy: base codec, small-matrix
+	// exemption target and per-tensor pattern rules (see quant.Policy
+	// and quant.ParsePolicy). Nil falls back to the deprecated
+	// Codec/MinQuantisedFraction pair, and to full precision when those
+	// are unset too.
+	Policy *quant.Policy
 	// Codec is the gradient codec (nil or quant.FP32{} for full
 	// precision).
+	//
+	// Deprecated: set Policy. When Policy is nil this field is compiled
+	// into one (together with MinQuantisedFraction); when Policy is set
+	// it is ignored.
 	Codec quant.Codec
 	// Primitive selects MPI reduce-and-broadcast or NCCL ring.
 	Primitive Primitive
 	// MinQuantisedFraction is the small-matrix exemption target
 	// (defaults to the paper's 0.99).
+	//
+	// Deprecated: set Policy.MinFrac. Ignored when Policy is set.
 	MinQuantisedFraction float64
 	// BatchSize is the global minibatch size, sharded over workers.
 	BatchSize int
@@ -106,8 +118,31 @@ func (c *Config) fillDefaults() error {
 		c.Codec = quant.FP32{}
 	}
 	if c.MinQuantisedFraction == 0 {
-		c.MinQuantisedFraction = 0.99
+		c.MinQuantisedFraction = quant.DefaultMinFrac
 	}
+	// The deprecated pair compiles into a Policy; an explicit Policy
+	// supersedes both. The mirror fields are kept coherent either way,
+	// so code reading History.Config keeps seeing the effective values.
+	// Defaults are filled into a copy, never through the caller's
+	// pointer: the same policy value may configure several trainers.
+	if c.Policy == nil {
+		c.Policy = &quant.Policy{Base: c.Codec, MinFrac: c.MinQuantisedFraction}
+	} else {
+		p := *c.Policy
+		if p.Base == nil {
+			p.Base = quant.FP32{}
+		}
+		if p.MinFrac <= 0 {
+			p.MinFrac = quant.DefaultMinFrac
+		}
+		c.Policy = &p
+		c.Codec = p.Base
+		c.MinQuantisedFraction = p.MinFrac
+	}
+	// No Name() round-trip validation here: the engine happily trains
+	// custom codecs whose names the quant grammar cannot spell (they
+	// only break where names cross a wire — the lpsgd facade and the
+	// cluster rendezvous validate at those boundaries).
 	if c.Schedule == nil {
 		c.Schedule = nn.ConstantLR(0.1)
 	}
@@ -210,7 +245,7 @@ func NewTrainer(build func(r *rng.RNG) *nn.Network, cfg Config) (*Trainer, error
 		t.losses = append(t.losses, nn.NewSoftmaxCrossEntropy())
 	}
 	infos := t.replicas[0].TensorInfos()
-	t.plan = quant.NewPlan(cfg.Codec, infos, cfg.MinQuantisedFraction)
+	t.plan = quant.NewPlan(cfg.Policy, infos)
 	switch {
 	case cfg.Fabric != nil:
 		t.fabric = cfg.Fabric
@@ -237,13 +272,13 @@ func NewTrainer(build func(r *rng.RNG) *nn.Network, cfg Config) (*Trainer, error
 	case MPI:
 		t.reducer = comm.NewReduceBroadcastLocal(t.fabric, t.specs, cfg.Seed, t.ranks)
 	case NCCL:
-		if _, fp := cfg.Codec.(quant.FP32); fp || cfg.Workers == 1 {
+		if t.plan.FullPrecision() || cfg.Workers == 1 {
 			t.reducer = comm.NewRing(t.fabric)
 		} else {
 			frac := float64(t.plan.WireBytes()) / float64(t.plan.RawBytes())
 			if frac > 1 {
 				t.Close()
-				return nil, fmt.Errorf("parallel: codec %s expands this model's wire volume (%.2fx raw); the NCCL byte-volume simulation needs a compressing codec — use the MPI primitive instead", cfg.Codec.Name(), frac)
+				return nil, fmt.Errorf("parallel: policy %s expands this model's wire volume (%.2fx raw); the NCCL byte-volume simulation needs a compressing policy — use the MPI primitive instead", cfg.Policy.Name(), frac)
 			}
 			t.reducer = comm.NewSimulatedRing(t.fabric, frac)
 		}
@@ -264,8 +299,13 @@ func (t *Trainer) Close() error {
 	return nil
 }
 
-// Plan exposes the codec assignment (for reporting).
+// Plan exposes the per-tensor codec assignment (for reporting).
 func (t *Trainer) Plan() *quant.Plan { return t.plan }
+
+// Policy returns the precision policy the trainer runs under — the
+// negotiated one in cluster mode, the configured (or compiled-from-
+// deprecated-fields) one otherwise.
+func (t *Trainer) Policy() *quant.Policy { return t.plan.Policy }
 
 // Rank returns the lowest rank this process drives: the cluster rank
 // in multi-process mode, 0 when the trainer owns the whole world.

@@ -317,3 +317,105 @@ func TestClipNormKeepsReplicasInSync(t *testing.T) {
 		t.Fatalf("clipped training accuracy %v", h.FinalAccuracy)
 	}
 }
+
+// TestDeprecatedCodecFieldsCompileIntoPolicy: the old Config pair
+// (Codec, MinQuantisedFraction) must behave exactly as the policy it is
+// shorthand for, and an explicit Policy must supersede both.
+func TestDeprecatedCodecFieldsCompileIntoPolicy(t *testing.T) {
+	tr, err := NewTrainer(buildMLP(36, 4), Config{
+		Workers: 2, BatchSize: 8, Epochs: 1,
+		Codec: quant.NewQSGD(4, 512, quant.MaxNorm), MinQuantisedFraction: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if got := tr.Policy().Name(); got != "qsgd4b512;minfrac=1" {
+		t.Fatalf("shim compiled to policy %q, want qsgd4b512;minfrac=1", got)
+	}
+
+	tr2, err := NewTrainer(buildMLP(36, 4), Config{
+		Workers: 2, BatchSize: 8, Epochs: 1,
+		Policy: quant.MustParsePolicy("qsgd8b512;d3=32bit"),
+		Codec:  quant.OneBit{}, // ignored: Policy wins
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr2.Close()
+	if got := tr2.Policy().Name(); got != "qsgd8b512;d3=32bit" {
+		t.Fatalf("explicit policy lost to the deprecated codec: %q", got)
+	}
+	// The d3 rule claims both d3.W and d3.b (layer-prefix match);
+	// everything else follows the base with the default exemption.
+	plan := tr2.Plan()
+	infos := buildMLP(36, 4)(rng.New(1)).TensorInfos()
+	for i, ti := range infos {
+		if !strings.HasPrefix(ti.Name, "d3.") {
+			continue
+		}
+		if got := plan.CodecFor(i).Name(); got != "32bit" {
+			t.Errorf("tensor %s carried by %s, want the d3 rule's 32bit", ti.Name, got)
+		}
+	}
+}
+
+// TestMixedPolicyTrainingStaysInSync: real training under a per-layer
+// policy over both primitives' framed/in-process paths keeps replicas
+// bit-identical.
+func TestMixedPolicyTrainingStaysInSync(t *testing.T) {
+	h := runConfig(t, Config{Workers: 3,
+		Policy: quant.MustParsePolicy("qsgd4b512;minfrac=1;d1=qsgd8b512;*.b=32bit")})
+	if h.FinalAccuracy < 0.7 {
+		t.Fatalf("mixed-policy training accuracy %v", h.FinalAccuracy)
+	}
+}
+
+// TestMixedPolicyTrainingOverTCPStaysInSync: the same mixed policy with
+// every message a self-describing frame over loopback TCP.
+func TestMixedPolicyTrainingOverTCPStaysInSync(t *testing.T) {
+	h := runConfig(t, Config{Workers: 2, UseTCP: true,
+		Policy: quant.MustParsePolicy("qsgd4b512;minfrac=1;d1=qsgd8b512;*.b=32bit")})
+	if h.FinalAccuracy < 0.7 {
+		t.Fatalf("mixed-policy TCP training accuracy %v", h.FinalAccuracy)
+	}
+}
+
+// TestConfigDoesNotMutateCallerPolicy: filling defaults must copy the
+// policy, not write through the caller's pointer — one policy value may
+// configure several trainers (possibly concurrently).
+func TestConfigDoesNotMutateCallerPolicy(t *testing.T) {
+	p := &quant.Policy{Base: nil, MinFrac: 0} // both fields defaulted
+	tr, err := NewTrainer(buildMLP(36, 4), Config{
+		Workers: 2, BatchSize: 8, Epochs: 1, Policy: p,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if p.Base != nil || p.MinFrac != 0 {
+		t.Fatalf("NewTrainer mutated the caller's policy: %+v", p)
+	}
+	if got := tr.Policy().Name(); got != "32bit" {
+		t.Fatalf("effective policy %q, want the defaulted 32bit", got)
+	}
+}
+
+// unnameableCodec wraps a real codec under a name the quant grammar
+// cannot spell — legal for in-process training, where names never
+// cross a wire (the lpsgd facade and cluster rendezvous reject it at
+// their boundaries instead).
+type unnameableCodec struct{ quant.Codec }
+
+func (unnameableCodec) Name() string { return "my-experimental-codec" }
+
+// TestCustomCodecTrainsInProcess: the engine must keep accepting
+// custom codecs whose names do not round-trip through quant.Parse, as
+// it did before policies existed.
+func TestCustomCodecTrainsInProcess(t *testing.T) {
+	h := runConfig(t, Config{Workers: 2,
+		Codec: unnameableCodec{quant.NewQSGD(8, 512, quant.MaxNorm)}})
+	if h.FinalAccuracy < 0.7 {
+		t.Fatalf("custom-codec training accuracy %v", h.FinalAccuracy)
+	}
+}

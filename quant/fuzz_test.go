@@ -44,3 +44,32 @@ func FuzzFP32Decode(f *testing.F) { fuzzDecode(f, FP32{}) }
 func FuzzExponentialDecode(f *testing.F) {
 	fuzzDecode(f, NewQSGDScheme(8, 256, MaxNorm, Exponential))
 }
+
+// FuzzPolicyRoundTrip mirrors the frame fuzz for the policy grammar:
+// ParsePolicy must never panic, and whenever it accepts an input, the
+// canonical Name() must re-parse to the same canonical spelling — the
+// invariant cluster negotiation and every capability exchange rely on.
+func FuzzPolicyRoundTrip(f *testing.F) {
+	f.Add("32bit")
+	f.Add("qsgd4b512")
+	f.Add("qsgd4;minfrac=0.99")
+	f.Add("qsgd4b512;minfrac=0.95;embedding=topk0.001;*.b=32bit")
+	f.Add("1bit*;conv?.W=qsgd8")
+	f.Add("topk0.01;minfrac=1;bn1=fp32")
+	f.Add("qsgd4;;")
+	f.Add("florp;a=b")
+	f.Fuzz(func(t *testing.T, name string) {
+		p, err := ParsePolicy(name)
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		canon := p.Name()
+		rt, err := ParsePolicy(canon)
+		if err != nil {
+			t.Fatalf("accepted %q but canonical %q does not re-parse: %v", name, canon, err)
+		}
+		if rt.Name() != canon {
+			t.Fatalf("%q: canonical name not a fixed point: %q -> %q", name, canon, rt.Name())
+		}
+	})
+}

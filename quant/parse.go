@@ -65,8 +65,9 @@ func MustParse(name string) Codec {
 // Codec.Name() produces — so that aliases compare as equals: "fp32"
 // canonicalises to "32bit", "qsgd4" (the paper's tuned default bucket)
 // to "qsgd4b512", "qsgd4b512mx" to "qsgd4b512". Capability exchanges
-// (cluster codec negotiation) intersect advertised sets by canonical
-// name, not by raw spelling.
+// (cluster policy negotiation, where codec names are the leaves of the
+// policy grammar — see CanonicalPolicy) intersect advertised sets by
+// canonical spelling, not raw spelling.
 func Canonical(name string) (string, error) {
 	c, err := Parse(name)
 	if err != nil {
