@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/comm"
+	"repro/health"
 	"repro/quant"
 )
 
@@ -55,6 +56,15 @@ type Config struct {
 	// Timeout bounds every handshake step (default 30s). It does not
 	// apply to the training traffic that follows.
 	Timeout time.Duration
+	// Health tunes the session's health plane (heartbeat interval,
+	// failure-detection timeout, phi threshold — see repro/health). The
+	// coordinator's values govern the whole session: they are broadcast
+	// in the welcome so every rank runs identical detection settings,
+	// and they decide whether the per-peer control links are
+	// established at all (Health.Disable). A worker's own Interval,
+	// Timeout and Disable are therefore ignored; its Phi applies to its
+	// local detectors.
+	Health health.Config
 }
 
 const defaultTimeout = 30 * time.Second
@@ -110,6 +120,7 @@ type Session struct {
 	policyName  string
 	policy      *quant.Policy
 	fabric      *comm.RemoteFabric
+	monitor     *health.Monitor
 	peers       []string
 }
 
@@ -140,12 +151,26 @@ func (s *Session) Codec() quant.Codec { return s.policy.Base }
 // Close tears it down.
 func (s *Session) Fabric() *comm.RemoteFabric { return s.fabric }
 
+// Monitor returns the session's health monitor, or nil when the
+// coordinator disabled the health plane. The rendezvous has already
+// wired the monitor's verdict into Fabric().Abort, so a peer death
+// unblocks every in-flight exchange with health.ErrPeerDead;
+// additional handlers can be registered with Monitor().OnVerdict.
+func (s *Session) Monitor() *health.Monitor { return s.monitor }
+
 // Peers returns the mesh addresses of all ranks (index = rank).
 func (s *Session) Peers() []string { return append([]string(nil), s.peers...) }
 
-// Close tears the mesh down. Peers blocked in Recv observe the link
-// loss as an error on their side.
-func (s *Session) Close() error { return s.fabric.Close() }
+// Close tears the session down: the health plane first — its parting
+// bye tells every peer this is a departure, not a death — then the
+// mesh. Peers blocked in Recv observe the link loss as an error on
+// their side.
+func (s *Session) Close() error {
+	if s.monitor != nil {
+		s.monitor.Close()
+	}
+	return s.fabric.Close()
+}
 
 // Join performs the rendezvous for one rank and blocks until the whole
 // mesh is established. Rank 0 listens on cfg.Addr and coordinates;
@@ -239,16 +264,18 @@ func (c *Coordinator) Join() (*Session, error) {
 			// Garbage on the port — a scanner, a liveness probe, a
 			// disconnect — is not a cluster member failing; drop it and
 			// keep accepting until the deadline.
-			writeReject(conn, err.Error())
+			writeReject(conn, 0, err.Error())
 			conn.Close()
 			continue
 		}
 		// A well-formed hello that conflicts with the cluster's own
-		// configuration (wrong world, duplicate or out-of-range rank,
-		// unusable codec) is a real misconfiguration: a cluster that
-		// cannot agree on its own membership must not train.
+		// configuration (wrong protocol version, wrong world, duplicate
+		// or out-of-range rank, unusable codec) is a real
+		// misconfiguration: a cluster that cannot agree on its own
+		// membership must not train. The reject is written at the
+		// offender's own version so an old build can display it.
 		if err := c.checkHello(h, rendConns); err != nil {
-			writeReject(conn, err.Error())
+			writeReject(conn, h.Version, err.Error())
 			conn.Close()
 			return nil, fmt.Errorf("cluster: rejected hello: %w", err)
 		}
@@ -282,32 +309,51 @@ func (c *Coordinator) Join() (*Session, error) {
 	if err != nil {
 		for _, conn := range rendConns {
 			if conn != nil {
-				writeReject(conn, err.Error())
+				writeReject(conn, 0, err.Error())
 			}
 		}
 		return nil, err
 	}
 
-	// Phase 3: broadcast the membership table.
+	// Phase 3: broadcast the membership table, with the session's
+	// health-plane parameters — the coordinator's word is what makes
+	// every rank run the same detection settings and establish (or
+	// skip) the control links in agreement.
+	hb := cfg.Health.Resolved()
+	wel := welcome{Codec: policyName, Addrs: addrs}
+	if !hb.Disable {
+		wel.HeartbeatInterval = hb.Interval
+		wel.HeartbeatTimeout = hb.Timeout
+	}
 	for rank := 1; rank < cfg.World; rank++ {
-		if err := writeWelcome(rendConns[rank], welcome{Codec: policyName, Addrs: addrs}); err != nil {
+		if err := writeWelcome(rendConns[rank], wel); err != nil {
 			return nil, fmt.Errorf("cluster: welcome rank %d: %w", rank, err)
 		}
 	}
 
 	// Phase 4: establish the mesh. Rank 0 is the lowest rank, so it
-	// only accepts: one duplex link from every other rank.
+	// only accepts: one data link — plus one control link when the
+	// health plane is on — from every other rank.
 	conns := make([]net.Conn, cfg.World)
-	if err := acceptMeshLinks(meshLn, 0, cfg.World, cfg.World-1, deadline, conns); err != nil {
+	var ctrl []net.Conn
+	if !hb.Disable {
+		ctrl = make([]net.Conn, cfg.World)
+	}
+	if err := acceptMeshLinks(meshLn, 0, cfg.World, deadline, conns, ctrl); err != nil {
 		closeConns(conns)
+		closeConns(ctrl)
 		return nil, err
 	}
-	return newSession(cfg, policyName, addrs, conns)
+	return newSession(cfg, policyName, addrs, conns, ctrl, hb)
 }
 
 // checkHello validates one worker's hello against the coordinator's
 // configuration and the ranks already joined.
 func (c *Coordinator) checkHello(h hello, rendConns []net.Conn) error {
+	if h.Version != ProtocolVersion {
+		return fmt.Errorf("cluster: rank %d speaks rendezvous protocol version %d, this build speaks %d (the health plane needs matching builds)",
+			h.Rank, h.Version, ProtocolVersion)
+	}
 	if h.World != c.cfg.World {
 		return fmt.Errorf("cluster: rank %d expects a world of %d, coordinator has %d",
 			h.Rank, h.World, c.cfg.World)
@@ -365,28 +411,62 @@ func joinWorker(cfg Config) (*Session, error) {
 		return nil, fmt.Errorf("cluster: membership table has %d ranks, want %d",
 			len(wel.Addrs), cfg.World)
 	}
+	// The coordinator's welcome fixes the session's heartbeat settings;
+	// only the worker's phi threshold stays local. A zero interval
+	// means the coordinator turned the health plane off.
+	hb := health.Config{
+		Interval: wel.HeartbeatInterval,
+		Timeout:  wel.HeartbeatTimeout,
+		Phi:      cfg.Health.Phi,
+		Disable:  wel.HeartbeatInterval <= 0,
+	}.Resolved()
 
-	// Mesh: dial every lower rank, accept from every higher rank.
+	// Mesh: dial every lower rank — the data link, then the control
+	// link when the health plane is on — and accept from every higher
+	// rank.
 	conns := make([]net.Conn, cfg.World)
-	for p := 0; p < cfg.Rank; p++ {
-		pc, err := net.DialTimeout("tcp", wel.Addrs[p], time.Until(deadline))
-		if err != nil {
-			closeConns(conns)
-			return nil, fmt.Errorf("cluster: dial rank %d at %s: %w", p, wel.Addrs[p], err)
-		}
-		pc.SetDeadline(deadline)
-		if err := writeMeshPreamble(pc, cfg.Rank, p); err != nil {
-			pc.Close()
-			closeConns(conns)
-			return nil, fmt.Errorf("cluster: mesh preamble to rank %d: %w", p, err)
-		}
-		conns[p] = pc
+	var ctrl []net.Conn
+	if !hb.Disable {
+		ctrl = make([]net.Conn, cfg.World)
 	}
-	if err := acceptMeshLinks(meshLn, cfg.Rank, cfg.World, cfg.World-1-cfg.Rank, deadline, conns); err != nil {
+	bail := func(err error) (*Session, error) {
 		closeConns(conns)
+		closeConns(ctrl)
 		return nil, err
 	}
-	return newSession(cfg, wel.Codec, wel.Addrs, conns)
+	for p := 0; p < cfg.Rank; p++ {
+		pc, err := dialMeshLink(wel.Addrs[p], cfg.Rank, p, linkData, deadline)
+		if err != nil {
+			return bail(err)
+		}
+		conns[p] = pc
+		if ctrl != nil {
+			cc, err := dialMeshLink(wel.Addrs[p], cfg.Rank, p, linkControl, deadline)
+			if err != nil {
+				return bail(err)
+			}
+			ctrl[p] = cc
+		}
+	}
+	if err := acceptMeshLinks(meshLn, cfg.Rank, cfg.World, deadline, conns, ctrl); err != nil {
+		return bail(err)
+	}
+	return newSession(cfg, wel.Codec, wel.Addrs, conns, ctrl, hb)
+}
+
+// dialMeshLink opens one mesh connection of the given kind to a lower
+// rank and writes its preamble.
+func dialMeshLink(addr string, from, to int, kind byte, deadline time.Time) (net.Conn, error) {
+	pc, err := net.DialTimeout("tcp", addr, time.Until(deadline))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial rank %d at %s: %w", to, addr, err)
+	}
+	pc.SetDeadline(deadline)
+	if err := writeMeshPreamble(pc, from, to, kind); err != nil {
+		pc.Close()
+		return nil, fmt.Errorf("cluster: mesh preamble to rank %d: %w", to, err)
+	}
+	return pc, nil
 }
 
 // dialCoordinator dials the rendezvous address, retrying until the
@@ -411,14 +491,19 @@ func dialCoordinator(addr string, deadline time.Time) (net.Conn, error) {
 	}
 }
 
-// acceptMeshLinks accepts mesh connections on ln until `need` valid
-// links have arrived, each opened by a higher rank dialling `local`,
-// and slots the connections into conns by originating rank. Strays —
-// bad preambles, duplicate or impossible claims — are dropped, not
-// fatal: an ephemeral mesh port is as exposed to scanners as the
-// rendezvous port, and the deadline still bounds the wait for the real
-// peers.
-func acceptMeshLinks(ln net.Listener, local, world, need int, deadline time.Time, conns []net.Conn) error {
+// acceptMeshLinks accepts mesh connections on ln until every expected
+// link has arrived — one data link per higher rank, plus one control
+// link when ctrl is non-nil (the health plane is on) — and slots the
+// connections by originating rank and preamble kind. Strays — bad
+// preambles, duplicate or impossible claims, control links on a
+// data-only session — are dropped, not fatal: an ephemeral mesh port
+// is as exposed to scanners as the rendezvous port, and the deadline
+// still bounds the wait for the real peers.
+func acceptMeshLinks(ln net.Listener, local, world int, deadline time.Time, conns, ctrl []net.Conn) error {
+	need := world - 1 - local
+	if ctrl != nil {
+		need *= 2
+	}
 	if tl, ok := ln.(*net.TCPListener); ok {
 		tl.SetDeadline(deadline)
 	}
@@ -429,35 +514,64 @@ func acceptMeshLinks(ln net.Listener, local, world, need int, deadline time.Time
 				local, have, need, err)
 		}
 		conn.SetDeadline(graceDeadline(deadline))
-		from, to, err := readMeshPreamble(conn)
-		if err != nil || to != local || from <= local || from >= world || conns[from] != nil {
+		from, to, kind, err := readMeshPreamble(conn)
+		if err != nil || to != local || from <= local || from >= world {
+			conn.Close()
+			continue
+		}
+		var slot []net.Conn
+		switch kind {
+		case linkData:
+			slot = conns
+		case linkControl:
+			slot = ctrl
+		}
+		if slot == nil || slot[from] != nil {
 			conn.Close()
 			continue
 		}
 		conn.SetDeadline(deadline)
-		conns[from] = conn
+		slot[from] = conn
 		have++
 	}
 	return nil
 }
 
-// newSession finalises a rendezvous: clears the handshake deadlines and
-// wraps the mesh into the local rank's Transport.
-func newSession(cfg Config, policyName string, addrs []string, conns []net.Conn) (*Session, error) {
+// newSession finalises a rendezvous: clears the handshake deadlines,
+// wraps the data mesh into the local rank's Transport, and — when the
+// health plane is on — starts the heartbeat monitor over the control
+// links with its verdict wired into the fabric's Abort, so a peer
+// death interrupts every in-flight exchange with health.ErrPeerDead.
+func newSession(cfg Config, policyName string, addrs []string, conns, ctrl []net.Conn, hb health.Config) (*Session, error) {
 	policy, err := quant.ParsePolicy(policyName)
 	if err != nil {
 		closeConns(conns)
+		closeConns(ctrl)
 		return nil, fmt.Errorf("cluster: negotiated policy: %w", err)
 	}
-	for _, conn := range conns {
-		if conn != nil {
-			conn.SetDeadline(time.Time{})
+	for _, set := range [][]net.Conn{conns, ctrl} {
+		for _, conn := range set {
+			if conn != nil {
+				conn.SetDeadline(time.Time{})
+			}
 		}
 	}
 	fabric, err := comm.NewRemoteFabric(cfg.Rank, cfg.World, conns)
 	if err != nil {
 		closeConns(conns)
+		closeConns(ctrl)
 		return nil, err
+	}
+	var monitor *health.Monitor
+	if ctrl != nil && cfg.World > 1 {
+		monitor, err = health.NewMonitor(cfg.Rank, cfg.World, ctrl, hb)
+		if err != nil {
+			fabric.Close()
+			closeConns(ctrl)
+			return nil, err
+		}
+		monitor.OnVerdict(func(verr error) { fabric.Abort(verr) })
+		monitor.Start()
 	}
 	return &Session{
 		rank:       cfg.Rank,
@@ -465,6 +579,7 @@ func newSession(cfg Config, policyName string, addrs []string, conns []net.Conn)
 		policyName: policy.Name(),
 		policy:     policy,
 		fabric:     fabric,
+		monitor:    monitor,
 		peers:      addrs,
 	}, nil
 }

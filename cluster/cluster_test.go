@@ -2,12 +2,14 @@ package cluster
 
 import (
 	"bytes"
+	"io"
 	"net"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/health"
 	"repro/quant"
 )
 
@@ -444,5 +446,185 @@ func TestRendezvousNegotiatesMixedPolicy(t *testing.T) {
 			p.Rules[1].Pattern != "*.b" || p.Rules[1].Codec.Name() != "32bit" {
 			t.Fatalf("rank %d rules %+v", rank, p.Rules)
 		}
+	}
+}
+
+// TestWelcomeRoundTripsHeartbeatParameters: the v3 welcome carries the
+// session's health-plane settings byte-exactly.
+func TestWelcomeRoundTripsHeartbeatParameters(t *testing.T) {
+	var buf bytes.Buffer
+	in := welcome{
+		Codec:             "qsgd4b512",
+		Addrs:             []string{"127.0.0.1:1", "127.0.0.1:2"},
+		HeartbeatInterval: 250 * time.Millisecond,
+		HeartbeatTimeout:  2 * time.Second,
+	}
+	if err := writeWelcome(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readWelcome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.HeartbeatInterval != in.HeartbeatInterval || out.HeartbeatTimeout != in.HeartbeatTimeout {
+		t.Fatalf("heartbeat params %v/%v, want %v/%v",
+			out.HeartbeatInterval, out.HeartbeatTimeout, in.HeartbeatInterval, in.HeartbeatTimeout)
+	}
+	// A disabled plane travels as zeros.
+	buf.Reset()
+	if err := writeWelcome(&buf, welcome{Codec: "32bit", Addrs: []string{"a"}}); err != nil {
+		t.Fatal(err)
+	}
+	if out, err = readWelcome(&buf); err != nil || out.HeartbeatInterval != 0 {
+		t.Fatalf("disabled plane round-trip: %v, interval %v", err, out.HeartbeatInterval)
+	}
+}
+
+// TestRendezvousRejectsOldProtocolVersion: a v2 hello still parses
+// (the layout is unchanged), and the coordinator answers with a
+// versioned reject naming the mismatch — written at the sender's own
+// version so an old build can display it — instead of dropping the
+// connection as garbage.
+func TestRendezvousRejectsOldProtocolVersion(t *testing.T) {
+	coord, err := NewCoordinator(Config{
+		Addr: "127.0.0.1:0", World: 2, Timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joinErr := make(chan error, 1)
+	go func() {
+		s, err := coord.Join()
+		if s != nil {
+			s.Close()
+		}
+		joinErr <- err
+	}()
+
+	conn, err := net.Dial("tcp", coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Handcraft a v2 hello: same layout, older version byte.
+	msg := appendU32(nil, rendezvousMagic)
+	msg = append(msg, 2) // ProtocolVersion of a PR-3-era build
+	msg = appendU32(msg, 1)
+	msg = appendU32(msg, 2)
+	addr := "127.0.0.1:9"
+	msg = appendU16(msg, uint16(len(addr)))
+	msg = append(msg, addr...)
+	msg = appendU16(msg, 0)
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case err := <-joinErr:
+		if err == nil || !strings.Contains(err.Error(), "protocol version 2") {
+			t.Fatalf("expected a protocol-version rejection, got: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("coordinator hung on the old-version hello")
+	}
+	// The reject the old build reads must be written at version 2, or
+	// its readWelcome would bail on the version byte before reaching
+	// the message.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	hdr := make([]byte, 6)
+	if _, err := io.ReadFull(conn, hdr); err != nil {
+		t.Fatalf("no reject on the wire: %v", err)
+	}
+	if hdr[4] != 2 || hdr[5] != 1 {
+		t.Fatalf("reject header version=%d status=%d, want version 2, status 1", hdr[4], hdr[5])
+	}
+}
+
+// TestSessionHealthGovernedByCoordinator: the coordinator's heartbeat
+// settings win on every rank — a worker's own interval (or even its
+// wish to disable) is overridden by the welcome, so the whole session
+// runs one failure-detection regime.
+func TestSessionHealthGovernedByCoordinator(t *testing.T) {
+	const world = 2
+	coord, err := NewCoordinator(Config{
+		Addr: "127.0.0.1:0", World: world, Timeout: 10 * time.Second,
+		Health: health.Config{Interval: 50 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type joined struct {
+		s   *Session
+		err error
+	}
+	worker := make(chan joined, 1)
+	go func() {
+		s, err := Join(Config{
+			Addr: coord.Addr(), Rank: 1, World: world, Timeout: 10 * time.Second,
+			// Deliberately contrarian local settings.
+			Health: health.Config{Interval: time.Hour, Disable: true},
+		})
+		worker <- joined{s, err}
+	}()
+	sess0, err := coord.Join()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess0.Close()
+	w := <-worker
+	if w.err != nil {
+		t.Fatal(w.err)
+	}
+	defer w.s.Close()
+
+	for rank, s := range []*Session{sess0, w.s} {
+		m := s.Monitor()
+		if m == nil {
+			t.Fatalf("rank %d has no monitor despite the coordinator enabling the plane", rank)
+		}
+		if got := m.Config().Interval; got != 50*time.Millisecond {
+			t.Fatalf("rank %d runs interval %v, want the coordinator's 50ms", rank, got)
+		}
+		if got := m.Config().Timeout; got != 400*time.Millisecond {
+			t.Fatalf("rank %d runs timeout %v, want the derived 400ms", rank, got)
+		}
+	}
+}
+
+// TestSessionHealthDisabled: with the plane off on the coordinator, no
+// control links are built and Monitor() is nil everywhere.
+func TestSessionHealthDisabled(t *testing.T) {
+	const world = 2
+	coord, err := NewCoordinator(Config{
+		Addr: "127.0.0.1:0", World: world, Timeout: 10 * time.Second,
+		Health: health.Config{Disable: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type joined struct {
+		s   *Session
+		err error
+	}
+	worker := make(chan joined, 1)
+	go func() {
+		s, err := Join(Config{
+			Addr: coord.Addr(), Rank: 1, World: world, Timeout: 10 * time.Second,
+			Health: health.Config{Interval: time.Millisecond},
+		})
+		worker <- joined{s, err}
+	}()
+	sess0, err := coord.Join()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess0.Close()
+	w := <-worker
+	if w.err != nil {
+		t.Fatal(w.err)
+	}
+	defer w.s.Close()
+	if sess0.Monitor() != nil || w.s.Monitor() != nil {
+		t.Fatal("monitors exist despite the coordinator disabling the health plane")
 	}
 }

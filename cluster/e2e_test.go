@@ -14,6 +14,7 @@ import (
 
 	"repro/cluster"
 	"repro/data"
+	"repro/health"
 	"repro/lpsgd"
 )
 
@@ -44,7 +45,9 @@ func TestThreeProcessClusterTrainingMixedPolicy(t *testing.T) {
 		policy)
 }
 
-func runThreeProcessCluster(t *testing.T, accepts []string, wantPolicy string) {
+// buildWorker compiles cmd/lpsgd-worker into a temp dir and returns
+// the binary path, skipping the test when no toolchain is available.
+func buildWorker(t *testing.T) string {
 	t.Helper()
 	if testing.Short() {
 		t.Skip("multi-process smoke test skipped in -short mode")
@@ -53,13 +56,18 @@ func runThreeProcessCluster(t *testing.T, accepts []string, wantPolicy string) {
 	if err != nil {
 		t.Skip("go toolchain not available to build the worker binary")
 	}
-	dir := t.TempDir()
-	bin := filepath.Join(dir, "lpsgd-worker")
+	bin := filepath.Join(t.TempDir(), "lpsgd-worker")
 	build := exec.Command(goTool, "build", "-o", bin, "repro/cmd/lpsgd-worker")
 	build.Env = os.Environ()
 	if out, err := build.CombinedOutput(); err != nil {
 		t.Fatalf("building lpsgd-worker: %v\n%s", err, out)
 	}
+	return bin
+}
+
+func runThreeProcessCluster(t *testing.T, accepts []string, wantPolicy string) {
+	t.Helper()
+	bin := buildWorker(t)
 
 	const world = 3
 	common := []string{
@@ -269,4 +277,232 @@ func TestClusterTrainingInProcess(t *testing.T) {
 func trainingTask() (lpsgd.BuildFunc, *data.Dataset, *data.Dataset) {
 	train, test := lpsgd.SyntheticImages(4, 96, 48, 13)
 	return lpsgd.MLP(64, 32, 4), train, test
+}
+
+// syncBuffer is a concurrency-safe sink for a child process's stderr,
+// pollable while the process runs.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// waitForOutput polls a buffer until want appears.
+func waitForOutput(t *testing.T, b *syncBuffer, want string, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for !strings.Contains(b.String(), want) {
+		if time.Now().After(deadline) {
+			t.Fatalf("%q never appeared; output so far:\n%s", want, b.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestClusterPeerDeathAbort is the acceptance test of the health
+// plane: three worker processes train a long run, one is SIGKILLed
+// mid-epoch, and every survivor must exit with the documented
+// peer-death abort code (4) within 2x the configured heartbeat
+// timeout — unblocked out of the synchronous exchange by the
+// coordinated abort, not wedged until some TCP-level timeout.
+func TestClusterPeerDeathAbort(t *testing.T) {
+	bin := buildWorker(t)
+
+	const world = 3
+	const hbTimeout = 3 * time.Second
+	const abortExitCode = 4
+	common := []string{
+		"-world", fmt.Sprint(world),
+		"-task", "image", "-epochs", "100000", "-batch", "24",
+		"-train-samples", "96", "-test-samples", "48", "-seed", "41",
+		"-accept", "qsgd4b512",
+		"-heartbeat", "100ms", "-heartbeat-timeout", hbTimeout.String(),
+	}
+
+	// Rank 0 coordinates on an ephemeral port.
+	var err0 syncBuffer
+	rank0 := exec.Command(bin, append([]string{
+		"-coordinator", "127.0.0.1:0", "-rank", "0",
+	}, common...)...)
+	rank0.Stderr = &err0
+	rank0Out, err := rank0.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rank0.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rank0.Process.Kill()
+
+	sc := bufio.NewScanner(rank0Out)
+	if !sc.Scan() {
+		t.Fatalf("rank 0 exited before announcing its address: %s", err0.String())
+	}
+	fields := strings.Fields(sc.Text())
+	if len(fields) != 2 || fields[0] != "coordinator" {
+		t.Fatalf("unexpected announcement %q", sc.Text())
+	}
+	addr := fields[1]
+	go func() { // drain the rest of rank 0's stdout
+		for sc.Scan() {
+		}
+	}()
+
+	stderrs := make([]*syncBuffer, world)
+	stderrs[0] = &err0
+	procs := make([]*exec.Cmd, world)
+	procs[0] = rank0
+	for rank := 1; rank < world; rank++ {
+		buf := &syncBuffer{}
+		cmd := exec.Command(bin, append([]string{
+			"-coordinator", addr, "-rank", fmt.Sprint(rank),
+		}, common...)...)
+		cmd.Stderr = buf
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		stderrs[rank] = buf
+		procs[rank] = cmd
+		defer cmd.Process.Kill()
+	}
+
+	// Wait until every rank is demonstrably inside the training loop,
+	// then give them a beat so the kill lands mid-epoch.
+	for rank := 0; rank < world; rank++ {
+		waitForOutput(t, stderrs[rank], "up, negotiated policy", 30*time.Second)
+	}
+	time.Sleep(300 * time.Millisecond)
+
+	victim := world - 1
+	killedAt := time.Now()
+	if err := procs[victim].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	procs[victim].Wait()
+
+	type exited struct {
+		rank    int
+		code    int
+		elapsed time.Duration
+	}
+	done := make(chan exited, world)
+	for rank := 0; rank < victim; rank++ {
+		go func(rank int) {
+			err := procs[rank].Wait()
+			code := 0
+			if ee, ok := err.(*exec.ExitError); ok {
+				code = ee.ExitCode()
+			} else if err != nil {
+				code = -1
+			}
+			done <- exited{rank, code, time.Since(killedAt)}
+		}(rank)
+	}
+	// The acceptance bound: every survivor is out within 2x the
+	// heartbeat timeout of the kill.
+	budget := 2 * hbTimeout
+	timeout := time.After(budget + 2*time.Second) // scheduling slack for the slowest Wait
+	for i := 0; i < victim; i++ {
+		select {
+		case e := <-done:
+			if e.code != abortExitCode {
+				t.Errorf("rank %d exited with code %d, want the abort code %d; stderr:\n%s",
+					e.rank, e.code, abortExitCode, stderrs[e.rank].String())
+			}
+			if e.elapsed > budget {
+				t.Errorf("rank %d took %v to abort, budget is %v", e.rank, e.elapsed, budget)
+			}
+			if !strings.Contains(stderrs[e.rank].String(), "declared dead") {
+				t.Errorf("rank %d's stderr does not carry the death verdict:\n%s",
+					e.rank, stderrs[e.rank].String())
+			}
+		case <-timeout:
+			t.Fatalf("survivors still running %v after the kill — the abort never propagated", budget)
+		}
+	}
+}
+
+// TestHealthPlaneDigestParity: enabling the health plane must not move
+// a single training bit — the final model digests of a cluster run
+// with heartbeats on and one with the plane disabled are identical.
+func TestHealthPlaneDigestParity(t *testing.T) {
+	run := func(hb health.Config) []byte {
+		const world = 2
+		coord, err := cluster.NewCoordinator(cluster.Config{
+			Addr: "127.0.0.1:0", World: world,
+			Accept:  []string{"qsgd4b512"},
+			Timeout: 20 * time.Second,
+			Health:  hb,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ckpts := make([][]byte, world)
+		errs := make([]error, world)
+		var wg sync.WaitGroup
+		runRank := func(rank int, opt lpsgd.Option) {
+			defer wg.Done()
+			model, train, test := trainingTask()
+			trainer, err := lpsgd.NewTrainer(model,
+				opt,
+				lpsgd.WithAcceptedPolicies("qsgd4b512"),
+				lpsgd.WithBatchSize(24),
+				lpsgd.WithEpochs(2),
+				lpsgd.WithSeed(7),
+			)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			defer trainer.Close()
+			if _, err := trainer.Run(train, test); err != nil {
+				errs[rank] = err
+				return
+			}
+			var buf bytes.Buffer
+			if err := trainer.SaveCheckpoint(&buf); err != nil {
+				errs[rank] = err
+				return
+			}
+			ckpts[rank] = buf.Bytes()
+		}
+		wg.Add(world)
+		go runRank(1, lpsgd.WithCluster(coord.Addr(), 1, world))
+		go func() {
+			sess, err := coord.Join()
+			if err != nil {
+				errs[0] = err
+				wg.Done()
+				return
+			}
+			runRank(0, lpsgd.WithClusterSession(sess))
+		}()
+		wg.Wait()
+		for rank, err := range errs {
+			if err != nil {
+				t.Fatalf("rank %d (health disable=%v): %v", rank, hb.Disable, err)
+			}
+		}
+		if !bytes.Equal(ckpts[0], ckpts[1]) {
+			t.Fatalf("ranks diverged within one run (health disable=%v)", hb.Disable)
+		}
+		return ckpts[0]
+	}
+
+	withHealth := run(health.Config{Interval: 50 * time.Millisecond})
+	without := run(health.Config{Disable: true})
+	if !bytes.Equal(withHealth, without) {
+		t.Fatal("health plane perturbed the training trajectory: digests differ between on and off")
+	}
 }

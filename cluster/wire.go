@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"time"
 )
 
 // This file defines the rendezvous wire protocol: little-endian,
@@ -13,7 +14,9 @@ import (
 //
 //	hello (worker → coordinator):
 //	  uint32  magic "LPSC"
-//	  uint8   protocol version (currently 2)
+//	  uint8   protocol version (currently 3; the layout is unchanged
+//	          since 2, so a v2 hello still parses and earns a versioned
+//	          reject naming the mismatch instead of a silent drop)
 //	  uint32  rank
 //	  uint32  world size
 //	  uint16  mesh address length, then the address bytes
@@ -26,13 +29,16 @@ import (
 //	  rejected: uint16 message length + message
 //	  ok:       uint8 policy length + negotiated policy string,
 //	            uint32 world size,
-//	            per rank uint16 address length + mesh address
+//	            per rank uint16 address length + mesh address,
+//	            uint32 heartbeat interval (ms; 0 = health plane off),
+//	            uint32 heartbeat timeout (ms)
 //
 //	mesh preamble (higher rank → lower rank, on the mesh listener):
 //	  uint32  magic "LPSM"
 //	  uint8   protocol version
 //	  uint32  from rank
 //	  uint32  to rank
+//	  uint8   link kind (0 = data, 1 = health control)
 
 const (
 	// rendezvousMagic tags hello and welcome messages ("LPSC").
@@ -46,8 +52,19 @@ const (
 	// built. Version 2 changed the capability strings from bare codec
 	// names to precision policy strings (quant.ParsePolicy grammar) —
 	// structurally identical on the wire, but a v1 build cannot parse a
-	// policy with rules, so mixed builds must not rendezvous.
-	ProtocolVersion = 2
+	// policy with rules, so mixed builds must not rendezvous. Version 3
+	// added the health plane: the welcome carries the session's
+	// heartbeat interval and timeout, and every rank pair establishes a
+	// second, control-kind mesh link beside the data link — a v2 build
+	// would rendezvous and then hang waiting for links it does not
+	// know to dial.
+	ProtocolVersion = 3
+
+	// helloCompatVersion is the oldest hello layout this build can still
+	// parse. v2 and v3 hellos are byte-identical, so a v2 worker gets a
+	// reject that names the version mismatch (written at its own
+	// version, so it can read it) instead of being dropped as garbage.
+	helloCompatVersion = 2
 
 	// maxAddrLen and maxCodecs bound attacker-controlled lengths in a
 	// hello so a garbage connection cannot make the coordinator allocate
@@ -58,6 +75,10 @@ const (
 
 // hello is the decoded rendezvous request of one worker.
 type hello struct {
+	// Version is the protocol version the worker spoke. Parsing accepts
+	// helloCompatVersion..ProtocolVersion; the coordinator rejects
+	// anything but an exact match with a message the sender can read.
+	Version  byte
 	Rank     int
 	World    int
 	MeshAddr string
@@ -68,7 +89,19 @@ type hello struct {
 type welcome struct {
 	Codec string
 	Addrs []string
+	// Heartbeat parameters of the session's health plane, decided by
+	// the coordinator so every rank runs identical detection settings.
+	// A zero interval means the health plane is off and no control
+	// links are established.
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
 }
+
+// Mesh-link kinds carried by the v3 preamble.
+const (
+	linkData    = 0
+	linkControl = 1
+)
 
 func writeHello(w io.Writer, h hello) error {
 	if len(h.MeshAddr) > maxAddrLen {
@@ -97,9 +130,11 @@ func writeHello(w io.Writer, h hello) error {
 
 func readHello(r io.Reader) (hello, error) {
 	var h hello
-	if err := readMagicVersion(r, rendezvousMagic, "hello"); err != nil {
+	v, err := readMagicVersionRange(r, rendezvousMagic, "hello", helloCompatVersion)
+	if err != nil {
 		return h, err
 	}
+	h.Version = v
 	var fixed [8]byte
 	if _, err := io.ReadFull(r, fixed[:]); err != nil {
 		return h, fmt.Errorf("cluster: hello header: %w", err)
@@ -149,18 +184,25 @@ func writeWelcome(w io.Writer, wel welcome) error {
 		buf = appendU16(buf, uint16(len(a)))
 		buf = append(buf, a...)
 	}
+	buf = appendU32(buf, uint32(wel.HeartbeatInterval/time.Millisecond))
+	buf = appendU32(buf, uint32(wel.HeartbeatTimeout/time.Millisecond))
 	_, err := w.Write(buf)
 	return err
 }
 
-// writeReject sends an error welcome. Failures are ignored — the
-// offending connection is being torn down anyway.
-func writeReject(w io.Writer, msg string) {
+// writeReject sends an error welcome at the given protocol version —
+// the offender's own version when it is parseable, so an old build
+// displays the actual reason instead of a magic/version error.
+// Failures are ignored: the connection is being torn down anyway.
+func writeReject(w io.Writer, version byte, msg string) {
 	if len(msg) > 1024 {
 		msg = msg[:1024]
 	}
+	if version == 0 {
+		version = ProtocolVersion
+	}
 	buf := appendU32(nil, rendezvousMagic)
-	buf = append(buf, ProtocolVersion, 1)
+	buf = append(buf, version, 1)
 	buf = appendU16(buf, uint16(len(msg)))
 	buf = append(buf, msg...)
 	w.Write(buf)
@@ -202,44 +244,59 @@ func readWelcome(r io.Reader) (welcome, error) {
 		}
 		wel.Addrs = append(wel.Addrs, a)
 	}
+	var hb [8]byte
+	if _, err := io.ReadFull(r, hb[:]); err != nil {
+		return wel, fmt.Errorf("cluster: welcome heartbeat parameters: %w", err)
+	}
+	wel.HeartbeatInterval = time.Duration(binary.LittleEndian.Uint32(hb[0:])) * time.Millisecond
+	wel.HeartbeatTimeout = time.Duration(binary.LittleEndian.Uint32(hb[4:])) * time.Millisecond
 	return wel, nil
 }
 
-func writeMeshPreamble(w io.Writer, from, to int) error {
+func writeMeshPreamble(w io.Writer, from, to int, kind byte) error {
 	buf := appendU32(nil, meshMagic)
 	buf = append(buf, ProtocolVersion)
 	buf = appendU32(buf, uint32(from))
 	buf = appendU32(buf, uint32(to))
+	buf = append(buf, kind)
 	_, err := w.Write(buf)
 	return err
 }
 
-func readMeshPreamble(r io.Reader) (from, to int, err error) {
+func readMeshPreamble(r io.Reader) (from, to int, kind byte, err error) {
 	if err := readMagicVersion(r, meshMagic, "mesh preamble"); err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
-	var fixed [8]byte
+	var fixed [9]byte
 	if _, err := io.ReadFull(r, fixed[:]); err != nil {
-		return 0, 0, fmt.Errorf("cluster: mesh preamble: %w", err)
+		return 0, 0, 0, fmt.Errorf("cluster: mesh preamble: %w", err)
 	}
 	return int(binary.LittleEndian.Uint32(fixed[0:])),
-		int(binary.LittleEndian.Uint32(fixed[4:])), nil
+		int(binary.LittleEndian.Uint32(fixed[4:])), fixed[8], nil
 }
 
 // readMagicVersion consumes and validates the shared magic + version
-// prefix of every protocol message.
+// prefix of a protocol message, requiring an exact version match.
 func readMagicVersion(r io.Reader, magic uint32, kind string) error {
+	_, err := readMagicVersionRange(r, magic, kind, ProtocolVersion)
+	return err
+}
+
+// readMagicVersionRange consumes the magic + version prefix, accepting
+// any version in [minVersion, ProtocolVersion] and returning the one
+// seen.
+func readMagicVersionRange(r io.Reader, magic uint32, kind string, minVersion byte) (byte, error) {
 	var fixed [5]byte
 	if _, err := io.ReadFull(r, fixed[:]); err != nil {
-		return fmt.Errorf("cluster: %s header: %w", kind, err)
+		return 0, fmt.Errorf("cluster: %s header: %w", kind, err)
 	}
 	if got := binary.LittleEndian.Uint32(fixed[0:]); got != magic {
-		return fmt.Errorf("cluster: bad %s magic %#x", kind, got)
+		return 0, fmt.Errorf("cluster: bad %s magic %#x", kind, got)
 	}
-	if v := fixed[4]; v != ProtocolVersion {
-		return fmt.Errorf("cluster: %s speaks protocol version %d, this build speaks %d", kind, v, ProtocolVersion)
+	if v := fixed[4]; v < minVersion || v > ProtocolVersion {
+		return 0, fmt.Errorf("cluster: %s speaks protocol version %d, this build speaks %d", kind, v, ProtocolVersion)
 	}
-	return nil
+	return fixed[4], nil
 }
 
 func readString8(r io.Reader, what string) (string, error) {

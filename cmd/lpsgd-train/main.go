@@ -21,6 +21,12 @@
 // host instead):
 //
 //	lpsgd-train -task image -codec qsgd4 -cluster 3 -epochs 6
+//
+// Cluster runs carry a health plane: -heartbeat/-heartbeat-timeout
+// tune the failure detector (a dead rank aborts every survivor with a
+// typed verdict instead of hanging the mesh), and -step-deadline
+// bounds one synchronous step's wall time. See cmd/lpsgd-worker for
+// the exit-code contract supervisors can build on.
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 	"strconv"
 
 	"repro/cluster"
+	"repro/health"
 	"repro/internal/harness"
 	"repro/internal/report"
 	"repro/lpsgd"
@@ -55,6 +62,10 @@ func main() {
 		clusterN    = flag.Int("cluster", 0, "train as a cluster of this many worker processes (this process is rank 0; it forks the rest)")
 		clusterAddr = flag.String("cluster-addr", "", "internal: rendezvous address of the parent coordinator (marks a forked worker)")
 		clusterRank = flag.Int("cluster-rank", 0, "internal: rank of a forked worker")
+
+		heartbeat = flag.Duration("heartbeat", health.DefaultInterval, "cluster mode: heartbeat interval of the health plane (0 disables failure detection)")
+		hbTimeout = flag.Duration("heartbeat-timeout", 0, "cluster mode: silence after which a peer is declared dead (0 = 8x the heartbeat interval)")
+		stepWait  = flag.Duration("step-deadline", 0, "abort if one synchronous step exceeds this wall time (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -82,6 +93,7 @@ func main() {
 		lpsgd.WithEpochs(*epochs),
 		lpsgd.WithLearningRate(float32(*lr)),
 		lpsgd.WithSeed(*seed),
+		lpsgd.WithStepDeadline(*stepWait),
 	}
 
 	// Cluster smoke mode: rank 0 coordinates on an ephemeral port and
@@ -100,10 +112,17 @@ func main() {
 	}
 	switch {
 	case isChild:
-		opts = append(opts, lpsgd.WithCluster(*clusterAddr, *clusterRank, *clusterN))
+		opts = append(opts,
+			lpsgd.WithCluster(*clusterAddr, *clusterRank, *clusterN),
+			lpsgd.WithHeartbeat(*heartbeat, *hbTimeout))
 	case *clusterN > 0:
 		coord, err := cluster.NewCoordinator(cluster.Config{
 			Addr: "127.0.0.1:0", World: *clusterN, Accept: []string{policySpec},
+			Health: health.Config{
+				Interval: *heartbeat,
+				Timeout:  *hbTimeout,
+				Disable:  *heartbeat == 0,
+			},
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -122,6 +141,8 @@ func main() {
 				"-train-samples", strconv.Itoa(*trainN), "-test-samples", strconv.Itoa(*testN),
 				"-cluster", strconv.Itoa(*clusterN),
 				"-cluster-addr", coord.Addr(), "-cluster-rank", strconv.Itoa(r),
+				"-heartbeat", heartbeat.String(), "-heartbeat-timeout", hbTimeout.String(),
+				"-step-deadline", stepWait.String(),
 			}
 			// Every rank must run the same aggregation primitive.
 			if *useNCCL {

@@ -25,11 +25,33 @@
 // policy string):
 //
 //	rank=1 world=3 codec=qsgd4b512 final_loss=0.1234 final_acc=0.8750 model=<sha256>
+//
+// # Fault handling
+//
+// A health plane runs beside the mesh (see repro/health): heartbeats
+// every -heartbeat over dedicated control links, a phi-or-deadline
+// failure detector, and a coordinated abort so that when any rank dies
+// every survivor unblocks with the same verdict instead of hanging.
+// The coordinator's -heartbeat/-heartbeat-timeout govern the whole
+// session; -heartbeat 0 on rank 0 turns the plane off. -step-deadline
+// additionally bounds one synchronous step's wall time.
+//
+// Exit codes are distinct so an external supervisor can decide
+// restart-vs-fail without parsing stderr:
+//
+//	0  success — trained, digest printed
+//	1  internal failure (training error, checkpoint I/O)
+//	2  usage or configuration error (bad flags, unknown task)
+//	3  rendezvous failure (cannot join, rejected hello, negotiation)
+//	4  peer-death abort (a peer was declared dead mid-run; restarting
+//	   the whole cluster is the sensible reaction, restarting this
+//	   rank alone is not)
 package main
 
 import (
 	"bytes"
 	"crypto/sha256"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -37,9 +59,36 @@ import (
 	"time"
 
 	"repro/cluster"
+	"repro/health"
 	"repro/internal/harness"
 	"repro/lpsgd"
 )
+
+// Exit codes, documented in the command comment above and asserted by
+// the cluster e2e tests.
+const (
+	exitOK         = 0
+	exitInternal   = 1
+	exitUsage      = 2
+	exitRendezvous = 3
+	exitPeerDeath  = 4
+)
+
+// exitCodeFor maps a training-time error to the exit code contract: a
+// health-plane death verdict is the restart-the-cluster code, anything
+// else is an internal failure.
+func exitCodeFor(err error) int {
+	var dead health.ErrPeerDead
+	if errors.As(err, &dead) {
+		return exitPeerDeath
+	}
+	return exitInternal
+}
+
+func fail(code int, err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(code)
+}
 
 func main() {
 	var (
@@ -49,6 +98,9 @@ func main() {
 		accept    = flag.String("accept", "32bit", "comma-separated policy strings this rank accepts (quant.ParsePolicy grammar)")
 		policy    = flag.String("policy", "", "preferred precision policy, advertised ahead of the -accept list")
 		joinWait  = flag.Duration("join-timeout", 30*time.Second, "rendezvous handshake timeout (raise for hand-launched multi-machine runs)")
+		heartbeat = flag.Duration("heartbeat", health.DefaultInterval, "heartbeat interval of the health plane; the coordinator's value governs the session, 0 on rank 0 disables failure detection")
+		hbTimeout = flag.Duration("heartbeat-timeout", 0, "silence after which a peer is declared dead (0 = 8x the heartbeat interval)")
+		stepWait  = flag.Duration("step-deadline", 0, "abort if one synchronous step (compute+exchange) exceeds this wall time (0 = unbounded)")
 		task      = flag.String("task", "image", "task: image or sequence")
 		epochs    = flag.Int("epochs", 4, "training epochs")
 		batch     = flag.Int("batch", 64, "global minibatch size, sharded over ranks")
@@ -62,8 +114,10 @@ func main() {
 
 	model, train, test, err := harness.Task(*task, *trainN, *testN, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fail(exitUsage, err)
+	}
+	if *heartbeat < 0 || *hbTimeout < 0 || *stepWait < 0 {
+		fail(exitUsage, fmt.Errorf("lpsgd-worker: -heartbeat, -heartbeat-timeout and -step-deadline must not be negative"))
 	}
 	var names []string
 	if *policy != "" {
@@ -81,29 +135,37 @@ func main() {
 	cfg := cluster.Config{
 		Addr: *coordAddr, Rank: *rank, World: *world,
 		Accept: names, Timeout: *joinWait,
+		Health: health.Config{
+			Interval: *heartbeat,
+			Timeout:  *hbTimeout,
+			Disable:  *heartbeat == 0,
+		},
 	}
 	if *rank == 0 {
 		coord, err := cluster.NewCoordinator(cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(exitRendezvous, err)
 		}
 		fmt.Printf("coordinator %s\n", coord.Addr())
 		if sess, err = coord.Join(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(exitRendezvous, err)
 		}
 	} else {
 		if sess, err = cluster.Join(cfg); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(exitRendezvous, err)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "lpsgd-worker: rank %d/%d up, negotiated policy %s\n",
-		sess.Rank(), sess.World(), sess.PolicyName())
+	hbNote := "health plane off"
+	if m := sess.Monitor(); m != nil {
+		hc := m.Config()
+		hbNote = fmt.Sprintf("heartbeat %v, timeout %v", hc.Interval, hc.Timeout)
+	}
+	fmt.Fprintf(os.Stderr, "lpsgd-worker: rank %d/%d up, negotiated policy %s (%s)\n",
+		sess.Rank(), sess.World(), sess.PolicyName(), hbNote)
 
 	trainer, err := lpsgd.NewTrainer(model,
 		lpsgd.WithClusterSession(sess),
+		lpsgd.WithStepDeadline(*stepWait),
 		lpsgd.WithBatchSize(*batch),
 		lpsgd.WithEpochs(*epochs),
 		lpsgd.WithLearningRate(float32(*lr)),
@@ -111,30 +173,41 @@ func main() {
 	)
 	if err != nil {
 		sess.Close()
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(exitInternal, err)
 	}
-	defer trainer.Close()
 
 	h, err := trainer.Run(train, test)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		code := exitCodeFor(err)
+		// Close before exiting so a non-fatal error still says a clean
+		// bye; after a death verdict the mesh is already aborted and
+		// Close is cheap.
+		trainer.Close()
+		fail(code, err)
 	}
 
 	var ckpt bytes.Buffer
 	if err := trainer.SaveCheckpoint(&ckpt); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		trainer.Close()
+		fail(exitInternal, err)
 	}
 	if *saveTo != "" {
 		if err := os.WriteFile(*saveTo, ckpt.Bytes(), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			trainer.Close()
+			fail(exitInternal, err)
 		}
+	}
+	if s := trainer.StepStats(); s.Slowest >= 0 {
+		fmt.Fprintf(os.Stderr, "lpsgd-worker: straggler report: rank %d gated the last step (compute %v, exchange %v)\n",
+			s.Slowest, s.Compute[s.Slowest].Round(time.Microsecond), s.Exchange[s.Slowest].Round(time.Microsecond))
 	}
 	last := h.Epochs[len(h.Epochs)-1]
 	fmt.Printf("rank=%d world=%d codec=%s final_loss=%.4f final_acc=%.4f model=%x\n",
 		sess.Rank(), sess.World(), sess.PolicyName(),
 		last.TrainLoss, h.FinalAccuracy, sha256.Sum256(ckpt.Bytes()))
+	// The deliberate Close (not a defer skipped by os.Exit) sends the
+	// health plane's bye before the process vanishes, so peers still
+	// mid-shutdown see a departure, not a death.
+	trainer.Close()
+	os.Exit(exitOK)
 }

@@ -53,6 +53,11 @@ type RemoteFabric struct {
 	// werr records the first asynchronous socket write failure; Send
 	// reports it on the next call.
 	werr atomic.Pointer[error]
+	// aerr is the abort verdict (set by Abort before the fabric is
+	// marked closed): once present, every Send and Recv — blocked or
+	// future — returns it instead of ErrClosed, so a health-plane death
+	// verdict survives the teardown it triggers.
+	aerr atomic.Pointer[error]
 }
 
 // maxRemoteMessage bounds a single message announced by a peer (1 GiB);
@@ -179,11 +184,11 @@ func (f *RemoteFabric) Send(from, to int, payload []byte) error {
 	if err := f.checkPeer(from, to, "send"); err != nil {
 		return err
 	}
-	// Closed wins over a recorded writer error: after an orderly Close
-	// the caller must see ErrClosed, not the stale socket failure that
-	// preceded it.
-	if f.closed.Load() {
-		return ErrClosed
+	// Lifecycle wins over a recorded writer error: after an orderly
+	// Close the caller must see ErrClosed — or the abort verdict — not
+	// the stale socket failure that preceded it.
+	if err := f.lifecycleErr(); err != nil {
+		return err
 	}
 	if e := f.werr.Load(); e != nil {
 		return *e
@@ -193,9 +198,9 @@ func (f *RemoteFabric) Send(from, to int, payload []byte) error {
 	// under a blocked send; the aborted case frees senders stuck on the
 	// full queue of a link whose writer died.
 	f.qmu.RLock()
-	if f.closed.Load() {
+	if err := f.lifecycleErr(); err != nil {
 		f.qmu.RUnlock()
-		return ErrClosed
+		return err
 	}
 	select {
 	case f.queues[to] <- msg:
@@ -205,14 +210,33 @@ func (f *RemoteFabric) Send(from, to int, payload []byte) error {
 		return nil
 	case <-f.aborted:
 		f.qmu.RUnlock()
+		if err := f.lifecycleErr(); err != nil {
+			return err
+		}
 		if e := f.werr.Load(); e != nil {
 			return *e
 		}
 		return ErrClosed
 	case <-f.closing:
 		f.qmu.RUnlock()
+		if err := f.lifecycleErr(); err != nil {
+			return err
+		}
 		return ErrClosed
 	}
+}
+
+// lifecycleErr returns the error every data-path call must report once
+// the fabric is no longer usable: the abort verdict if one was
+// delivered, ErrClosed after an orderly Close, nil while live.
+func (f *RemoteFabric) lifecycleErr() error {
+	if e := f.aerr.Load(); e != nil {
+		return *e
+	}
+	if f.closed.Load() {
+		return ErrClosed
+	}
+	return nil
 }
 
 // Recv implements Transport. to must be the local rank.
@@ -222,8 +246,8 @@ func (f *RemoteFabric) Recv(from, to int) ([]byte, error) {
 	}
 	f.rmu[from].Lock()
 	defer f.rmu[from].Unlock()
-	if f.closed.Load() {
-		return nil, ErrClosed
+	if err := f.lifecycleErr(); err != nil {
+		return nil, err
 	}
 	conn := f.conns[from]
 	var hdr [4]byte
@@ -249,10 +273,11 @@ func (f *RemoteFabric) Recv(from, to int) ([]byte, error) {
 	return buf, nil
 }
 
-// recvErr maps a socket read failure to ErrClosed during shutdown.
+// recvErr maps a socket read failure to the lifecycle error during
+// shutdown (the abort verdict, or ErrClosed after an orderly Close).
 func (f *RemoteFabric) recvErr(from int, err error) error {
-	if f.closed.Load() {
-		return ErrClosed
+	if lerr := f.lifecycleErr(); lerr != nil {
+		return lerr
 	}
 	return fmt.Errorf("comm: recv from rank %d: %w", from, err)
 }
@@ -275,6 +300,32 @@ func (f *RemoteFabric) Close() error {
 	return f.teardown(time.Now().Add(drainTimeout))
 }
 
+// Abort tears the fabric down with a verdict: every Send and Recv —
+// blocked mid-call or issued later — returns err instead of ErrClosed.
+// Unlike Close it does not drain queued sends: an abort means a peer is
+// gone and the exchange it belonged to is void, so the sockets are cut
+// immediately. This is the hook the cluster health plane pulls when its
+// failure detector declares a peer dead (err is then a
+// health.ErrPeerDead), turning "survivors hang inside a blocking Recv"
+// into a prompt, typed unblock on every rank. Abort after Close is a
+// no-op; Close after Abort is a no-op.
+func (f *RemoteFabric) Abort(err error) {
+	if err == nil {
+		err = ErrClosed
+	}
+	// Only the winner of the close transition installs the verdict: if
+	// an orderly Close got there first, ErrClosed semantics stand and
+	// the late verdict is dropped. Blocked callers are only woken by
+	// the teardown below, which runs after the verdict is in place, so
+	// every interrupted call observes it.
+	if !f.beginClose() {
+		return
+	}
+	f.aerr.Store(&err)
+	f.abortOnce.Do(func() { close(f.aborted) })
+	f.teardown(time.Now())
+}
+
 // beginClose marks the fabric closed, reporting whether this call won
 // the transition. TCPFabric marks all of its rank views closed before
 // tearing any of them down, so a Recv blocked on one rank observes
@@ -294,9 +345,15 @@ func (f *RemoteFabric) teardown(deadline time.Time) error {
 	// conn.Write, and a training goroutine may be blocked in Send on
 	// that link's full queue holding qmu's read lock — the deadline
 	// unsticks the writer, closing unsticks the sender, and only then
-	// can the write lock be taken to close the queues.
+	// can the write lock be taken to close the queues. Readers are cut
+	// immediately: a closed fabric owes its callers ErrClosed (or the
+	// abort verdict) now, not after the drain — and a half-open peer
+	// that will never send another byte must not be able to park a
+	// blocked Recv behind the whole drain window.
+	now := time.Now()
 	for _, c := range f.conns {
 		if c != nil {
+			c.SetReadDeadline(now)
 			c.SetWriteDeadline(deadline)
 		}
 	}

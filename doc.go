@@ -17,8 +17,14 @@
 // loopback-TCP or remote mesh fabrics), cluster (the multi-process
 // runtime: TCP rendezvous, per-session policy negotiation with a 32bit
 // floor, and mesh establishment across machine boundaries — launched
-// via cmd/lpsgd-worker or lpsgd.WithCluster), and nn/tensor/data/rng
-// (the deep-learning substrate). The experiment machinery stays under
+// via cmd/lpsgd-worker or lpsgd.WithCluster), health (the cluster's
+// fault-handling plane: per-peer heartbeat control links, a
+// phi-or-deadline failure detector, a coordinated abort that unblocks
+// every survivor with the same typed health.ErrPeerDead when a rank
+// dies mid-epoch, and straggler telemetry piggybacked on the
+// heartbeats — tuned via lpsgd.WithHeartbeat/WithStepDeadline and
+// surfaced through Trainer.StepStats and lpsgd-worker's documented
+// exit codes), and nn/tensor/data/rng (the deep-learning substrate). The experiment machinery stays under
 // internal/: workload/simulate (the calibrated performance model of
 // the paper's machines, framing overhead included) and harness (one
 // runner per table and figure). See README.md for a quickstart and a

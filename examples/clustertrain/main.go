@@ -16,10 +16,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
+	"repro/health"
 	"repro/lpsgd"
 )
 
@@ -38,6 +41,14 @@ func main() {
 		// per-layer scheme first, then plain codecs; the session settles
 		// on the cheapest one every rank accepts, floored at "32bit".
 		lpsgd.WithAcceptedPolicies("qsgd4b512;*.b=32bit", "qsgd4b512", "qsgd8b512", "1bit*64"),
+		// Health plane: a rank silent for 2 s (pinged every 250 ms over
+		// its control link) is declared dead, every survivor's Run
+		// returns the same health.ErrPeerDead, and the handler gets a
+		// chance to alert before this process decides what to do.
+		lpsgd.WithHeartbeat(250*time.Millisecond, 2*time.Second),
+		lpsgd.WithHealthHandler(func(err error) {
+			log.Printf("health verdict: %v — aborting this rank's exchange", err)
+		}),
 		lpsgd.WithBatchSize(96),
 		lpsgd.WithEpochs(8),
 		lpsgd.WithLearningRate(0.1),
@@ -53,8 +64,24 @@ func main() {
 		trainer.Rank(), trainer.World(), policy)
 
 	h, err := trainer.Run(train, test)
+	var dead health.ErrPeerDead
+	if errors.As(err, &dead) {
+		// A peer died mid-run: every surviving rank lands here with the
+		// same verdict, within ~2x the heartbeat timeout of the death.
+		log.Fatalf("rank %d/%d aborted: rank %d died (last heard %s ago); restart the cluster",
+			trainer.Rank(), trainer.World(), dead.Rank,
+			time.Since(dead.LastSeen).Round(time.Millisecond))
+	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	// The health plane's heartbeats double as straggler telemetry: every
+	// rank knows which peer gated the synchronous barrier.
+	if s := trainer.StepStats(); s.Slowest >= 0 {
+		fmt.Printf("rank %d/%d: slowest rank last step was %d (compute %v, exchange %v)\n",
+			trainer.Rank(), trainer.World(), s.Slowest,
+			s.Compute[s.Slowest].Round(time.Microsecond),
+			s.Exchange[s.Slowest].Round(time.Microsecond))
 	}
 	fmt.Printf("rank %d/%d: final accuracy %.2f%% over %s (%.1f kB on the wire from this rank)\n",
 		trainer.Rank(), trainer.World(), 100*h.FinalAccuracy, policy,

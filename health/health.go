@@ -1,0 +1,519 @@
+// Package health is the cluster's control plane: a heartbeat protocol,
+// a failure detector and a coordinated-abort broadcast that run beside
+// the gradient mesh for the lifetime of a training session.
+//
+// The paper's synchronous algorithm assumes every rank reaches every
+// all-reduce; in a multi-process deployment a rank dying mid-epoch
+// would otherwise leave the survivors blocked inside the exchange
+// forever. The health plane turns that hang into a prompt, typed
+// verdict: every rank sends a small ping to every peer over a
+// dedicated control link each Interval; a phi-or-deadline detector
+// (see Detector) declares a silent peer dead; the first rank to reach
+// a verdict broadcasts an abort so every survivor unblocks with the
+// same error, ErrPeerDead — the cluster wires that verdict into
+// comm.RemoteFabric.Abort, which interrupts in-flight Send/Recv.
+//
+// Pings also carry the sender's latest step timings, so the same plane
+// doubles as straggler telemetry: the synchronous step is gated by its
+// slowest participant (the S-SGD DAG model), and Monitor.Report lets
+// every rank attribute the barrier wait without moving a single byte
+// over the data mesh — the control links have their own sockets and
+// their own byte counter (ControlBytes), keeping the data fabric's
+// accounting, and therefore the performance model's TCP byte parity,
+// untouched.
+//
+// The package is deliberately free of repro dependencies: it speaks
+// net.Conn only, so it can monitor any mesh the rendezvous (or a test)
+// hands it.
+package health
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultInterval is the heartbeat period when Config.Interval is zero.
+const DefaultInterval = 500 * time.Millisecond
+
+// DefaultPhi is the phi-accrual suspicion threshold when Config.Phi is
+// zero — the value Akka and Cassandra default to.
+const DefaultPhi = 8.0
+
+// defaultTimeoutIntervals is the hard deadline, in heartbeat intervals,
+// when Config.Timeout is zero.
+const defaultTimeoutIntervals = 8
+
+// Config tunes the health plane.
+type Config struct {
+	// Interval is the heartbeat period (default DefaultInterval). In a
+	// cluster the coordinator's value governs the whole session — it is
+	// broadcast in the rendezvous welcome so every rank agrees.
+	Interval time.Duration
+	// Timeout is the hard silence deadline after which a peer is
+	// declared dead regardless of the phi statistics (default
+	// 8×Interval). The cluster's abort guarantee — every survivor
+	// unblocks within 2×Timeout of a death — is stated against it.
+	Timeout time.Duration
+	// Phi is the accrual-detector suspicion threshold (default
+	// DefaultPhi). Higher tolerates more jitter before declaring death;
+	// the hard Timeout applies regardless.
+	Phi float64
+	// Disable turns the health plane off: no control links, no
+	// heartbeats, no failure detection — the pre-health behaviour where
+	// a dead peer blocks the survivors until transport errors surface.
+	Disable bool
+}
+
+// Resolved returns the config with defaults filled in. Interval and
+// Timeout are rounded to whole milliseconds — the granularity the
+// rendezvous welcome transports them at — so the coordinator's own
+// monitor and every worker's provably run identical settings; a
+// sub-millisecond interval rounds up to 1ms rather than truncating to
+// "disabled" on the wire.
+func (c Config) Resolved() Config {
+	if c.Disable {
+		return Config{Disable: true}
+	}
+	if c.Interval <= 0 {
+		c.Interval = DefaultInterval
+	}
+	if c.Interval = c.Interval.Round(time.Millisecond); c.Interval < time.Millisecond {
+		c.Interval = time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = defaultTimeoutIntervals * c.Interval
+	}
+	if c.Timeout = c.Timeout.Round(time.Millisecond); c.Timeout < c.Interval {
+		c.Timeout = c.Interval
+	}
+	if c.Phi <= 0 {
+		c.Phi = DefaultPhi
+	}
+	return c
+}
+
+// ErrPeerDead is the verdict every surviving rank observes when the
+// health plane declares a peer dead: the same typed error, whether the
+// local detector reached the verdict or an abort broadcast delivered
+// it. It is what interrupted Send/Recv calls on the data mesh return
+// after the abort, and what Trainer.Run surfaces.
+type ErrPeerDead struct {
+	// Rank is the dead peer.
+	Rank int
+	// LastSeen is when the declaring rank last heard from it.
+	LastSeen time.Time
+}
+
+// Error implements error.
+func (e ErrPeerDead) Error() string {
+	if e.LastSeen.IsZero() {
+		return fmt.Sprintf("health: rank %d declared dead", e.Rank)
+	}
+	return fmt.Sprintf("health: rank %d declared dead (last heartbeat %s ago)",
+		e.Rank, time.Since(e.LastSeen).Round(time.Millisecond))
+}
+
+// StepReport is one rank's timing of its latest completed training
+// step. Reports ride on heartbeat pings, so every rank holds a
+// slightly stale copy of every peer's timings — the data behind
+// straggler attribution.
+type StepReport struct {
+	// Step is the 1-based index of the completed step (0 = none yet).
+	Step int64
+	// Compute is the forward+backward wall time of that step.
+	Compute time.Duration
+	// Exchange is the gradient-exchange wall time of that step.
+	Exchange time.Duration
+}
+
+// Total returns the step's full wall time.
+func (r StepReport) Total() time.Duration { return r.Compute + r.Exchange }
+
+// link is the control connection to one peer.
+type link struct {
+	conn net.Conn
+	// wmu serialises ping, abort and bye writes on the conn.
+	wmu sync.Mutex
+	det *Detector
+}
+
+// Monitor runs the health plane for one rank: heartbeat senders and
+// readers per peer, the failure detector, the coordinated abort, and
+// the straggler-report exchange. Build it with NewMonitor over the
+// control links the rendezvous established, register verdict handlers
+// with OnVerdict, then Start it. The monitor owns the connections and
+// closes them on Close.
+type Monitor struct {
+	local, world int
+	cfg          Config
+	links        []*link
+
+	mu       sync.Mutex
+	handlers []func(error)
+	verdict  error
+	reports  []StepReport
+	known    []bool
+	departed []bool
+	started  bool
+	closing  bool
+
+	dead  chan struct{}
+	stop  chan struct{}
+	wg    sync.WaitGroup
+	seq   atomic.Uint64
+	bytes atomic.Int64
+}
+
+// NewMonitor wraps the per-peer control connections of one rank into a
+// monitor. conns must have length world with a non-nil connection for
+// every peer and nil at index local; cfg is resolved with defaults.
+// The monitor takes ownership of the connections.
+func NewMonitor(local, world int, conns []net.Conn, cfg Config) (*Monitor, error) {
+	if world <= 1 {
+		return nil, fmt.Errorf("health: a monitor needs at least one peer, world is %d", world)
+	}
+	if local < 0 || local >= world {
+		return nil, fmt.Errorf("health: local rank %d outside world of %d", local, world)
+	}
+	if len(conns) != world {
+		return nil, fmt.Errorf("health: monitor wants %d connections, got %d", world, len(conns))
+	}
+	cfg = cfg.Resolved()
+	if cfg.Disable {
+		return nil, fmt.Errorf("health: monitor built with a disabled config")
+	}
+	m := &Monitor{
+		local:    local,
+		world:    world,
+		cfg:      cfg,
+		links:    make([]*link, world),
+		reports:  make([]StepReport, world),
+		known:    make([]bool, world),
+		departed: make([]bool, world),
+		dead:     make(chan struct{}),
+		stop:     make(chan struct{}),
+	}
+	for p, c := range conns {
+		if p == local {
+			if c != nil {
+				return nil, fmt.Errorf("health: rank %d must not monitor itself", local)
+			}
+			continue
+		}
+		if c == nil {
+			return nil, fmt.Errorf("health: rank %d is missing the control link to rank %d", local, p)
+		}
+		m.links[p] = &link{conn: c}
+	}
+	return m, nil
+}
+
+// Config returns the resolved configuration the monitor runs under.
+func (m *Monitor) Config() Config { return m.cfg }
+
+// OnVerdict registers a handler invoked exactly once with the death
+// verdict (an ErrPeerDead). Handlers registered after the verdict are
+// invoked immediately. The cluster registers comm.RemoteFabric.Abort
+// here; applications can register their own via lpsgd.WithHealthHandler.
+func (m *Monitor) OnVerdict(fn func(error)) {
+	if fn == nil {
+		return
+	}
+	m.mu.Lock()
+	if v := m.verdict; v != nil {
+		m.mu.Unlock()
+		fn(v)
+		return
+	}
+	m.handlers = append(m.handlers, fn)
+	m.mu.Unlock()
+}
+
+// Dead returns a channel closed once a death verdict is reached (by
+// the local detector or an abort broadcast). By the time it is closed,
+// every registered verdict handler has run.
+func (m *Monitor) Dead() <-chan struct{} { return m.dead }
+
+// Verdict returns the death verdict, or nil while every peer is alive.
+func (m *Monitor) Verdict() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.verdict
+}
+
+// ControlBytes returns the bytes this rank has written to the control
+// plane. It is accounted separately from the data mesh on purpose: the
+// fabric's TotalBytes — and the performance model's byte parity with it
+// — must not move when the health plane is on.
+func (m *Monitor) ControlBytes() int64 { return m.bytes.Load() }
+
+// ReportStep records the local rank's latest step timing; the next
+// heartbeat to every peer carries it.
+func (m *Monitor) ReportStep(r StepReport) {
+	m.mu.Lock()
+	m.reports[m.local] = r
+	m.known[m.local] = true
+	m.mu.Unlock()
+}
+
+// Report returns the latest step timing known for a rank — the local
+// rank's own report, or the copy the peer's most recent heartbeat
+// carried — and whether one exists yet.
+func (m *Monitor) Report(rank int) (StepReport, bool) {
+	if rank < 0 || rank >= m.world {
+		return StepReport{}, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reports[rank], m.known[rank]
+}
+
+// Straggler returns the rank whose latest reported step took the
+// longest wall time, with its report. ok is false until at least one
+// report exists.
+func (m *Monitor) Straggler() (rank int, r StepReport, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rank = -1
+	for p := 0; p < m.world; p++ {
+		if !m.known[p] {
+			continue
+		}
+		if !ok || m.reports[p].Total() > r.Total() {
+			rank, r, ok = p, m.reports[p], true
+		}
+	}
+	return rank, r, ok
+}
+
+// Start launches the heartbeat senders, the per-peer readers and the
+// detector sweep. It may be called once.
+func (m *Monitor) Start() {
+	m.mu.Lock()
+	if m.started || m.closing {
+		m.mu.Unlock()
+		return
+	}
+	m.started = true
+	m.mu.Unlock()
+	now := time.Now()
+	for p, l := range m.links {
+		if l == nil {
+			continue
+		}
+		l.det = NewDetector(m.cfg.Timeout, m.cfg.Phi, now)
+		m.wg.Add(2)
+		go m.sendLoop(p, l)
+		go m.readLoop(p, l)
+	}
+	m.wg.Add(1)
+	go m.checkLoop()
+}
+
+// sendLoop pings one peer every Interval, piggybacking the latest local
+// step report.
+func (m *Monitor) sendLoop(peer int, l *link) {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.cfg.Interval)
+	defer ticker.Stop()
+	var buf []byte
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-m.dead:
+			return
+		case <-ticker.C:
+		}
+		m.mu.Lock()
+		r := m.reports[m.local]
+		m.mu.Unlock()
+		buf = encodePing(buf, m.local, m.seq.Add(1), r)
+		// A write failure here is not a verdict by itself — the reader's
+		// EOF or the detector's silence deadline decides — but there is
+		// no point pinging a broken link any faster than the ticker.
+		m.write(l, buf)
+	}
+}
+
+// write sends one control message on a link, bounded by the hard
+// timeout so a wedged control conn cannot hang its sender goroutine.
+func (m *Monitor) write(l *link, buf []byte) bool {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	l.conn.SetWriteDeadline(time.Now().Add(m.cfg.Timeout))
+	n, err := l.conn.Write(buf)
+	m.bytes.Add(int64(n))
+	return err == nil
+}
+
+// readLoop consumes one peer's control stream: pings feed the detector
+// and the report table, an abort adopts the broadcast verdict, a bye
+// marks the peer cleanly departed, and an unexpected stream error is
+// itself an immediate death verdict (a SIGKILLed process closes its
+// sockets long before any silence deadline fires).
+func (m *Monitor) readLoop(peer int, l *link) {
+	defer m.wg.Done()
+	for {
+		msg, err := readMessage(l.conn)
+		if err != nil {
+			m.mu.Lock()
+			closing := m.closing
+			gone := m.departed[peer]
+			m.mu.Unlock()
+			if closing || gone {
+				return
+			}
+			m.declareDead(peer, l.det.LastSeen())
+			return
+		}
+		switch msg.Kind {
+		case kindPing:
+			now := time.Now()
+			l.det.Observe(now)
+			if msg.HasSteps {
+				m.mu.Lock()
+				m.reports[peer] = msg.Report
+				m.known[peer] = true
+				m.mu.Unlock()
+			}
+		case kindAbort:
+			m.adoptVerdict(msg.Dead, time.Unix(0, msg.LastSeenNano))
+			return
+		case kindBye:
+			m.mu.Lock()
+			m.departed[peer] = true
+			m.mu.Unlock()
+		}
+	}
+}
+
+// checkLoop sweeps the detectors. The sweep period divides the hard
+// deadline so a silent peer is declared within Timeout plus one sweep.
+func (m *Monitor) checkLoop() {
+	defer m.wg.Done()
+	period := m.cfg.Interval
+	if p := m.cfg.Timeout / 4; p < period {
+		period = p
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-m.dead:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		for p, l := range m.links {
+			if l == nil {
+				continue
+			}
+			m.mu.Lock()
+			gone := m.departed[p]
+			m.mu.Unlock()
+			if gone {
+				continue
+			}
+			if l.det.Suspect(now) {
+				m.declareDead(p, l.det.LastSeen())
+				return
+			}
+		}
+	}
+}
+
+// declareDead reaches a local death verdict: record it, broadcast the
+// abort to every other survivor, run the handlers, and release every
+// Dead() waiter. Only the first verdict wins.
+func (m *Monitor) declareDead(rank int, lastSeen time.Time) {
+	m.settle(rank, lastSeen, true)
+}
+
+// adoptVerdict installs a verdict delivered by a peer's abort
+// broadcast. No re-broadcast: the declaring rank already told everyone,
+// and each survivor's own detector still covers the case where the
+// declarer died mid-broadcast.
+func (m *Monitor) adoptVerdict(rank int, lastSeen time.Time) {
+	m.settle(rank, lastSeen, false)
+}
+
+func (m *Monitor) settle(rank int, lastSeen time.Time, broadcast bool) {
+	m.mu.Lock()
+	if m.verdict != nil || m.closing {
+		m.mu.Unlock()
+		return
+	}
+	verdict := ErrPeerDead{Rank: rank, LastSeen: lastSeen}
+	m.verdict = verdict
+	handlers := m.handlers
+	m.handlers = nil
+	departed := append([]bool(nil), m.departed...)
+	m.mu.Unlock()
+
+	if broadcast {
+		// Concurrent, fire-and-forget: a wedged control link must not
+		// delay the local abort (or the broadcast to healthy peers) by
+		// its write deadline. Writes race Close closing the conns at
+		// worst, which surfaces as a failed write on a torn-down link.
+		buf := encodeAbort(nil, m.local, rank, lastSeen.UnixNano())
+		for p, l := range m.links {
+			if l == nil || p == rank || departed[p] {
+				continue
+			}
+			go m.write(l, buf)
+		}
+	}
+	// Handlers run before Dead() closes, so a waiter woken by the
+	// channel already sees the fabric aborted.
+	for _, fn := range handlers {
+		fn(verdict)
+	}
+	close(m.dead)
+}
+
+// Close shuts the health plane down cleanly: a bye is sent to every
+// peer (so their monitors mark this rank departed instead of dead),
+// the control links are closed, and the loops are joined. Close is
+// idempotent and never declares a verdict of its own.
+func (m *Monitor) Close() error {
+	m.mu.Lock()
+	if m.closing {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closing = true
+	started := m.started
+	m.mu.Unlock()
+	close(m.stop)
+	if started && m.Verdict() == nil {
+		// Byes go out concurrently, like the abort broadcast: one wedged
+		// control link must bound Close by a single write deadline, not
+		// world-1 of them.
+		bye := encodeBye(nil, m.local)
+		var byes sync.WaitGroup
+		for _, l := range m.links {
+			if l == nil {
+				continue
+			}
+			byes.Add(1)
+			go func(l *link) {
+				defer byes.Done()
+				m.write(l, bye)
+			}(l)
+		}
+		byes.Wait()
+	}
+	for _, l := range m.links {
+		if l != nil {
+			l.conn.Close()
+		}
+	}
+	m.wg.Wait()
+	return nil
+}

@@ -1,0 +1,164 @@
+package health
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// This file defines the control-plane wire protocol: fixed-size,
+// little-endian, magic-tagged and versioned messages travelling over
+// the dedicated per-peer control links the cluster rendezvous
+// establishes alongside the data mesh. Three message kinds exist:
+//
+//	ping (every rank → every peer, each heartbeat interval):
+//	  uint32  magic "LPSH"
+//	  uint8   control protocol version (currently 1)
+//	  uint8   kind (0)
+//	  uint32  sender rank
+//	  uint64  sequence number
+//	  int64   step index of the sender's last completed training step
+//	  int64   compute wall time of that step (ns)
+//	  int64   exchange wall time of that step (ns)
+//
+//	abort (the rank that reached a death verdict → every survivor):
+//	  header as above, kind 1
+//	  uint32  sender rank
+//	  uint32  dead rank
+//	  int64   dead rank's last-seen time (unix nanoseconds)
+//
+//	bye (a rank shutting down cleanly → every peer, kind 2):
+//	  header as above, kind 2
+//	  uint32  sender rank
+//
+// Pings double as the straggler-telemetry channel: the step timing
+// fields let every rank attribute the synchronous barrier's wait time
+// to the slowest participant without adding a single byte to the data
+// mesh (see Monitor.Report).
+
+const (
+	// controlMagic tags every control-plane message ("LPSH").
+	controlMagic uint32 = 'L' | 'P'<<8 | 'S'<<16 | 'H'<<24
+
+	// controlVersion is the control-plane wire version. It is versioned
+	// independently of the rendezvous protocol: the rendezvous hello
+	// gates build compatibility, so by the time control links exist both
+	// ends already agreed on the cluster protocol.
+	controlVersion = 1
+
+	kindPing  = 0
+	kindAbort = 1
+	kindBye   = 2
+
+	// pingBody/abortBody/byeBody are the fixed payload sizes per kind.
+	pingBody  = 4 + 8 + 8 + 8 + 8
+	abortBody = 4 + 4 + 8
+	byeBody   = 4
+)
+
+// message is one decoded control-plane message.
+type message struct {
+	Kind byte
+	From int
+	// Ping fields.
+	Seq      uint64
+	Report   StepReport
+	HasSteps bool
+	// Abort fields.
+	Dead         int
+	LastSeenNano int64
+}
+
+func appendHeader(buf []byte, kind byte) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], controlMagic)
+	buf = append(buf, b[:]...)
+	return append(buf, controlVersion, kind)
+}
+
+func appendU32w(buf []byte, v uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return append(buf, b[:]...)
+}
+
+func appendU64w(buf []byte, v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return append(buf, b[:]...)
+}
+
+// encodePing assembles a ping carrying the sender's latest step report.
+func encodePing(buf []byte, from int, seq uint64, r StepReport) []byte {
+	buf = appendHeader(buf[:0], kindPing)
+	buf = appendU32w(buf, uint32(from))
+	buf = appendU64w(buf, seq)
+	buf = appendU64w(buf, uint64(r.Step))
+	buf = appendU64w(buf, uint64(r.Compute.Nanoseconds()))
+	return appendU64w(buf, uint64(r.Exchange.Nanoseconds()))
+}
+
+// encodeAbort assembles the coordinated-abort broadcast.
+func encodeAbort(buf []byte, from, dead int, lastSeenNano int64) []byte {
+	buf = appendHeader(buf[:0], kindAbort)
+	buf = appendU32w(buf, uint32(from))
+	buf = appendU32w(buf, uint32(dead))
+	return appendU64w(buf, uint64(lastSeenNano))
+}
+
+// encodeBye assembles the clean-departure notice.
+func encodeBye(buf []byte, from int) []byte {
+	buf = appendHeader(buf[:0], kindBye)
+	return appendU32w(buf, uint32(from))
+}
+
+// readMessage blocks for the next control message on r and decodes it.
+func readMessage(r io.Reader) (message, error) {
+	var m message
+	var hdr [6]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return m, err
+	}
+	if got := binary.LittleEndian.Uint32(hdr[0:]); got != controlMagic {
+		return m, fmt.Errorf("health: bad control magic %#x", got)
+	}
+	if v := hdr[4]; v != controlVersion {
+		return m, fmt.Errorf("health: control message speaks version %d, this build speaks %d", v, controlVersion)
+	}
+	m.Kind = hdr[5]
+	var want int
+	switch m.Kind {
+	case kindPing:
+		want = pingBody
+	case kindAbort:
+		want = abortBody
+	case kindBye:
+		want = byeBody
+	default:
+		return m, fmt.Errorf("health: unknown control message kind %d", m.Kind)
+	}
+	body := make([]byte, want)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return m, fmt.Errorf("health: control message body: %w", err)
+	}
+	m.From = int(binary.LittleEndian.Uint32(body[0:]))
+	switch m.Kind {
+	case kindPing:
+		m.Seq = binary.LittleEndian.Uint64(body[4:])
+		m.Report = StepReport{
+			Step:     int64(binary.LittleEndian.Uint64(body[12:])),
+			Compute:  durationNS(body[20:]),
+			Exchange: durationNS(body[28:]),
+		}
+		m.HasSteps = m.Report.Step > 0
+	case kindAbort:
+		m.Dead = int(binary.LittleEndian.Uint32(body[4:]))
+		m.LastSeenNano = int64(binary.LittleEndian.Uint64(body[8:]))
+	}
+	return m, nil
+}
+
+func durationNS(b []byte) time.Duration {
+	return time.Duration(binary.LittleEndian.Uint64(b))
+}

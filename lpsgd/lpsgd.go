@@ -1,13 +1,21 @@
 // Package lpsgd is the public facade of the low-precision SGD library:
 // one import, a functional-options constructor, and sensible defaults
 // for everything the paper tuned. It wraps the building blocks —
-// repro/quant (codecs), repro/comm (fabrics and reducers) and
-// repro/parallel (the synchronous data-parallel engine) — so
-// applications select a codec by name and a transport by constant
-// instead of hand-wiring configs:
+// repro/quant (codecs and policies), repro/comm (fabrics and
+// reducers), repro/parallel (the synchronous data-parallel engine)
+// and repro/health (the cluster's failure-detection plane) — so
+// applications select precision by one policy string and a transport
+// by constant instead of hand-wiring configs.
+//
+// The precision surface is the policy grammar (quant.ParsePolicy):
+// one string naming the base codec, the small-matrix exemption target,
+// and per-tensor pattern rules. WithPolicy is the primary option — a
+// bare codec name is a valid policy — and WithCodec /
+// WithMinQuantisedFraction are shorthands editing one component of the
+// same working policy:
 //
 //	trainer, err := lpsgd.NewTrainer(model,
-//	    lpsgd.WithCodec("qsgd4b512"),
+//	    lpsgd.WithPolicy("qsgd4b512;embedding=topk0.001;*.b=32bit"),
 //	    lpsgd.WithWorkers(8),
 //	    lpsgd.WithTransport(lpsgd.TCP),
 //	    lpsgd.WithEpochs(20),
@@ -20,17 +28,6 @@
 // message is a self-describing quant frame, so peers decode with no
 // out-of-band codec agreement.
 //
-// The full precision surface is the policy grammar (quant.ParsePolicy):
-// one string naming the base codec, the small-matrix exemption target,
-// and per-tensor pattern rules — WithPolicy is the primary option, and
-// WithCodec/WithMinQuantisedFraction are shorthands editing one
-// component of the same policy:
-//
-//	trainer, err := lpsgd.NewTrainer(model,
-//	    lpsgd.WithPolicy("qsgd4b512;embedding=topk0.001;*.b=32bit"),
-//	    lpsgd.WithWorkers(8),
-//	)
-//
 // Training can also span OS processes and machines: WithCluster joins
 // a repro/cluster rendezvous, negotiates the precision policy with the
 // peers (WithAcceptedPolicies, floored at "32bit") and trains this rank
@@ -39,9 +36,21 @@
 //	trainer, err := lpsgd.NewTrainer(model,
 //	    lpsgd.WithCluster("10.0.0.1:7070", rank, 3),
 //	    lpsgd.WithAcceptedPolicies("qsgd4b512;*.b=32bit", "qsgd4b512"),
+//	    lpsgd.WithHeartbeat(250*time.Millisecond, 2*time.Second),
 //	)
 //
-// See cmd/lpsgd-worker for the ready-made per-rank binary.
+// Cluster sessions carry a health plane (repro/health): heartbeats on
+// dedicated control links, a phi-or-deadline failure detector, and a
+// coordinated abort, so a rank dying mid-epoch surfaces on every
+// survivor as the same typed health.ErrPeerDead from Run — within
+// roughly the heartbeat timeout — instead of hanging the exchange.
+// WithHeartbeat tunes it, WithHealthHandler observes the verdict,
+// WithStepDeadline bounds one synchronous step, and
+// Trainer.StepStats reports per-rank step timings with slowest-rank
+// attribution (telemetry that rides on the heartbeats themselves).
+//
+// See cmd/lpsgd-worker for the ready-made per-rank binary, including
+// the exit-code contract external supervisors can restart on.
 package lpsgd
 
 import (
@@ -49,6 +58,7 @@ import (
 	"time"
 
 	"repro/cluster"
+	"repro/health"
 	"repro/nn"
 	"repro/parallel"
 	"repro/quant"
@@ -110,6 +120,9 @@ type config struct {
 	err     error
 	cluster *clusterJoin
 	accept  []string
+	// handler is the WithHealthHandler callback, registered on the
+	// session's monitor once one exists.
+	handler func(error)
 }
 
 // editPolicy returns the working policy, creating the default
@@ -126,6 +139,7 @@ type clusterJoin struct {
 	addr        string
 	rank, world int
 	timeout     time.Duration
+	health      health.Config
 	session     *cluster.Session
 }
 
@@ -311,6 +325,74 @@ func WithClusterTimeout(d time.Duration) Option {
 	}
 }
 
+// WithHeartbeat tunes the cluster's health plane: every rank pings
+// every peer over a dedicated control link each interval, and a peer
+// silent for timeout (or whose inter-arrival statistics say it should
+// have spoken long ago — see health.Detector) is declared dead. The
+// first rank to reach a verdict broadcasts a coordinated abort, so
+// every survivor's Run returns the same health.ErrPeerDead instead of
+// hanging in the exchange. A zero interval disables the health plane
+// entirely; a zero timeout defaults to 8× the interval.
+//
+// The coordinator's values govern the whole session (they ride in the
+// rendezvous welcome); on other ranks the option only shapes the
+// advertised preference. It has no effect with WithClusterSession —
+// the session's health plane was fixed when the rendezvous ran — and
+// outside cluster mode.
+func WithHeartbeat(interval, timeout time.Duration) Option {
+	return func(c *config) {
+		if interval < 0 || timeout < 0 {
+			c.fail(fmt.Errorf("lpsgd: heartbeat interval %v / timeout %v must not be negative", interval, timeout))
+			return
+		}
+		if timeout > 0 && timeout < interval {
+			c.fail(fmt.Errorf("lpsgd: heartbeat timeout %v shorter than the interval %v", timeout, interval))
+			return
+		}
+		if c.cluster == nil {
+			c.cluster = &clusterJoin{}
+		}
+		c.cluster.health = health.Config{
+			Interval: interval,
+			Timeout:  timeout,
+			Disable:  interval == 0,
+		}
+	}
+}
+
+// WithStepDeadline bounds the wall time of one synchronous step
+// (compute + gradient exchange); on expiry the trainer aborts the
+// fabric and Run returns a parallel.ErrStepDeadline. Where the
+// heartbeat catches a dead peer, the deadline catches a live but
+// hopeless one: a rank that heartbeats happily while its exchange
+// never finishes. Zero (the default) disables it.
+func WithStepDeadline(d time.Duration) Option {
+	return func(c *config) {
+		if d < 0 {
+			c.fail(fmt.Errorf("lpsgd: step deadline must not be negative, got %v", d))
+			return
+		}
+		c.cfg.StepDeadline = d
+	}
+}
+
+// WithHealthHandler registers a callback invoked exactly once if the
+// health plane declares a peer dead — after the fabric has been
+// aborted, so the callback may inspect state but the exchange is
+// already unblocking. Use it for operational side channels (alerting,
+// checkpoint-on-death); Run still returns the health.ErrPeerDead
+// verdict. No effect when the health plane is off or outside cluster
+// mode.
+func WithHealthHandler(fn func(error)) Option {
+	return func(c *config) {
+		if fn == nil {
+			c.fail(fmt.Errorf("lpsgd: nil health handler"))
+			return
+		}
+		c.handler = fn
+	}
+}
+
 // WithAcceptedPolicies sets the policy strings (quant.ParsePolicy
 // grammar — bare codec names included) this rank advertises during the
 // cluster rendezvous; the session settles on the cheapest policy every
@@ -445,18 +527,25 @@ func NewTrainer(model BuildFunc, opts ...Option) (*Trainer, error) {
 				World:   c.cluster.world,
 				Accept:  c.acceptedPolicies(),
 				Timeout: c.cluster.timeout,
+				Health:  c.cluster.health,
 			})
 			if err != nil {
 				return nil, err
 			}
 		}
 		// The rendezvous outcome drives the engine: negotiated policy,
-		// world size, this rank, and the established mesh.
+		// world size, this rank, the established mesh, and the health
+		// plane watching it (the trainer owns the monitor and closes it
+		// — bye first, then sockets — in Close).
 		c.cfg.Policy = sess.Policy()
 		c.cfg.Workers = sess.World()
 		c.cfg.Rank = sess.Rank()
 		c.cfg.Fabric = sess.Fabric()
+		c.cfg.Monitor = sess.Monitor()
 		c.cfg.UseTCP = false
+		if c.handler != nil && sess.Monitor() != nil {
+			sess.Monitor().OnVerdict(c.handler)
+		}
 		t, err := parallel.NewTrainer(model, c.cfg)
 		if err != nil {
 			sess.Close()

@@ -1,0 +1,161 @@
+package parallel
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/data"
+	"repro/health"
+	"repro/nn"
+	"repro/rng"
+)
+
+// smallTask builds a tiny deterministic workload for guard-rail tests.
+func smallTask() (func(r *rng.RNG) *nn.Network, *data.Dataset, *data.Dataset) {
+	train, test := data.MakeImages(data.ImageConfig{
+		Classes: 4, Channels: 1, H: 4, W: 4,
+		TrainN: 64, TestN: 32, Noise: 0.7, Seed: 5,
+	})
+	build := func(r *rng.RNG) *nn.Network {
+		return nn.MustNetwork(
+			nn.NewDense("fc1", 16, 8, r),
+			nn.NewReLU("r1"),
+			nn.NewDense("fc2", 8, 4, r),
+		)
+	}
+	return build, train, test
+}
+
+// TestStepStatsSingleProcess: with every rank local, the straggler
+// report is fully known and attributes a slowest rank each step.
+func TestStepStatsSingleProcess(t *testing.T) {
+	build, train, test := smallTask()
+	tr, err := NewTrainer(build, Config{
+		Workers: 4, BatchSize: 16, Epochs: 1, Seed: 9,
+		Schedule: nn.ConstantLR(0.1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if s := tr.StepStats(); s.Step != 0 || s.Slowest != -1 {
+		t.Fatalf("pre-run stats %+v, want empty with Slowest -1", s)
+	}
+	h, err := tr.Run(train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.StepStats()
+	if s.Step <= 0 {
+		t.Fatalf("no steps recorded: %+v", s)
+	}
+	if len(s.Compute) != 4 || len(s.Exchange) != 4 || len(s.Known) != 4 {
+		t.Fatalf("per-rank slices sized wrong: %+v", s)
+	}
+	for r, known := range s.Known {
+		if !known {
+			t.Fatalf("rank %d unknown in a single-process world", r)
+		}
+	}
+	if s.Slowest < 0 || s.Slowest >= 4 {
+		t.Fatalf("slowest rank %d out of range", s.Slowest)
+	}
+	if got := h.Epochs[0].SlowestRank; got < 0 || got >= 4 {
+		t.Fatalf("epoch straggler attribution %d out of range", got)
+	}
+}
+
+// TestStepDeadlineAborts: an impossible step deadline aborts the run
+// with the typed error instead of leaving workers blocked in the
+// exchange.
+func TestStepDeadlineAborts(t *testing.T) {
+	build, train, test := smallTask()
+	tr, err := NewTrainer(build, Config{
+		Workers: 2, BatchSize: 16, Epochs: 1, Seed: 9,
+		Schedule: nn.ConstantLR(0.1), UseTCP: true,
+		StepDeadline: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	_, err = tr.Run(train, test)
+	var dl ErrStepDeadline
+	if !errors.As(err, &dl) {
+		t.Fatalf("Run returned %v, want an ErrStepDeadline", err)
+	}
+	if dl.Deadline != time.Nanosecond || dl.Step != 1 {
+		t.Fatalf("deadline error %+v, want step 1 at 1ns", dl)
+	}
+}
+
+// TestMonitorVerdictSurfacesInRun: a health-plane death verdict makes
+// Run fail fast with the typed health.ErrPeerDead — the abort
+// propagation contract the cluster relies on.
+func TestMonitorVerdictSurfacesInRun(t *testing.T) {
+	// A 2-rank control mesh; the "peer" (rank 1) never runs a monitor
+	// and its socket dies immediately — the EOF path declares it dead.
+	a, b := pairedConns(t)
+	mon, err := health.NewMonitor(0, 2, []net.Conn{nil, a}, health.Config{
+		Interval: 20 * time.Millisecond, Timeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.Start()
+	b.Close()
+	select {
+	case <-mon.Dead():
+	case <-time.After(5 * time.Second):
+		t.Fatal("monitor never reached a verdict")
+	}
+
+	build, train, test := smallTask()
+	tr, err := NewTrainer(build, Config{
+		Workers: 2, BatchSize: 16, Epochs: 1, Seed: 9,
+		Schedule: nn.ConstantLR(0.1), UseTCP: true,
+		Monitor: mon,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	_, err = tr.Run(train, test)
+	var dead health.ErrPeerDead
+	if !errors.As(err, &dead) {
+		t.Fatalf("Run returned %v, want health.ErrPeerDead", err)
+	}
+	if dead.Rank != 1 {
+		t.Fatalf("verdict blames rank %d, want 1", dead.Rank)
+	}
+}
+
+// pairedConns builds a connected loopback TCP pair.
+func pairedConns(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	dial, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := <-ch
+	if acc.err != nil {
+		t.Fatal(acc.err)
+	}
+	return dial, acc.c
+}

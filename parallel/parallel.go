@@ -1,16 +1,27 @@
 // Package parallel implements the paper's Algorithm 1: synchronous
 // data-parallel SGD across K workers (simulated GPUs), each holding a
 // full model replica, computing gradients over its shard of the global
-// minibatch, and exchanging them through a communication primitive with
-// an optional low-precision codec.
+// minibatch, and exchanging them through a communication primitive
+// under a precision policy (Config.Policy — per-tensor codecs via
+// quant.NewPlan; the deprecated Codec/MinQuantisedFraction pair is a
+// shim compiled into one).
 //
 // Workers are real goroutines moving real encoded bytes through
-// internal/comm; replicas stay bit-identical because every worker adopts
+// repro/comm; replicas stay bit-identical because every worker adopts
 // the same aggregated wire bytes. This is the engine behind the
 // reproduction's accuracy experiments (paper Figure 5).
+//
+// In cluster mode (Config.Fabric/Rank) the trainer is one rank of a
+// multi-process world and cooperates with the health plane
+// (Config.Monitor, repro/health): a peer-death verdict aborts the
+// fabric and surfaces from Run as health.ErrPeerDead, Config.
+// StepDeadline bounds a wedged step with ErrStepDeadline, and
+// StepStats attributes each synchronous barrier to its slowest rank
+// from timings the heartbeats carry.
 package parallel
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -18,6 +29,7 @@ import (
 
 	"repro/comm"
 	"repro/data"
+	"repro/health"
 	"repro/nn"
 	"repro/quant"
 	"repro/rng"
@@ -93,6 +105,22 @@ type Config struct {
 	// Rank is this process's rank in [0, Workers) when Fabric is set;
 	// ignored otherwise.
 	Rank int
+	// Monitor attaches the cluster's health plane (see repro/health and
+	// cluster.Session.Monitor). The trainer reports its per-step
+	// timings to it (straggler telemetry piggybacks on heartbeats),
+	// folds the peers' reports into StepStats, watches for a death
+	// verdict between and during steps, and closes the monitor — whose
+	// parting bye distinguishes this rank's clean shutdown from a death
+	// — in Close. Nil outside cluster mode.
+	Monitor *health.Monitor
+	// StepDeadline bounds the wall time of one synchronous step
+	// (compute + exchange); 0 disables it. On expiry the trainer aborts
+	// the fabric and Run returns an ErrStepDeadline — the straggler
+	// guard rail for a peer that is alive enough to heartbeat but too
+	// slow (or wedged) to ever finish its exchange. Effective on
+	// closable fabrics (TCP, cluster mesh); the in-process channel
+	// fabric cannot interrupt a blocked exchange.
+	StepDeadline time.Duration
 	// ClipNorm bounds the global gradient L2 norm after aggregation
 	// (0 disables clipping). CNTK's recurrent recipes clip gradients;
 	// clipping after the exchange keeps replicas bit-identical.
@@ -161,6 +189,51 @@ type EpochStats struct {
 	LR           float32
 	WireBytes    int64 // cumulative fabric bytes at epoch end
 	Elapsed      time.Duration
+	// SlowestRank is the rank most often attributed as the epoch's
+	// straggler — the peer gating the synchronous barrier (-1 when no
+	// attribution was possible). In cluster mode the attribution folds
+	// in the peers' step timings carried by the health plane's
+	// heartbeats.
+	SlowestRank int
+}
+
+// StepStats is the straggler report of one synchronous step: per-rank
+// compute and exchange wall time, and which rank gated the barrier.
+// The local process's ranks are measured directly; in cluster mode the
+// other ranks' entries come from the step reports their heartbeats
+// carried (one heartbeat interval stale at worst), with Known marking
+// the ranks a timing exists for.
+type StepStats struct {
+	// Step counts completed synchronous steps, 1-based.
+	Step int64
+	// Compute[r] and Exchange[r] are rank r's forward+backward and
+	// gradient-exchange wall times for its most recent reported step.
+	Compute  []time.Duration
+	Exchange []time.Duration
+	// Known[r] reports whether rank r's timings are populated.
+	Known []bool
+	// Slowest is the known rank with the largest compute+exchange sum,
+	// -1 when nothing is known.
+	Slowest int
+}
+
+// ErrStepDeadline is returned by Run when one synchronous step exceeds
+// Config.StepDeadline: some participant — possibly this one — was too
+// slow for the configured bound, and the fabric was aborted so every
+// local exchange unblocked.
+type ErrStepDeadline struct {
+	// Rank is the local rank that observed the expiry.
+	Rank int
+	// Step is the 1-based index of the step that timed out.
+	Step int64
+	// Deadline is the configured bound.
+	Deadline time.Duration
+}
+
+// Error implements error.
+func (e ErrStepDeadline) Error() string {
+	return fmt.Sprintf("parallel: rank %d: step %d exceeded the %v step deadline",
+		e.Rank, e.Step, e.Deadline)
 }
 
 // History is the full record of a run.
@@ -204,6 +277,13 @@ type Trainer struct {
 	reducer  comm.Reducer
 	plan     *quant.Plan
 	specs    []comm.TensorSpec
+	monitor  *health.Monitor
+
+	// stepIdx counts completed synchronous steps; statsMu guards the
+	// latest straggler report.
+	stepIdx   int64
+	statsMu   sync.Mutex
+	lastStats StepStats
 }
 
 // NewTrainer builds the local replicas with identical initial weights
@@ -216,7 +296,7 @@ func NewTrainer(build func(r *rng.RNG) *nn.Network, cfg Config) (*Trainer, error
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
-	t := &Trainer{cfg: cfg}
+	t := &Trainer{cfg: cfg, monitor: cfg.Monitor}
 	if cfg.Fabric != nil {
 		if k := cfg.Fabric.K(); k != cfg.Workers {
 			return nil, fmt.Errorf("parallel: fabric spans %d ranks, config wants %d workers", k, cfg.Workers)
@@ -290,13 +370,51 @@ func NewTrainer(build func(r *rng.RNG) *nn.Network, cfg Config) (*Trainer, error
 }
 
 // Close releases the fabric's resources (socket connections for the
-// TCP transport; a no-op for the in-process fabric). A closed trainer
-// must not Run again.
+// TCP transport; a no-op for the in-process fabric). In cluster mode
+// the health monitor closes first: its parting bye tells every peer
+// this rank is departing cleanly, so the sockets vanishing moments
+// later is not mistaken for a death. A closed trainer must not Run
+// again.
 func (t *Trainer) Close() error {
+	if t.monitor != nil {
+		t.monitor.Close()
+	}
 	if c, ok := t.fabric.(io.Closer); ok {
 		return c.Close()
 	}
 	return nil
+}
+
+// abortFabric interrupts every blocked exchange with err. RemoteFabric
+// delivers the typed error; other closable fabrics fall back to
+// ErrClosed semantics; the in-process channel fabric has no interrupt
+// path (its exchanges cannot wedge without a local bug).
+func (t *Trainer) abortFabric(err error) bool {
+	switch f := t.fabric.(type) {
+	case interface{ Abort(error) }:
+		f.Abort(err)
+		return true
+	case io.Closer:
+		f.Close()
+		return true
+	}
+	return false
+}
+
+// StepStats returns the straggler report of the most recent completed
+// (or timing-out) synchronous step. Before the first step it is zero
+// with Slowest == -1.
+func (t *Trainer) StepStats() StepStats {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	s := t.lastStats
+	s.Compute = append([]time.Duration(nil), s.Compute...)
+	s.Exchange = append([]time.Duration(nil), s.Exchange...)
+	s.Known = append([]bool(nil), s.Known...)
+	if s.Known == nil {
+		s.Slowest = -1
+	}
+	return s
 }
 
 // Plan exposes the per-tensor codec assignment (for reporting).
@@ -317,6 +435,11 @@ func (t *Trainer) World() int { return t.cfg.Workers }
 
 // Reducer exposes the aggregation primitive (for reporting).
 func (t *Trainer) Reducer() comm.Reducer { return t.reducer }
+
+// Monitor exposes the attached health monitor (nil outside cluster
+// mode) — for registering verdict handlers or reading raw peer
+// telemetry; StepStats is the digested view.
+func (t *Trainer) Monitor() *health.Monitor { return t.monitor }
 
 // Model returns replica 0, the canonical model.
 func (t *Trainer) Model() *nn.Network { return t.replicas[0] }
@@ -356,16 +479,28 @@ func (t *Trainer) Run(train, test *data.Dataset) (*History, error) {
 		batches := train.Batches(shuffle, cfg.BatchSize)
 		var lossSum float64
 		var lossCnt int
+		slowCount := make([]int, cfg.Workers)
 		for _, batch := range batches {
 			if len(batch) < cfg.Workers {
 				continue // drop a tail smaller than the worker count
 			}
-			loss, err := t.step(train, batch)
+			loss, err := t.runStep(train, batch)
 			if err != nil {
 				return nil, err
 			}
 			lossSum += loss
 			lossCnt++
+			t.statsMu.Lock()
+			if s := t.lastStats.Slowest; s >= 0 {
+				slowCount[s]++
+			}
+			t.statsMu.Unlock()
+		}
+		slowest := -1
+		for r, n := range slowCount {
+			if n > 0 && (slowest < 0 || n > slowCount[slowest]) {
+				slowest = r
+			}
 		}
 		stats := EpochStats{
 			Epoch:        epoch,
@@ -375,6 +510,7 @@ func (t *Trainer) Run(train, test *data.Dataset) (*History, error) {
 			LR:           lr,
 			WireBytes:    t.fabric.TotalBytes(),
 			Elapsed:      time.Since(start),
+			SlowestRank:  slowest,
 		}
 		if (epoch+1)%cfg.EvalEvery == 0 || epoch == cfg.Epochs-1 {
 			accs := t.EvaluateKs(test, 1, 5)
@@ -391,6 +527,105 @@ func (t *Trainer) Run(train, test *data.Dataset) (*History, error) {
 	return h, nil
 }
 
+// runStep drives one synchronous step through the guard rails: a
+// health-plane verdict fails fast (and interrupts a step in flight),
+// and the optional step deadline bounds the wall time of compute plus
+// exchange, aborting the fabric on expiry so the blocked workers
+// unwind. With neither configured this is a direct call.
+func (t *Trainer) runStep(train *data.Dataset, batch []int) (float64, error) {
+	deadline := t.cfg.StepDeadline
+	if deadline <= 0 && t.monitor == nil {
+		return t.step(train, batch)
+	}
+	if t.monitor != nil {
+		// A verdict reached between steps fails fast, before any local
+		// worker blocks inside a voided exchange.
+		if err := t.monitor.Verdict(); err != nil {
+			return 0, err
+		}
+	}
+	type result struct {
+		loss float64
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		loss, err := t.step(train, batch)
+		done <- result{loss, err}
+	}()
+	var expire <-chan time.Time
+	if deadline > 0 {
+		timer := time.NewTimer(deadline)
+		defer timer.Stop()
+		expire = timer.C
+	}
+	var dead <-chan struct{}
+	if t.monitor != nil {
+		dead = t.monitor.Dead()
+	}
+	select {
+	case r := <-done:
+		if r.err != nil && t.monitor != nil && !errors.Is(r.err, comm.ErrClosed) {
+			// A dying peer's data sockets EOF at the same instant as its
+			// control links, so the raw transport error can beat the
+			// failure detector by microseconds. With a health plane
+			// attached the transport error is a symptom and the verdict
+			// is the diagnosis: wait — bounded by the detector's hard
+			// deadline, which covers even a half-open silent peer — for
+			// the typed verdict every survivor must agree on, and fall
+			// back to the raw error only if the plane stays convinced
+			// the peers are alive (a genuine local transport fault).
+			if v := t.awaitVerdict(); v != nil {
+				return 0, v
+			}
+		}
+		return r.loss, r.err
+	case <-expire:
+		err := ErrStepDeadline{Rank: t.ranks[0], Step: t.currentStep() + 1, Deadline: deadline}
+		// Join the step unconditionally: on an abortable fabric the
+		// teardown unwinds it promptly; on the in-process channel fabric
+		// (which cannot be interrupted) the exchange is still making
+		// progress and finishes on its own — returning without joining
+		// would leave the goroutine mutating the replicas under the
+		// caller's feet.
+		t.abortFabric(err)
+		<-done
+		return 0, err
+	case <-dead:
+		err := t.monitor.Verdict()
+		// The session wiring aborted the fabric in the verdict handler
+		// before Dead() released; abortFabric is an idempotent backstop
+		// for monitors attached outside a cluster session.
+		t.abortFabric(err)
+		<-done
+		return 0, err
+	}
+}
+
+// currentStep reads the completed-step counter under the stats lock
+// (the step goroutine increments it in recordStep).
+func (t *Trainer) currentStep() int64 {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	return t.stepIdx
+}
+
+// awaitVerdict waits up to the health plane's hard detection deadline
+// for a death verdict, returning it, or nil if none arrives (the peers
+// are provably alive and heartbeating).
+func (t *Trainer) awaitVerdict() error {
+	if v := t.monitor.Verdict(); v != nil {
+		return v
+	}
+	grace := t.monitor.Config().Timeout
+	select {
+	case <-t.monitor.Dead():
+		return t.monitor.Verdict()
+	case <-time.After(grace):
+		return nil
+	}
+}
+
 // step performs one synchronous iteration over the given global batch.
 // Sharding is by global rank, so every process of a cluster world
 // computes gradients over a disjoint slice of the same deterministic
@@ -399,11 +634,14 @@ func (t *Trainer) step(train *data.Dataset, batch []int) (float64, error) {
 	k := t.cfg.Workers
 	losses := make([]float64, len(t.ranks))
 	errs := make([]error, len(t.ranks))
+	compute := make([]time.Duration, len(t.ranks))
+	exchange := make([]time.Duration, len(t.ranks))
 	var wg sync.WaitGroup
 	for li, w := range t.ranks {
 		wg.Add(1)
 		go func(li, w int) {
 			defer wg.Done()
+			start := time.Now()
 			shard := batch[w*len(batch)/k : (w+1)*len(batch)/k]
 			x, labels := train.Gather(shard)
 			net := t.replicas[li]
@@ -411,8 +649,10 @@ func (t *Trainer) step(train *data.Dataset, batch []int) (float64, error) {
 			loss := t.losses[li]
 			losses[li] = loss.Forward(net.Forward(x, true), labels)
 			net.Backward(loss.Backward(labels))
+			compute[li] = time.Since(start)
 			// Exchange every tensor, then average over workers: the
 			// paper's x ← x − (η/K)·Σ g̃.
+			exchStart := time.Now()
 			invK := 1 / float32(k)
 			for i, p := range net.Params() {
 				if err := t.reducer.Reduce(w, i, p.Grad.Data); err != nil {
@@ -423,6 +663,7 @@ func (t *Trainer) step(train *data.Dataset, batch []int) (float64, error) {
 					p.Grad.Scale(invK)
 				}
 			}
+			exchange[li] = time.Since(exchStart)
 			if t.cfg.ClipNorm > 0 {
 				nn.ClipGradNorm(net.Params(), t.cfg.ClipNorm)
 			}
@@ -435,11 +676,60 @@ func (t *Trainer) step(train *data.Dataset, batch []int) (float64, error) {
 			return 0, err
 		}
 	}
+	t.recordStep(compute, exchange)
 	var sum float64
 	for _, l := range losses {
 		sum += l
 	}
 	return sum / float64(len(t.ranks)), nil
+}
+
+// recordStep folds one completed step's local timings — and, in
+// cluster mode, the freshest peer reports the heartbeats carried —
+// into the straggler report, and hands the local timing to the health
+// plane for the next outgoing heartbeat.
+func (t *Trainer) recordStep(compute, exchange []time.Duration) {
+	t.statsMu.Lock()
+	t.stepIdx++
+	step := t.stepIdx
+	t.statsMu.Unlock()
+	k := t.cfg.Workers
+	s := StepStats{
+		Step:     step,
+		Compute:  make([]time.Duration, k),
+		Exchange: make([]time.Duration, k),
+		Known:    make([]bool, k),
+		Slowest:  -1,
+	}
+	for li, w := range t.ranks {
+		s.Compute[w], s.Exchange[w], s.Known[w] = compute[li], exchange[li], true
+	}
+	if t.monitor != nil {
+		local := t.ranks[0]
+		t.monitor.ReportStep(health.StepReport{
+			Step:     step,
+			Compute:  s.Compute[local],
+			Exchange: s.Exchange[local],
+		})
+		for p := 0; p < k; p++ {
+			if s.Known[p] {
+				continue
+			}
+			if rep, ok := t.monitor.Report(p); ok {
+				s.Compute[p], s.Exchange[p], s.Known[p] = rep.Compute, rep.Exchange, true
+			}
+		}
+	}
+	var worst time.Duration
+	for p := 0; p < k; p++ {
+		if s.Known[p] && (s.Slowest < 0 || s.Compute[p]+s.Exchange[p] > worst) {
+			worst = s.Compute[p] + s.Exchange[p]
+			s.Slowest = p
+		}
+	}
+	t.statsMu.Lock()
+	t.lastStats = s
+	t.statsMu.Unlock()
 }
 
 // Evaluate returns top-1 accuracy of the canonical replica on ds.
