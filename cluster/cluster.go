@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/comm"
+	"repro/elastic"
 	"repro/health"
 	"repro/quant"
 )
@@ -65,6 +66,14 @@ type Config struct {
 	// Timeout and Disable are therefore ignored; its Phi applies to its
 	// local detectors.
 	Health health.Config
+	// Elastic tunes elastic sessions (see repro/elastic): whether a
+	// peer-death verdict opens a rejoin barrier instead of staying
+	// fatal, and how long that barrier holds for a replacement. Like
+	// the health plane, the coordinator's values govern the whole
+	// session — the welcome broadcasts the rejoin window, and a zero
+	// window means elasticity is off. Requires the health plane: the
+	// failure detector's verdict is the rejoin trigger.
+	Elastic elastic.Config
 }
 
 const defaultTimeout = 30 * time.Second
@@ -109,12 +118,20 @@ func (c Config) validate() error {
 			return fmt.Errorf("cluster: accepted policy: %w", err)
 		}
 	}
+	if c.Rank == 0 && c.Elastic.Enable && c.Health.Resolved().Disable {
+		return fmt.Errorf("cluster: elastic sessions need the health plane (the failure detector's verdict triggers the rejoin); enable heartbeats or disable elasticity")
+	}
 	return nil
 }
 
 // Session is one rank's membership in a running cluster: its identity,
 // the precision policy the rendezvous negotiated, and the established
-// mesh.
+// mesh. When the coordinator enabled elastic sessions, the session is
+// also the rank's elastic.Rejoiner: after a peer-death verdict, Rejoin
+// re-runs the rendezvous (ProtocolVersion 4 rejoin hellos) against the
+// same coordinator address, rebuilds the mesh and health plane in
+// place, and brokers the state transfer that lets a replacement take
+// the dead rank's slot.
 type Session struct {
 	rank, world int
 	policyName  string
@@ -122,6 +139,18 @@ type Session struct {
 	fabric      *comm.RemoteFabric
 	monitor     *health.Monitor
 	peers       []string
+
+	// Rejoin context: the resolved rendezvous address every rank can
+	// re-dial (rank 0 re-listens on it), the session's resolved health
+	// and elastic settings, the advertised accept set, and the
+	// completed rejoin-round count. fabric/monitor/peers/generation are
+	// replaced by Rejoin, which runs on the rank's training goroutine;
+	// the accessors are not synchronised against it.
+	rendAddr   string
+	hb         health.Config
+	el         elastic.Config
+	accepts    []string
+	generation int
 }
 
 // Rank returns this process's rank.
@@ -160,6 +189,15 @@ func (s *Session) Monitor() *health.Monitor { return s.monitor }
 
 // Peers returns the mesh addresses of all ranks (index = rank).
 func (s *Session) Peers() []string { return append([]string(nil), s.peers...) }
+
+// Elastic returns the session's resolved elastic configuration — the
+// coordinator-governed settings the welcome broadcast. Enable is false
+// when the coordinator left elasticity off.
+func (s *Session) Elastic() elastic.Config { return s.el }
+
+// Generation counts the rejoin rounds this session has completed: 0
+// until a death verdict is repaired, then one more per repair.
+func (s *Session) Generation() int { return s.generation }
 
 // Close tears the session down: the health plane first — its parting
 // bye tells every peer this is a departure, not a death — then the
@@ -316,14 +354,19 @@ func (c *Coordinator) Join() (*Session, error) {
 	}
 
 	// Phase 3: broadcast the membership table, with the session's
-	// health-plane parameters — the coordinator's word is what makes
-	// every rank run the same detection settings and establish (or
-	// skip) the control links in agreement.
+	// health-plane and elastic parameters — the coordinator's word is
+	// what makes every rank run the same detection settings, establish
+	// (or skip) the control links in agreement, and hold (or not) a
+	// rejoin barrier after a death verdict.
 	hb := cfg.Health.Resolved()
+	el := cfg.Elastic.Resolved()
 	wel := welcome{Codec: policyName, Addrs: addrs}
 	if !hb.Disable {
 		wel.HeartbeatInterval = hb.Interval
 		wel.HeartbeatTimeout = hb.Timeout
+	}
+	if el.Enable {
+		wel.RejoinWindow = el.RejoinWindow
 	}
 	for rank := 1; rank < cfg.World; rank++ {
 		if err := writeWelcome(rendConns[rank], wel); err != nil {
@@ -344,7 +387,7 @@ func (c *Coordinator) Join() (*Session, error) {
 		closeConns(ctrl)
 		return nil, err
 	}
-	return newSession(cfg, policyName, addrs, conns, ctrl, hb)
+	return newSession(cfg, policyName, addrs, conns, ctrl, hb, el, c.ln.Addr().String())
 }
 
 // checkHello validates one worker's hello against the coordinator's
@@ -353,6 +396,9 @@ func (c *Coordinator) checkHello(h hello, rendConns []net.Conn) error {
 	if h.Version != ProtocolVersion {
 		return fmt.Errorf("cluster: rank %d speaks rendezvous protocol version %d, this build speaks %d (the health plane needs matching builds)",
 			h.Rank, h.Version, ProtocolVersion)
+	}
+	if h.Rejoin {
+		return fmt.Errorf("cluster: rank %d sent a rejoin hello, but this rendezvous is forming a fresh session (launch without -rejoin, or point the worker at a session that lost a rank)", h.Rank)
 	}
 	if h.World != c.cfg.World {
 		return fmt.Errorf("cluster: rank %d expects a world of %d, coordinator has %d",
@@ -411,14 +457,20 @@ func joinWorker(cfg Config) (*Session, error) {
 		return nil, fmt.Errorf("cluster: membership table has %d ranks, want %d",
 			len(wel.Addrs), cfg.World)
 	}
-	// The coordinator's welcome fixes the session's heartbeat settings;
-	// only the worker's phi threshold stays local. A zero interval
-	// means the coordinator turned the health plane off.
+	// The coordinator's welcome fixes the session's heartbeat and
+	// elastic settings; only the worker's phi threshold and rejoin
+	// budget stay local. A zero interval means the coordinator turned
+	// the health plane off; a zero rejoin window, elasticity.
 	hb := health.Config{
 		Interval: wel.HeartbeatInterval,
 		Timeout:  wel.HeartbeatTimeout,
 		Phi:      cfg.Health.Phi,
 		Disable:  wel.HeartbeatInterval <= 0,
+	}.Resolved()
+	el := elastic.Config{
+		Enable:       wel.RejoinWindow > 0,
+		RejoinWindow: wel.RejoinWindow,
+		MaxRejoins:   cfg.Elastic.MaxRejoins,
 	}.Resolved()
 
 	// Mesh: dial every lower rank — the data link, then the control
@@ -429,29 +481,38 @@ func joinWorker(cfg Config) (*Session, error) {
 	if !hb.Disable {
 		ctrl = make([]net.Conn, cfg.World)
 	}
-	bail := func(err error) (*Session, error) {
+	if err := establishMeshLinks(meshLn, wel.Addrs, cfg.Rank, cfg.World, deadline, conns, ctrl); err != nil {
 		closeConns(conns)
 		closeConns(ctrl)
 		return nil, err
 	}
-	for p := 0; p < cfg.Rank; p++ {
-		pc, err := dialMeshLink(wel.Addrs[p], cfg.Rank, p, linkData, deadline)
+	return newSession(cfg, wel.Codec, wel.Addrs, conns, ctrl, hb, el, cfg.Addr)
+}
+
+// establishMeshLinks builds one rank's full share of the mesh: it
+// dials every lower rank — the data link, plus the control link when
+// ctrl is non-nil — and then accepts the links every higher rank dials
+// in, filling conns (and ctrl) completely. The caller owns the slices
+// and closes any partially established links on error. Both the fresh
+// rendezvous and the rejoin barrier establish their meshes through
+// this one sequence, so link-establishment fixes cannot diverge
+// between the two paths.
+func establishMeshLinks(ln net.Listener, addrs []string, rank, world int, deadline time.Time, conns, ctrl []net.Conn) error {
+	for p := 0; p < rank; p++ {
+		pc, err := dialMeshLink(addrs[p], rank, p, linkData, deadline)
 		if err != nil {
-			return bail(err)
+			return err
 		}
 		conns[p] = pc
 		if ctrl != nil {
-			cc, err := dialMeshLink(wel.Addrs[p], cfg.Rank, p, linkControl, deadline)
+			cc, err := dialMeshLink(addrs[p], rank, p, linkControl, deadline)
 			if err != nil {
-				return bail(err)
+				return err
 			}
 			ctrl[p] = cc
 		}
 	}
-	if err := acceptMeshLinks(meshLn, cfg.Rank, cfg.World, deadline, conns, ctrl); err != nil {
-		return bail(err)
-	}
-	return newSession(cfg, wel.Codec, wel.Addrs, conns, ctrl, hb)
+	return acceptMeshLinks(ln, rank, world, deadline, conns, ctrl)
 }
 
 // dialMeshLink opens one mesh connection of the given kind to a lower
@@ -542,36 +603,16 @@ func acceptMeshLinks(ln net.Listener, local, world int, deadline time.Time, conn
 // health plane is on — starts the heartbeat monitor over the control
 // links with its verdict wired into the fabric's Abort, so a peer
 // death interrupts every in-flight exchange with health.ErrPeerDead.
-func newSession(cfg Config, policyName string, addrs []string, conns, ctrl []net.Conn, hb health.Config) (*Session, error) {
+func newSession(cfg Config, policyName string, addrs []string, conns, ctrl []net.Conn, hb health.Config, el elastic.Config, rendAddr string) (*Session, error) {
 	policy, err := quant.ParsePolicy(policyName)
 	if err != nil {
 		closeConns(conns)
 		closeConns(ctrl)
 		return nil, fmt.Errorf("cluster: negotiated policy: %w", err)
 	}
-	for _, set := range [][]net.Conn{conns, ctrl} {
-		for _, conn := range set {
-			if conn != nil {
-				conn.SetDeadline(time.Time{})
-			}
-		}
-	}
-	fabric, err := comm.NewRemoteFabric(cfg.Rank, cfg.World, conns)
+	fabric, monitor, err := establishPlane(cfg.Rank, cfg.World, conns, ctrl, hb)
 	if err != nil {
-		closeConns(conns)
-		closeConns(ctrl)
 		return nil, err
-	}
-	var monitor *health.Monitor
-	if ctrl != nil && cfg.World > 1 {
-		monitor, err = health.NewMonitor(cfg.Rank, cfg.World, ctrl, hb)
-		if err != nil {
-			fabric.Close()
-			closeConns(ctrl)
-			return nil, err
-		}
-		monitor.OnVerdict(func(verr error) { fabric.Abort(verr) })
-		monitor.Start()
 	}
 	return &Session{
 		rank:       cfg.Rank,
@@ -581,7 +622,44 @@ func newSession(cfg Config, policyName string, addrs []string, conns, ctrl []net
 		fabric:     fabric,
 		monitor:    monitor,
 		peers:      addrs,
+		rendAddr:   rendAddr,
+		hb:         hb,
+		el:         el,
+		accepts:    append([]string(nil), cfg.Accept...),
 	}, nil
+}
+
+// establishPlane turns a freshly handshaken set of mesh connections
+// into the running transport plane of one rank: handshake deadlines
+// cleared, the data links wrapped into a RemoteFabric, and — when
+// control links exist — a started monitor whose verdict aborts the
+// fabric. It owns the connections: every error path closes them.
+func establishPlane(rank, world int, conns, ctrl []net.Conn, hb health.Config) (*comm.RemoteFabric, *health.Monitor, error) {
+	for _, set := range [][]net.Conn{conns, ctrl} {
+		for _, conn := range set {
+			if conn != nil {
+				conn.SetDeadline(time.Time{})
+			}
+		}
+	}
+	fabric, err := comm.NewRemoteFabric(rank, world, conns)
+	if err != nil {
+		closeConns(conns)
+		closeConns(ctrl)
+		return nil, nil, err
+	}
+	var monitor *health.Monitor
+	if ctrl != nil && world > 1 {
+		monitor, err = health.NewMonitor(rank, world, ctrl, hb)
+		if err != nil {
+			fabric.Close()
+			closeConns(ctrl)
+			return nil, nil, err
+		}
+		monitor.OnVerdict(func(verr error) { fabric.Abort(verr) })
+		monitor.Start()
+	}
+	return fabric, monitor, nil
 }
 
 // listenMesh opens the per-rank mesh listener on an ephemeral port of

@@ -540,6 +540,153 @@ func TestRendezvousRejectsOldProtocolVersion(t *testing.T) {
 	}
 }
 
+// TestRendezvousRejectsV3ProtocolVersion: a v3 (PR-4-era) hello still
+// parses — its layout is a strict prefix of v4's — and earns a
+// versioned reject naming the mismatch, written at the sender's own
+// version so the old build can display it. Elastic sessions must not
+// silently break the protocol for old builds.
+func TestRendezvousRejectsV3ProtocolVersion(t *testing.T) {
+	coord, err := NewCoordinator(Config{
+		Addr: "127.0.0.1:0", World: 2, Timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joinErr := make(chan error, 1)
+	go func() {
+		s, err := coord.Join()
+		if s != nil {
+			s.Close()
+		}
+		joinErr <- err
+	}()
+
+	conn, err := net.Dial("tcp", coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Handcraft a v3 hello: the v4 layout minus the elastic tail.
+	msg := appendU32(nil, rendezvousMagic)
+	msg = append(msg, 3) // ProtocolVersion of a PR-4-era build
+	msg = appendU32(msg, 1)
+	msg = appendU32(msg, 2)
+	addr := "127.0.0.1:9"
+	msg = appendU16(msg, uint16(len(addr)))
+	msg = append(msg, addr...)
+	msg = appendU16(msg, 0)
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case err := <-joinErr:
+		if err == nil || !strings.Contains(err.Error(), "protocol version 3") {
+			t.Fatalf("expected a protocol-version rejection, got: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("coordinator hung on the v3 hello")
+	}
+	// The reject must be written at version 3 so the old build's
+	// readWelcome reaches the message instead of bailing on the
+	// version byte.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	hdr := make([]byte, 6)
+	if _, err := io.ReadFull(conn, hdr); err != nil {
+		t.Fatalf("no reject on the wire: %v", err)
+	}
+	if hdr[4] != 3 || hdr[5] != 1 {
+		t.Fatalf("reject header version=%d status=%d, want version 3, status 1", hdr[4], hdr[5])
+	}
+}
+
+// TestHelloRoundTripsElasticFields: the v4 hello carries the rejoin
+// kind and the completed-step count byte-exactly, -1 included.
+func TestHelloRoundTripsElasticFields(t *testing.T) {
+	for _, in := range []hello{
+		{Rank: 1, World: 3, MeshAddr: "127.0.0.1:1", Accept: []string{"qsgd4b512"}},
+		{Rank: 2, World: 3, MeshAddr: "127.0.0.1:2", Rejoin: true, Step: 417},
+		{Rank: 2, World: 3, MeshAddr: "127.0.0.1:2", Rejoin: true, Step: -1},
+	} {
+		var buf bytes.Buffer
+		if err := writeHello(&buf, in); err != nil {
+			t.Fatal(err)
+		}
+		out, err := readHello(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Rejoin != in.Rejoin || out.Step != in.Step || out.Rank != in.Rank {
+			t.Fatalf("hello round trip: got %+v, want %+v", out, in)
+		}
+	}
+}
+
+// TestWelcomeRoundTripsElasticFields: the v4 welcome carries the
+// session generation, the rejoin window and the step table.
+func TestWelcomeRoundTripsElasticFields(t *testing.T) {
+	in := welcome{
+		Codec:             "qsgd4b512",
+		Addrs:             []string{"127.0.0.1:1", "127.0.0.1:2", "127.0.0.1:3"},
+		HeartbeatInterval: 100 * time.Millisecond,
+		HeartbeatTimeout:  time.Second,
+		Generation:        2,
+		RejoinWindow:      45 * time.Second,
+		Steps:             []int64{12, 11, -1},
+	}
+	var buf bytes.Buffer
+	if err := writeWelcome(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readWelcome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Generation != 2 || out.RejoinWindow != 45*time.Second {
+		t.Fatalf("elastic params: %+v", out)
+	}
+	if len(out.Steps) != 3 || out.Steps[0] != 12 || out.Steps[2] != -1 {
+		t.Fatalf("step table: %v", out.Steps)
+	}
+	// A mismatched step table must not be writable.
+	bad := in
+	bad.Steps = []int64{1}
+	if err := writeWelcome(&bytes.Buffer{}, bad); err == nil {
+		t.Fatal("step table shorter than the membership must not encode")
+	}
+	// A fresh welcome travels without a table and with window 0.
+	fresh := welcome{Codec: "32bit", Addrs: []string{"a"}}
+	buf.Reset()
+	if err := writeWelcome(&buf, fresh); err != nil {
+		t.Fatal(err)
+	}
+	if out, err = readWelcome(&buf); err != nil || out.RejoinWindow != 0 || out.Steps != nil {
+		t.Fatalf("fresh welcome round trip: %+v, %v", out, err)
+	}
+}
+
+// TestResumePoint pins donor election: maximum completed step wins,
+// lowest rank breaks ties, replacements (-1) never donate.
+func TestResumePoint(t *testing.T) {
+	cases := []struct {
+		steps  []int64
+		resume int64
+		donor  int
+	}{
+		{[]int64{5, 5, -1}, 5, 0},
+		{[]int64{5, 6, -1}, 6, 1},
+		{[]int64{-1, 4, 4}, 4, 1},
+		{[]int64{0, 0, 0}, 0, 0},
+	}
+	for _, tc := range cases {
+		resume, donor := resumePoint(tc.steps)
+		if resume != tc.resume || donor != tc.donor {
+			t.Errorf("resumePoint(%v) = (%d, %d), want (%d, %d)",
+				tc.steps, resume, donor, tc.resume, tc.donor)
+		}
+	}
+}
+
 // TestSessionHealthGovernedByCoordinator: the coordinator's heartbeat
 // settings win on every rank — a worker's own interval (or even its
 // wish to disable) is overridden by the welcome, so the whole session

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -431,6 +432,158 @@ func TestClusterPeerDeathAbort(t *testing.T) {
 			t.Fatalf("survivors still running %v after the kill — the abort never propagated", budget)
 		}
 	}
+}
+
+// TestClusterRejoinDigestParity is the elastic acceptance test over
+// real OS processes: a three-worker cluster trains with a rejoin
+// window, rank 2 is SIGKILLed mid-epoch, a replacement process is
+// launched with -rejoin, re-enters the session through the rendezvous
+// v4 rejoin barrier and the donor's state transfer, and every process
+// — survivors and replacement — exits 0 with a final model digest
+// bit-identical to an uninterrupted three-rank run of the same seed
+// and policy.
+func TestClusterRejoinDigestParity(t *testing.T) {
+	bin := buildWorker(t)
+	uninterrupted := runRejoinWorld(t, bin, false)
+	interrupted := runRejoinWorld(t, bin, true)
+	if interrupted != uninterrupted {
+		t.Fatalf("kill-and-rejoin digest %s differs from uninterrupted %s — elastic resume is not bit-exact",
+			interrupted, uninterrupted)
+	}
+}
+
+// runRejoinWorld runs one three-process elastic training world,
+// optionally SIGKILLing rank 2 mid-epoch and re-forking it with
+// -rejoin, and returns the agreed final model digest.
+func runRejoinWorld(t *testing.T, bin string, kill bool) string {
+	t.Helper()
+	const world = 3
+	const victim = world - 1
+	common := []string{
+		"-world", fmt.Sprint(world),
+		"-task", "image", "-epochs", "80", "-batch", "24",
+		"-train-samples", "96", "-test-samples", "48", "-seed", "41",
+		"-accept", "qsgd4b512",
+		"-heartbeat", "100ms", "-heartbeat-timeout", "2s",
+		"-rejoin-window", "60s", "-join-timeout", "60s",
+	}
+
+	var err0 syncBuffer
+	rank0 := exec.Command(bin, append([]string{
+		"-coordinator", "127.0.0.1:0", "-rank", "0",
+	}, common...)...)
+	rank0.Stderr = &err0
+	rank0Out, err := rank0.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rank0.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rank0.Process.Kill()
+
+	sc := bufio.NewScanner(rank0Out)
+	if !sc.Scan() {
+		t.Fatalf("rank 0 exited before announcing its address: %s", err0.String())
+	}
+	fields := strings.Fields(sc.Text())
+	if len(fields) != 2 || fields[0] != "coordinator" {
+		t.Fatalf("unexpected announcement %q", sc.Text())
+	}
+	addr := fields[1]
+
+	type result struct {
+		rank int
+		out  string
+		err  error
+	}
+	results := make(chan result, world+1)
+	launch := func(rank int, extra ...string) *exec.Cmd {
+		cmd := exec.Command(bin, append(append([]string{
+			"-coordinator", addr, "-rank", fmt.Sprint(rank),
+		}, extra...), common...)...)
+		stderr := &syncBuffer{}
+		cmd.Stderr = stderr
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			buf := new(bytes.Buffer)
+			io.Copy(buf, out)
+			err := cmd.Wait()
+			if err != nil {
+				err = fmt.Errorf("%w\n%s", err, stderr.String())
+			}
+			results <- result{rank, buf.String(), err}
+		}()
+		return cmd
+	}
+	procs := make([]*exec.Cmd, world)
+	procs[0] = rank0
+	for rank := 1; rank < world; rank++ {
+		procs[rank] = launch(rank)
+	}
+	go func() {
+		var rest bytes.Buffer
+		for sc.Scan() {
+			rest.WriteString(sc.Text() + "\n")
+		}
+		err := rank0.Wait()
+		if err != nil {
+			err = fmt.Errorf("%w\n%s", err, err0.String())
+		}
+		results <- result{0, rest.String(), err}
+	}()
+
+	expected := world
+	if kill {
+		// Give the cluster a beat so the SIGKILL lands mid-epoch, then
+		// kill rank 2 and launch its replacement. The victim's own exit
+		// is consumed here (killed by signal, not a result); the
+		// replacement reports under the same rank.
+		time.Sleep(400 * time.Millisecond)
+		if err := procs[victim].Process.Kill(); err != nil {
+			t.Fatal(err)
+		}
+		launch(victim, "-rejoin")
+		expected = world + 1
+	}
+
+	models := map[int]string{}
+	deadline := time.After(180 * time.Second)
+	got := 0
+	killedSeen := false
+	for got < expected {
+		select {
+		case r := <-results:
+			got++
+			if kill && r.rank == victim && !killedSeen && r.err != nil && strings.Contains(r.err.Error(), "killed") {
+				killedSeen = true
+				continue // the SIGKILLed incarnation
+			}
+			if r.err != nil {
+				t.Fatalf("rank %d failed: %v", r.rank, r.err)
+			}
+			kv := parseSummary(t, r.rank, r.out)
+			models[r.rank] = kv["model"]
+		case <-deadline:
+			t.Fatal("elastic cluster run did not finish in time")
+		}
+	}
+	for rank := 0; rank < world; rank++ {
+		if models[rank] == "" {
+			t.Fatalf("rank %d reported no model digest", rank)
+		}
+		if models[rank] != models[0] {
+			t.Errorf("rank %d model %s differs from rank 0's %s — replicas diverged",
+				rank, models[rank], models[0])
+		}
+	}
+	return models[0]
 }
 
 // TestHealthPlaneDigestParity: enabling the health plane must not move

@@ -14,13 +14,18 @@ import (
 //
 //	hello (worker → coordinator):
 //	  uint32  magic "LPSC"
-//	  uint8   protocol version (currently 3; the layout is unchanged
-//	          since 2, so a v2 hello still parses and earns a versioned
-//	          reject naming the mismatch instead of a silent drop)
+//	  uint8   protocol version (currently 4; the v2/v3 prefix layout is
+//	          unchanged, so an old hello still parses and earns a
+//	          versioned reject naming the mismatch instead of a silent
+//	          drop)
 //	  uint32  rank
 //	  uint32  world size
 //	  uint16  mesh address length, then the address bytes
 //	  uint16  accepted policy count, then per policy uint8 length + string
+//	  --- v4 additions ---
+//	  uint8   hello kind (0 = fresh rendezvous, 1 = rejoin)
+//	  int64   completed synchronous steps the sender holds state for
+//	          (-1 = none; a replacement claiming a dead rank's slot)
 //
 //	welcome (coordinator → worker):
 //	  uint32  magic "LPSC"
@@ -32,6 +37,11 @@ import (
 //	            per rank uint16 address length + mesh address,
 //	            uint32 heartbeat interval (ms; 0 = health plane off),
 //	            uint32 heartbeat timeout (ms)
+//	  --- v4 additions ---
+//	            uint32 session generation (completed rejoin rounds),
+//	            uint32 rejoin window (ms; 0 = elastic sessions off),
+//	            uint32 step-table length (0 on a fresh rendezvous),
+//	            per rank int64 completed steps (rejoin welcomes only)
 //
 //	mesh preamble (higher rank → lower rank, on the mesh listener):
 //	  uint32  magic "LPSM"
@@ -57,13 +67,19 @@ const (
 	// heartbeat interval and timeout, and every rank pair establishes a
 	// second, control-kind mesh link beside the data link — a v2 build
 	// would rendezvous and then hang waiting for links it does not
-	// know to dial.
-	ProtocolVersion = 3
+	// know to dial. Version 4 added elastic sessions: hellos carry a
+	// kind byte (fresh vs rejoin) and the sender's completed-step
+	// count, and the welcome carries the session generation, the rejoin
+	// window and — on a rejoin round — the per-rank step table that
+	// picks the state donor; a v3 build would neither announce its
+	// resume position nor understand a rejoin barrier.
+	ProtocolVersion = 4
 
 	// helloCompatVersion is the oldest hello layout this build can still
-	// parse. v2 and v3 hellos are byte-identical, so a v2 worker gets a
-	// reject that names the version mismatch (written at its own
-	// version, so it can read it) instead of being dropped as garbage.
+	// parse. The v2/v3 prefix is a strict prefix of v4's, so an old
+	// worker gets a reject that names the version mismatch (written at
+	// its own version, so it can read it) instead of being dropped as
+	// garbage.
 	helloCompatVersion = 2
 
 	// maxAddrLen and maxCodecs bound attacker-controlled lengths in a
@@ -71,6 +87,12 @@ const (
 	// unbounded memory.
 	maxAddrLen = 256
 	maxCodecs  = 256
+)
+
+// Hello kinds carried by the v4 byte.
+const (
+	helloFresh  = 0
+	helloRejoin = 1
 )
 
 // hello is the decoded rendezvous request of one worker.
@@ -83,6 +105,14 @@ type hello struct {
 	World    int
 	MeshAddr string
 	Accept   []string
+	// Rejoin marks a v4 rejoin hello: the sender claims a slot of an
+	// already-running session — a survivor re-entering after a death
+	// verdict, or a replacement for the dead rank itself.
+	Rejoin bool
+	// Step is the sender's completed synchronous step count, the input
+	// to donor election on a rejoin round. -1 means the sender holds no
+	// training state and must receive the full snapshot.
+	Step int64
 }
 
 // welcome is the decoded rendezvous response.
@@ -95,6 +125,17 @@ type welcome struct {
 	// links are established.
 	HeartbeatInterval time.Duration
 	HeartbeatTimeout  time.Duration
+	// Generation counts the session's completed rejoin rounds; a fresh
+	// rendezvous welcomes at generation 0.
+	Generation int
+	// RejoinWindow is the coordinator-governed elastic-session setting:
+	// how long a rejoin barrier stays open. Zero means elastic sessions
+	// are off and a death verdict stays fatal.
+	RejoinWindow time.Duration
+	// Steps is the per-rank completed-step table of a rejoin round —
+	// what every rank derives the resume point, the state donor and the
+	// catch-up set from. Empty on a fresh rendezvous.
+	Steps []int64
 }
 
 // Mesh-link kinds carried by the v3 preamble.
@@ -124,6 +165,12 @@ func writeHello(w io.Writer, h hello) error {
 		buf = append(buf, byte(len(name)))
 		buf = append(buf, name...)
 	}
+	kind := byte(helloFresh)
+	if h.Rejoin {
+		kind = helloRejoin
+	}
+	buf = append(buf, kind)
+	buf = appendU64(buf, uint64(h.Step))
 	_, err := w.Write(buf)
 	return err
 }
@@ -161,6 +208,22 @@ func readHello(r io.Reader) (hello, error) {
 		}
 		h.Accept = append(h.Accept, name)
 	}
+	// The elastic fields exist from v4 on; an old hello ends here and
+	// is implicitly a fresh one (it will be version-rejected anyway).
+	if h.Version >= 4 {
+		var tail [9]byte
+		if _, err := io.ReadFull(r, tail[:]); err != nil {
+			return h, fmt.Errorf("cluster: hello elastic fields: %w", err)
+		}
+		switch tail[0] {
+		case helloFresh:
+		case helloRejoin:
+			h.Rejoin = true
+		default:
+			return h, fmt.Errorf("cluster: unknown hello kind %d", tail[0])
+		}
+		h.Step = int64(binary.LittleEndian.Uint64(tail[1:]))
+	}
 	return h, nil
 }
 
@@ -186,6 +249,15 @@ func writeWelcome(w io.Writer, wel welcome) error {
 	}
 	buf = appendU32(buf, uint32(wel.HeartbeatInterval/time.Millisecond))
 	buf = appendU32(buf, uint32(wel.HeartbeatTimeout/time.Millisecond))
+	buf = appendU32(buf, uint32(wel.Generation))
+	buf = appendU32(buf, uint32(wel.RejoinWindow/time.Millisecond))
+	if len(wel.Steps) > 0 && len(wel.Steps) != len(wel.Addrs) {
+		return fmt.Errorf("cluster: step table spans %d ranks, membership %d", len(wel.Steps), len(wel.Addrs))
+	}
+	buf = appendU32(buf, uint32(len(wel.Steps)))
+	for _, s := range wel.Steps {
+		buf = appendU64(buf, uint64(s))
+	}
 	_, err := w.Write(buf)
 	return err
 }
@@ -250,6 +322,23 @@ func readWelcome(r io.Reader) (welcome, error) {
 	}
 	wel.HeartbeatInterval = time.Duration(binary.LittleEndian.Uint32(hb[0:])) * time.Millisecond
 	wel.HeartbeatTimeout = time.Duration(binary.LittleEndian.Uint32(hb[4:])) * time.Millisecond
+	var el [12]byte
+	if _, err := io.ReadFull(r, el[:]); err != nil {
+		return wel, fmt.Errorf("cluster: welcome elastic parameters: %w", err)
+	}
+	wel.Generation = int(binary.LittleEndian.Uint32(el[0:]))
+	wel.RejoinWindow = time.Duration(binary.LittleEndian.Uint32(el[4:])) * time.Millisecond
+	steps := int(binary.LittleEndian.Uint32(el[8:]))
+	if steps != 0 && steps != world {
+		return wel, fmt.Errorf("cluster: welcome step table spans %d ranks, membership %d", steps, world)
+	}
+	for i := 0; i < steps; i++ {
+		var sb [8]byte
+		if _, err := io.ReadFull(r, sb[:]); err != nil {
+			return wel, fmt.Errorf("cluster: welcome step table: %w", err)
+		}
+		wel.Steps = append(wel.Steps, int64(binary.LittleEndian.Uint64(sb[:])))
+	}
 	return wel, nil
 }
 
@@ -336,5 +425,11 @@ func appendU32(dst []byte, v uint32) []byte {
 func appendU16(dst []byte, v uint16) []byte {
 	var b [2]byte
 	binary.LittleEndian.PutUint16(b[:], v)
+	return append(dst, b[:]...)
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
 	return append(dst, b[:]...)
 }

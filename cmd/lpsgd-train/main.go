@@ -11,7 +11,10 @@
 //
 // -policy accepts the full precision-policy grammar (quant.ParsePolicy):
 // base codec, small-matrix exemption target, and per-tensor pattern
-// rules; it supersedes -codec when both are given.
+// rules; it supersedes -codec when both are given. -save writes the
+// trained model as an nn checkpoint and -load warm-starts from one; in
+// cluster mode the same checkpoint is loaded by every forked rank, so
+// the replica invariant holds from the first exchange.
 //
 // With -cluster N the run becomes a single-machine multi-process smoke
 // test of the cluster runtime: this process is rank 0 and coordinator,
@@ -25,18 +28,28 @@
 // Cluster runs carry a health plane: -heartbeat/-heartbeat-timeout
 // tune the failure detector (a dead rank aborts every survivor with a
 // typed verdict instead of hanging the mesh), and -step-deadline
-// bounds one synchronous step's wall time. See cmd/lpsgd-worker for
-// the exit-code contract supervisors can build on.
+// bounds one synchronous step's wall time. With -rejoin-window the
+// cluster is additionally elastic: when a forked rank dies, the
+// supervisor in this process re-forks it with the internal
+// -cluster-rejoin flag, the replacement re-enters the session through
+// the rendezvous rejoin barrier and receives the training state from a
+// surviving donor, and the run completes as if nothing happened. See
+// cmd/lpsgd-worker for the exit-code contract external supervisors can
+// build on.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
 	"strconv"
+	"sync"
+	"time"
 
 	"repro/cluster"
+	"repro/elastic"
 	"repro/health"
 	"repro/internal/harness"
 	"repro/internal/report"
@@ -57,15 +70,17 @@ func main() {
 		trainN  = flag.Int("train-samples", 768, "training set size")
 		testN   = flag.Int("test-samples", 384, "test set size")
 		saveTo  = flag.String("save", "", "write a checkpoint of the trained model to this file")
-		loadFrm = flag.String("load", "", "initialise weights from this checkpoint before training")
+		loadFrm = flag.String("load", "", "initialise weights from this checkpoint before training (cluster mode: every rank loads it)")
 
-		clusterN    = flag.Int("cluster", 0, "train as a cluster of this many worker processes (this process is rank 0; it forks the rest)")
-		clusterAddr = flag.String("cluster-addr", "", "internal: rendezvous address of the parent coordinator (marks a forked worker)")
-		clusterRank = flag.Int("cluster-rank", 0, "internal: rank of a forked worker")
-
-		heartbeat = flag.Duration("heartbeat", health.DefaultInterval, "cluster mode: heartbeat interval of the health plane (0 disables failure detection)")
-		hbTimeout = flag.Duration("heartbeat-timeout", 0, "cluster mode: silence after which a peer is declared dead (0 = 8x the heartbeat interval)")
-		stepWait  = flag.Duration("step-deadline", 0, "abort if one synchronous step exceeds this wall time (0 = unbounded)")
+		clusterN     = flag.Int("cluster", 0, "train as a cluster of this many worker processes (this process is rank 0; it forks the rest)")
+		clusterAddr  = flag.String("cluster-addr", "", "internal: rendezvous address of the parent coordinator (marks a forked worker)")
+		clusterRank  = flag.Int("cluster-rank", 0, "internal: rank of a forked worker")
+		clusterRejo  = flag.Bool("cluster-rejoin", false, "internal: this forked worker replaces a dead rank of the running session")
+		heartbeat    = flag.Duration("heartbeat", health.DefaultInterval, "cluster mode: heartbeat interval of the health plane (0 disables failure detection)")
+		hbTimeout    = flag.Duration("heartbeat-timeout", 0, "cluster mode: silence after which a peer is declared dead (0 = 8x the heartbeat interval)")
+		stepWait     = flag.Duration("step-deadline", 0, "abort if one synchronous step exceeds this wall time (0 = unbounded)")
+		rejoinWindow = flag.Duration("rejoin-window", 0, "cluster mode: make the session elastic — hold a rejoin barrier open this long after a rank death and re-fork the dead rank (0 disables)")
+		maxRejoins   = flag.Int("max-rejoins", 0, "cluster mode: rank deaths the supervisor repairs before giving up (0 = default)")
 	)
 	flag.Parse()
 
@@ -101,20 +116,40 @@ func main() {
 	// recognise themselves by -cluster-addr and dial back in. All ranks
 	// train the same task with the same seed, so the mesh replicas stay
 	// bit-identical.
-	var children []*exec.Cmd
 	isChild := *clusterAddr != ""
-	if *clusterN > 0 && *loadFrm != "" {
-		// The forked ranks build their replicas from the seed alone; a
-		// checkpoint loaded into rank 0 only would break the replica
-		// bit-identity the synchronous algorithm depends on.
-		fmt.Fprintln(os.Stderr, "-load is not supported with -cluster: every rank must start from the same weights")
-		os.Exit(2)
-	}
+	var restore *elastic.Snapshot
+	var super *reforker
 	switch {
+	case isChild && *clusterRejo:
+		// A re-forked replacement: claim the dead rank's slot in the
+		// running session and receive the training state from a donor.
+		// The dial budget must outlast the survivors' failure detection
+		// (the barrier only opens once they reach their verdict) plus
+		// the window itself — the 30s default would silently defeat a
+		// long window under slow detection.
+		hb := health.Config{Interval: *heartbeat, Timeout: *hbTimeout}.Resolved()
+		sess, snap, err := cluster.Rejoin(cluster.Config{
+			Addr: *clusterAddr, Rank: *clusterRank, World: *clusterN,
+			Accept:  []string{policySpec},
+			Timeout: hb.Timeout + elastic.Config{Enable: true, RejoinWindow: *rejoinWindow}.Resolved().RejoinWindow + 30*time.Second,
+			Health:  hb,
+			Elastic: elastic.Config{
+				Enable: true, RejoinWindow: *rejoinWindow, MaxRejoins: *maxRejoins,
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(5)
+		}
+		fmt.Fprintf(os.Stderr, "rank %d rejoined (generation %d, resuming at step %d)\n",
+			sess.Rank(), sess.Generation(), snap.Step)
+		restore = snap
+		opts = append(opts, lpsgd.WithClusterSession(sess))
 	case isChild:
 		opts = append(opts,
 			lpsgd.WithCluster(*clusterAddr, *clusterRank, *clusterN),
-			lpsgd.WithHeartbeat(*heartbeat, *hbTimeout))
+			lpsgd.WithHeartbeat(*heartbeat, *hbTimeout),
+			lpsgd.WithElastic(*maxRejoins, *rejoinWindow))
 	case *clusterN > 0:
 		coord, err := cluster.NewCoordinator(cluster.Config{
 			Addr: "127.0.0.1:0", World: *clusterN, Accept: []string{policySpec},
@@ -122,6 +157,11 @@ func main() {
 				Interval: *heartbeat,
 				Timeout:  *hbTimeout,
 				Disable:  *heartbeat == 0,
+			},
+			Elastic: elastic.Config{
+				Enable:       *rejoinWindow > 0,
+				RejoinWindow: *rejoinWindow,
+				MaxRejoins:   *maxRejoins,
 			},
 		})
 		if err != nil {
@@ -133,7 +173,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		for r := 1; r < *clusterN; r++ {
+		childArgs := func(r int, rejoin bool) []string {
 			args := []string{
 				"-task", *task, "-policy", policySpec,
 				"-epochs", strconv.Itoa(*epochs), "-batch", strconv.Itoa(*batch),
@@ -143,26 +183,35 @@ func main() {
 				"-cluster-addr", coord.Addr(), "-cluster-rank", strconv.Itoa(r),
 				"-heartbeat", heartbeat.String(), "-heartbeat-timeout", hbTimeout.String(),
 				"-step-deadline", stepWait.String(),
+				"-rejoin-window", rejoinWindow.String(), "-max-rejoins", strconv.Itoa(*maxRejoins),
+			}
+			if rejoin {
+				args = append(args, "-cluster-rejoin")
+			}
+			if *loadFrm != "" && !rejoin {
+				// Warm starts reach every rank; a rejoining replacement
+				// gets its state from the session snapshot instead.
+				args = append(args, "-load", *loadFrm)
 			}
 			// Every rank must run the same aggregation primitive.
 			if *useNCCL {
 				args = append(args, "-nccl")
 			}
-			child := exec.Command(exe, args...)
-			child.Stdout = os.Stdout
-			child.Stderr = os.Stderr
-			if err := child.Start(); err != nil {
+			return args
+		}
+		super = newReforker(exe, childArgs, *rejoinWindow > 0, *maxRejoins)
+		for r := 1; r < *clusterN; r++ {
+			if err := super.start(r, false); err != nil {
 				fmt.Fprintf(os.Stderr, "fork rank %d: %v\n", r, err)
 				os.Exit(1)
 			}
-			children = append(children, child)
 		}
 		sess, err := coord.Join()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		opts = append(opts, lpsgd.WithClusterSession(sess))
+		opts = append(opts, lpsgd.WithClusterSession(sess), lpsgd.WithElastic(*maxRejoins, *rejoinWindow))
 	}
 
 	trainer, err := lpsgd.NewTrainer(model, opts...)
@@ -171,6 +220,12 @@ func main() {
 		os.Exit(1)
 	}
 	defer trainer.Close()
+	if restore != nil {
+		if err := trainer.Restore(restore); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if *loadFrm != "" {
 		f, err := os.Open(*loadFrm)
 		if err != nil {
@@ -249,10 +304,89 @@ func main() {
 		100*h.FinalAccuracy, 100*h.BestAccuracy, float64(h.TotalWireBytes)/1e6, wireNote)
 	t.Render(os.Stdout)
 
-	for _, child := range children {
-		if err := child.Wait(); err != nil {
-			fmt.Fprintf(os.Stderr, "cluster worker exited badly: %v\n", err)
+	if super != nil {
+		if err := super.wait(); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
 			os.Exit(1)
 		}
 	}
+}
+
+// reforker supervises the forked worker ranks of a -cluster run: it
+// waits on each child and — when the session is elastic — re-forks a
+// rank that died abnormally with -cluster-rejoin, up to the configured
+// budget, so a killed rank rejoins the session instead of sinking the
+// whole run.
+type reforker struct {
+	exe     string
+	args    func(rank int, rejoin bool) []string
+	elastic bool
+
+	mu      sync.Mutex
+	wg      sync.WaitGroup
+	budget  int
+	failure error
+}
+
+func newReforker(exe string, args func(int, bool) []string, elasticOn bool, maxRejoins int) *reforker {
+	budget := maxRejoins
+	if budget == 0 {
+		budget = elastic.DefaultMaxRejoins
+	}
+	return &reforker{exe: exe, args: args, elastic: elasticOn, budget: budget}
+}
+
+// start forks one rank and watches it from a goroutine.
+func (s *reforker) start(rank int, rejoin bool) error {
+	child := exec.Command(s.exe, s.args(rank, rejoin)...)
+	child.Stdout = os.Stdout
+	child.Stderr = os.Stderr
+	if err := child.Start(); err != nil {
+		return err
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		err := child.Wait()
+		if err == nil {
+			return
+		}
+		// Only a rank that was killed by a signal is a candidate for
+		// repair — that is the "process died, session still running"
+		// signature. A child that exits with a code of its own (bad
+		// flags, rendezvous rejection, training failure, a lost
+		// session) has a real error to report, and re-forking it into
+		// a rejoin barrier that does not exist would only bury it.
+		var ee *exec.ExitError
+		killed := errors.As(err, &ee) && ee.ExitCode() == -1
+		s.mu.Lock()
+		// A negative budget means unlimited repairs.
+		refork := s.elastic && killed && s.budget != 0
+		if refork && s.budget > 0 {
+			s.budget--
+		} else if !refork && s.failure == nil {
+			s.failure = fmt.Errorf("cluster worker rank %d exited badly: %v", rank, err)
+		}
+		s.mu.Unlock()
+		if refork {
+			fmt.Fprintf(os.Stderr, "lpsgd-train: rank %d died (%v); re-forking it into the session\n", rank, err)
+			if rerr := s.start(rank, true); rerr != nil {
+				s.mu.Lock()
+				if s.failure == nil {
+					s.failure = fmt.Errorf("re-fork rank %d: %w", rank, rerr)
+				}
+				s.mu.Unlock()
+			}
+		}
+	}()
+	return nil
+}
+
+// wait blocks until every child (re-forks included) has exited and
+// returns the first unrepaired failure.
+func (s *reforker) wait() error {
+	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failure
 }

@@ -20,7 +20,11 @@
 //	lpsgd-worker ... -policy "qsgd4b512;embedding=topk0.01" -accept qsgd4b512
 //
 // Every rank must be launched with the same -task, -seed, -batch,
-// -epochs and -lr, or the replicas will not stay bit-identical. The
+// -epochs and -lr, or the replicas will not stay bit-identical. -save
+// writes the trained model as an nn checkpoint; -load warm-starts from
+// one (identical file on every rank — loading different weights per
+// rank would break the replica invariant before the first exchange;
+// a shape-mismatched checkpoint is rejected with a named error). The
 // final stdout line is machine-readable (codec= carries the negotiated
 // policy string):
 //
@@ -36,16 +40,38 @@
 // session; -heartbeat 0 on rank 0 turns the plane off. -step-deadline
 // additionally bounds one synchronous step's wall time.
 //
+// # Elastic sessions
+//
+// With -rejoin-window set on the coordinator, a death verdict becomes
+// recoverable (see repro/elastic): survivors quiesce at the next step
+// barrier and hold a rejoin barrier open for the window, waiting for a
+// replacement to claim the dead rank's slot. A supervisor reacting to
+// the death relaunches the rank with the same flags plus -rejoin:
+//
+//	lpsgd-worker -coordinator 127.0.0.1:7070 -rank 2 -world 3 -rejoin ...
+//
+// The replacement receives the full session state (weights, momentum,
+// step and data cursors) from a surviving donor and training resumes;
+// under residual-free policies (32bit, the QSGD family) the final
+// digests are bit-identical to a run that never lost the rank.
+// -max-rejoins caps how many repairs one process tolerates.
+//
 // Exit codes are distinct so an external supervisor can decide
 // restart-vs-fail without parsing stderr:
 //
 //	0  success — trained, digest printed
 //	1  internal failure (training error, checkpoint I/O)
-//	2  usage or configuration error (bad flags, unknown task)
+//	2  usage or configuration error (bad flags, unknown task,
+//	   unloadable or mismatched -load checkpoint)
 //	3  rendezvous failure (cannot join, rejected hello, negotiation)
-//	4  peer-death abort (a peer was declared dead mid-run; restarting
-//	   the whole cluster is the sensible reaction, restarting this
-//	   rank alone is not)
+//	4  peer-death abort (a peer was declared dead mid-run and — in an
+//	   elastic session — the rejoin window closed without a
+//	   replacement; restarting the whole cluster is the sensible
+//	   reaction, restarting this rank alone is not)
+//	5  rejoin failure (-rejoin could not re-enter the session: the
+//	   window expired before the barrier opened, the slot was taken,
+//	   or no live session exists; relaunching with -rejoin is only
+//	   useful while survivors are still holding the barrier)
 package main
 
 import (
@@ -59,6 +85,7 @@ import (
 	"time"
 
 	"repro/cluster"
+	"repro/elastic"
 	"repro/health"
 	"repro/internal/harness"
 	"repro/lpsgd"
@@ -72,6 +99,7 @@ const (
 	exitUsage      = 2
 	exitRendezvous = 3
 	exitPeerDeath  = 4
+	exitRejoin     = 5
 )
 
 // exitCodeFor maps a training-time error to the exit code contract: a
@@ -97,10 +125,13 @@ func main() {
 		world     = flag.Int("world", 2, "total number of worker processes")
 		accept    = flag.String("accept", "32bit", "comma-separated policy strings this rank accepts (quant.ParsePolicy grammar)")
 		policy    = flag.String("policy", "", "preferred precision policy, advertised ahead of the -accept list")
-		joinWait  = flag.Duration("join-timeout", 30*time.Second, "rendezvous handshake timeout (raise for hand-launched multi-machine runs)")
+		joinWait  = flag.Duration("join-timeout", 30*time.Second, "rendezvous handshake timeout (raise for hand-launched multi-machine runs; with -rejoin it bounds the wait for the rejoin barrier too)")
 		heartbeat = flag.Duration("heartbeat", health.DefaultInterval, "heartbeat interval of the health plane; the coordinator's value governs the session, 0 on rank 0 disables failure detection")
 		hbTimeout = flag.Duration("heartbeat-timeout", 0, "silence after which a peer is declared dead (0 = 8x the heartbeat interval)")
 		stepWait  = flag.Duration("step-deadline", 0, "abort if one synchronous step (compute+exchange) exceeds this wall time (0 = unbounded)")
+		rejoinWin = flag.Duration("rejoin-window", 0, "elastic sessions: hold a rejoin barrier open this long after a peer death so a replacement can take the dead rank's slot; the coordinator's value governs the session, 0 disables elasticity")
+		maxRejoin = flag.Int("max-rejoins", 0, "elastic sessions: rejoin rounds this process tolerates before a death verdict is fatal (0 = default, negative = unlimited)")
+		rejoin    = flag.Bool("rejoin", false, "join as the replacement for a dead rank of a running elastic session instead of forming a fresh one")
 		task      = flag.String("task", "image", "task: image or sequence")
 		epochs    = flag.Int("epochs", 4, "training epochs")
 		batch     = flag.Int("batch", 64, "global minibatch size, sharded over ranks")
@@ -109,6 +140,7 @@ func main() {
 		trainN    = flag.Int("train-samples", 384, "training set size")
 		testN     = flag.Int("test-samples", 192, "test set size")
 		saveTo    = flag.String("save", "", "write a checkpoint of the trained model to this file")
+		loadFrom  = flag.String("load", "", "warm-start from this nn checkpoint before training (identical file on every rank)")
 	)
 	flag.Parse()
 
@@ -116,8 +148,11 @@ func main() {
 	if err != nil {
 		fail(exitUsage, err)
 	}
-	if *heartbeat < 0 || *hbTimeout < 0 || *stepWait < 0 {
-		fail(exitUsage, fmt.Errorf("lpsgd-worker: -heartbeat, -heartbeat-timeout and -step-deadline must not be negative"))
+	if *heartbeat < 0 || *hbTimeout < 0 || *stepWait < 0 || *rejoinWin < 0 {
+		fail(exitUsage, fmt.Errorf("lpsgd-worker: -heartbeat, -heartbeat-timeout, -step-deadline and -rejoin-window must not be negative"))
+	}
+	if *rejoin && *loadFrom != "" {
+		fail(exitUsage, fmt.Errorf("lpsgd-worker: -rejoin receives its state from the session snapshot; -load would overwrite it"))
 	}
 	var names []string
 	if *policy != "" {
@@ -129,9 +164,6 @@ func main() {
 		}
 	}
 
-	// Rank 0 goes through the explicit coordinator path so that a ":0"
-	// rendezvous port is printed before the other ranks need it.
-	var sess *cluster.Session
 	cfg := cluster.Config{
 		Addr: *coordAddr, Rank: *rank, World: *world,
 		Accept: names, Timeout: *joinWait,
@@ -140,8 +172,25 @@ func main() {
 			Timeout:  *hbTimeout,
 			Disable:  *heartbeat == 0,
 		},
+		Elastic: elastic.Config{
+			Enable:       *rejoinWin > 0,
+			RejoinWindow: *rejoinWin,
+			MaxRejoins:   *maxRejoin,
+		},
 	}
-	if *rank == 0 {
+
+	// Three ways into a session: rank 0 goes through the explicit
+	// coordinator path so that a ":0" rendezvous port is printed before
+	// the other ranks need it; -rejoin claims a dead rank's slot in a
+	// running session; everyone else dials a fresh rendezvous.
+	var sess *cluster.Session
+	var snap *elastic.Snapshot
+	switch {
+	case *rejoin:
+		if sess, snap, err = cluster.Rejoin(cfg); err != nil {
+			fail(exitRejoin, err)
+		}
+	case *rank == 0:
 		coord, err := cluster.NewCoordinator(cfg)
 		if err != nil {
 			fail(exitRendezvous, err)
@@ -150,7 +199,7 @@ func main() {
 		if sess, err = coord.Join(); err != nil {
 			fail(exitRendezvous, err)
 		}
-	} else {
+	default:
 		if sess, err = cluster.Join(cfg); err != nil {
 			fail(exitRendezvous, err)
 		}
@@ -160,11 +209,19 @@ func main() {
 		hc := m.Config()
 		hbNote = fmt.Sprintf("heartbeat %v, timeout %v", hc.Interval, hc.Timeout)
 	}
-	fmt.Fprintf(os.Stderr, "lpsgd-worker: rank %d/%d up, negotiated policy %s (%s)\n",
-		sess.Rank(), sess.World(), sess.PolicyName(), hbNote)
+	if el := sess.Elastic(); el.Enable {
+		hbNote += fmt.Sprintf(", rejoin window %v", el.RejoinWindow)
+	}
+	role := "up"
+	if *rejoin {
+		role = fmt.Sprintf("rejoined (generation %d, resuming at step %d)", sess.Generation(), snap.Step)
+	}
+	fmt.Fprintf(os.Stderr, "lpsgd-worker: rank %d/%d %s, negotiated policy %s (%s)\n",
+		sess.Rank(), sess.World(), role, sess.PolicyName(), hbNote)
 
 	trainer, err := lpsgd.NewTrainer(model,
 		lpsgd.WithClusterSession(sess),
+		lpsgd.WithElastic(*maxRejoin, *rejoinWin),
 		lpsgd.WithStepDeadline(*stepWait),
 		lpsgd.WithBatchSize(*batch),
 		lpsgd.WithEpochs(*epochs),
@@ -174,6 +231,26 @@ func main() {
 	if err != nil {
 		sess.Close()
 		fail(exitInternal, err)
+	}
+	if snap != nil {
+		if err := trainer.Restore(snap); err != nil {
+			trainer.Close()
+			fail(exitInternal, err)
+		}
+	}
+	if *loadFrom != "" {
+		f, err := os.Open(*loadFrom)
+		if err != nil {
+			trainer.Close()
+			fail(exitUsage, err)
+		}
+		err = trainer.LoadCheckpoint(f)
+		f.Close()
+		if err != nil {
+			trainer.Close()
+			fail(exitUsage, fmt.Errorf("lpsgd-worker: load checkpoint: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "lpsgd-worker: rank %d warm-started from %s\n", sess.Rank(), *loadFrom)
 	}
 
 	h, err := trainer.Run(train, test)

@@ -302,6 +302,65 @@ func TestReduceBroadcastDeterministic(t *testing.T) {
 	}
 }
 
+// TestReduceBroadcastStepKeyedStreams is the contract elastic sessions
+// rest on: after BeginStep(s), a quantised exchange's result depends
+// only on (seed, inputs, s) — not on how many exchanges the reducer ran
+// before, and not on a half-finished exchange that was abandoned
+// mid-step. A replacement process reconstructing a dead rank's streams,
+// and a survivor re-running an aborted step, both reduce to this
+// property.
+func TestReduceBroadcastStepKeyedStreams(t *testing.T) {
+	const k, n, seed = 3, 1024, 11
+	specs := []TensorSpec{{Name: "g", N: n, Wire: quant.Shape{Rows: 32, Cols: 32},
+		Codec: quant.NewQSGD(4, 128, quant.MaxNorm)}}
+	inputs := randInputs(rng.New(99), k, []int{n})
+
+	exchangeAtStep := func(rb *ReduceBroadcast, step int64) []float32 {
+		rb.BeginStep(step)
+		return runExchange(t, rb, inputs)[0][0]
+	}
+
+	// Reference: a fresh reducer running step 5 directly.
+	fresh := NewReduceBroadcast(NewFabric(k), specs, seed)
+	want := exchangeAtStep(fresh, 5)
+
+	// A reducer with a different draw history (steps 1..3 with different
+	// data) must produce the same step-5 result.
+	warm := NewReduceBroadcast(NewFabric(k), specs, seed)
+	other := randInputs(rng.New(123), k, []int{n})
+	for s := int64(1); s <= 3; s++ {
+		warm.BeginStep(s)
+		runExchange(t, warm, other)
+	}
+	if got := exchangeAtStep(warm, 5); !equalF32(got, want) {
+		t.Fatal("step-keyed streams depend on prior exchange history")
+	}
+
+	// A half-consumed step rewinds: run step 5, then re-enter it.
+	rerun := NewReduceBroadcast(NewFabric(k), specs, seed)
+	exchangeAtStep(rerun, 5)
+	if got := exchangeAtStep(rerun, 5); !equalF32(got, want) {
+		t.Fatal("re-entering a step does not rewind the streams")
+	}
+
+	// Distinct steps use distinct streams (the reseed is not a no-op).
+	if got := exchangeAtStep(fresh, 6); equalF32(got, want) {
+		t.Fatal("steps 5 and 6 drew identical streams — step keying is inert")
+	}
+}
+
+func equalF32(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func TestRingMatchesOracle(t *testing.T) {
 	r := rng.New(6)
 	for _, k := range []int{1, 2, 3, 4, 5, 8, 16} {

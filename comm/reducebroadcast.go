@@ -65,6 +65,7 @@ func splitStripes(n, group, k int) []stripe {
 type ReduceBroadcast struct {
 	fabric  Transport
 	framed  bool
+	seed    uint64
 	specs   []TensorSpec
 	stripes [][]stripe
 	workers []*rbWorker
@@ -105,6 +106,7 @@ func NewReduceBroadcastLocal(f Transport, specs []TensorSpec, seed uint64, ranks
 	rb := &ReduceBroadcast{
 		fabric:  f,
 		framed:  f.Framed(),
+		seed:    seed,
 		specs:   specs,
 		stripes: make([][]stripe, len(specs)),
 		workers: make([]*rbWorker, k),
@@ -161,6 +163,47 @@ func mixSeed(parts ...uint64) uint64 {
 
 // Name implements Reducer.
 func (rb *ReduceBroadcast) Name() string { return "mpi-rb" }
+
+// aggStripe is the stripe coordinate reserved for a worker's aggregate
+// re-encoder in seed derivation — outside any real stripe index, so the
+// aggregate stream never collides with a gather stream.
+const aggStripe = 1 << 32
+
+// BeginStep implements StepKeyed: it repositions every local stochastic
+// encoder stream (quant.Reseeder — QSGD's stochastic rounding) to the
+// seed derived from (experiment seed, rank, tensor, stripe, step).
+//
+// An elastic trainer calls it at the top of every synchronous step,
+// which makes the random draws of step s a pure function of the step's
+// coordinates instead of the cumulative draw history (non-elastic runs
+// keep the paper's original cumulative streams). That property is
+// what elastic sessions (repro/elastic) lean on: a replacement rank can
+// reconstruct exactly the stream the dead rank would have used, and a
+// survivor whose aborted half-step consumed draws mid-exchange rewinds
+// simply by re-entering the step. Error-feedback state (1bitSGD, top-k
+// residuals) is data-dependent and not covered — see the elastic
+// package notes on exact-resume guarantees.
+//
+// Encoded byte volumes do not depend on the draw values, so step-keyed
+// streams leave WireBytesPerExchange — and the performance model's TCP
+// byte parity — untouched.
+func (rb *ReduceBroadcast) BeginStep(step int64) {
+	for w, ws := range rb.workers {
+		if ws == nil {
+			continue
+		}
+		for t := range rb.specs {
+			for o, enc := range ws.stripeEnc[t] {
+				if r, ok := enc.(quant.Reseeder); ok {
+					r.Reseed(mixSeed(rb.seed, uint64(w), uint64(t), uint64(o), uint64(step)))
+				}
+			}
+			if r, ok := ws.aggEnc[t].(quant.Reseeder); ok {
+				r.Reseed(mixSeed(rb.seed, uint64(w), uint64(t), aggStripe, uint64(step)))
+			}
+		}
+	}
+}
 
 // WireBytesPerExchange returns the bytes one full gradient exchange puts
 // on the fabric: for every tensor, each of the K peers sends K−1 encoded

@@ -24,7 +24,16 @@
 // dies mid-epoch, and straggler telemetry piggybacked on the
 // heartbeats — tuned via lpsgd.WithHeartbeat/WithStepDeadline and
 // surfaced through Trainer.StepStats and lpsgd-worker's documented
-// exit codes), and nn/tensor/data/rng (the deep-learning substrate). The experiment machinery stays under
+// exit codes), elastic (elastic sessions on top of the health plane:
+// a versioned session-state snapshot — weights, optimiser momentum,
+// step and data cursors — and the rendezvous ProtocolVersion 4 rejoin
+// protocol, through which a replacement process takes a dead rank's
+// slot mid-run via donor state transfer and training resumes with
+// digests bit-identical to an uninterrupted run under residual-free
+// policies; enabled by lpsgd.WithElastic and lpsgd-worker -rejoin,
+// with Trainer.SaveState/LoadState exposing the same snapshot for
+// planned, exact resumption), and nn/tensor/data/rng (the
+// deep-learning substrate). The experiment machinery stays under
 // internal/: workload/simulate (the calibrated performance model of
 // the paper's machines, framing overhead included) and harness (one
 // runner per table and figure). See README.md for a quickstart and a

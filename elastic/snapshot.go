@@ -1,0 +1,222 @@
+package elastic
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// This file defines the session-state snapshot wire format: the one
+// message a donor rank streams to every rank that must catch up during
+// a rejoin round. Little-endian, magic-tagged and versioned, in the
+// same spirit as the quant frame and rendezvous formats:
+//
+//	snapshot:
+//	  uint32  magic "LPSE"
+//	  uint8   format version (currently 1)
+//	  uint64  experiment seed
+//	  uint32  world size
+//	  uint8   policy length, then the canonical policy string
+//	  uint64  completed synchronous steps
+//	  uint32  cursor epoch
+//	  uint32  last completed batch index within the epoch, offset by
+//	          one (0 = none yet, i.e. Batch -1)
+//	  uint64  shuffle RNG state at the start of the cursor epoch
+//	  float32 momentum, float32 weight decay
+//	  uint32  model checkpoint length, then the nn.Network.Save bytes
+//	  uint32  velocity tensor count, then per tensor uint32 element
+//	          count + elements as float32 bits
+//
+// The model weights travel as an embedded nn checkpoint — the same
+// bytes Trainer.SaveCheckpoint writes — so the restoring side gets the
+// decoder's full name/shape validation for free. Velocity tensors are
+// positional (the optimiser's parameter order), validated against the
+// restored network by the installer.
+type Snapshot struct {
+	// Seed is the experiment seed the session trains under. A snapshot
+	// restores only into a trainer configured with the same seed: the
+	// seed keys the data order and every stochastic stream.
+	Seed uint64
+	// World is the session's world size.
+	World int
+	// Policy is the canonical spelling of the session's negotiated
+	// precision policy.
+	Policy string
+	// Step counts the synchronous steps fully applied to this state.
+	Step int64
+	// Epoch and Batch are the data-shard cursor: Batch is the index of
+	// the last completed batch within Epoch (-1 before the first), in
+	// the epoch's full batch list including any short tail.
+	Epoch int
+	Batch int
+	// ShuffleState is the shared shuffle RNG's state at the start of
+	// Epoch — replaying the epoch's permutation from it reproduces the
+	// exact batch order the cursor indexes into.
+	ShuffleState uint64
+	// Momentum and WeightDecay are the optimiser hyperparameters the
+	// state was produced under; installers reject a mismatch rather
+	// than silently blending two training regimes.
+	Momentum    float32
+	WeightDecay float32
+	// Params is the model checkpoint (nn.Network.Save format).
+	Params []byte
+	// Velocity is the optimiser's momentum buffer per parameter, in
+	// parameter order.
+	Velocity [][]float32
+}
+
+const (
+	// snapshotMagic tags snapshot messages ("LPSE").
+	snapshotMagic uint32 = 'L' | 'P'<<8 | 'S'<<16 | 'E'<<24
+
+	// SnapshotVersion is the snapshot format version this build writes.
+	SnapshotVersion = 1
+
+	// maxSnapshotParams bounds the embedded model checkpoint (256 MiB)
+	// so a corrupted length field cannot make the reader allocate
+	// unbounded memory.
+	maxSnapshotParams = 256 << 20
+	// maxSnapshotTensors and maxSnapshotElems bound the velocity
+	// section the same way.
+	maxSnapshotTensors = 1 << 16
+	maxSnapshotElems   = 64 << 20
+)
+
+// EncodeTo writes the snapshot as one self-describing message.
+func (s *Snapshot) EncodeTo(w io.Writer) error {
+	if len(s.Policy) > 255 {
+		return fmt.Errorf("elastic: policy %q exceeds the 255-byte wire limit", s.Policy)
+	}
+	if len(s.Params) > maxSnapshotParams {
+		return fmt.Errorf("elastic: model checkpoint of %d bytes exceeds cap %d", len(s.Params), maxSnapshotParams)
+	}
+	if len(s.Velocity) > maxSnapshotTensors {
+		return fmt.Errorf("elastic: %d velocity tensors exceed cap %d", len(s.Velocity), maxSnapshotTensors)
+	}
+	if s.Batch < -1 {
+		return fmt.Errorf("elastic: batch cursor %d below -1", s.Batch)
+	}
+	buf := binary.LittleEndian.AppendUint32(nil, snapshotMagic)
+	buf = append(buf, SnapshotVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, s.Seed)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.World))
+	buf = append(buf, byte(len(s.Policy)))
+	buf = append(buf, s.Policy...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.Step))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.Epoch))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.Batch+1))
+	buf = binary.LittleEndian.AppendUint64(buf, s.ShuffleState)
+	buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(s.Momentum))
+	buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(s.WeightDecay))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Params)))
+	buf = append(buf, s.Params...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Velocity)))
+	for _, v := range s.Velocity {
+		if len(v) > maxSnapshotElems {
+			return fmt.Errorf("elastic: velocity tensor of %d elements exceeds cap %d", len(v), maxSnapshotElems)
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v)))
+		for _, x := range v {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(x))
+		}
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadSnapshot decodes one snapshot message from r. It validates magic,
+// version and every length field against hard caps before allocating,
+// so arbitrary or truncated bytes yield an error — never a panic or an
+// attacker-sized allocation.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("elastic: snapshot header: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[0:]); got != snapshotMagic {
+		return nil, fmt.Errorf("elastic: bad snapshot magic %#x", got)
+	}
+	if v := hdr[4]; v != SnapshotVersion {
+		return nil, fmt.Errorf("elastic: snapshot format version %d, this build speaks %d", v, SnapshotVersion)
+	}
+	var s Snapshot
+	var fixed [13]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return nil, fmt.Errorf("elastic: snapshot identity: %w", err)
+	}
+	s.Seed = binary.LittleEndian.Uint64(fixed[0:])
+	s.World = int(binary.LittleEndian.Uint32(fixed[8:]))
+	policy := make([]byte, fixed[12])
+	if _, err := io.ReadFull(r, policy); err != nil {
+		return nil, fmt.Errorf("elastic: snapshot policy: %w", err)
+	}
+	s.Policy = string(policy)
+	var cur [28]byte
+	if _, err := io.ReadFull(r, cur[:]); err != nil {
+		return nil, fmt.Errorf("elastic: snapshot cursor: %w", err)
+	}
+	s.Step = int64(binary.LittleEndian.Uint64(cur[0:]))
+	s.Epoch = int(binary.LittleEndian.Uint32(cur[8:]))
+	s.Batch = int(binary.LittleEndian.Uint32(cur[12:])) - 1
+	s.ShuffleState = binary.LittleEndian.Uint64(cur[16:])
+	s.Momentum = math.Float32frombits(binary.LittleEndian.Uint32(cur[24:]))
+	var tail [8]byte
+	if _, err := io.ReadFull(r, tail[:8]); err != nil {
+		return nil, fmt.Errorf("elastic: snapshot hyperparameters: %w", err)
+	}
+	s.WeightDecay = math.Float32frombits(binary.LittleEndian.Uint32(tail[0:]))
+	paramsLen := int(binary.LittleEndian.Uint32(tail[4:]))
+	if paramsLen > maxSnapshotParams {
+		return nil, fmt.Errorf("elastic: snapshot announces a %d-byte model checkpoint, cap is %d", paramsLen, maxSnapshotParams)
+	}
+	params, err := readChunked(r, paramsLen, "model checkpoint")
+	if err != nil {
+		return nil, err
+	}
+	s.Params = params
+	var cnt [4]byte
+	if _, err := io.ReadFull(r, cnt[:]); err != nil {
+		return nil, fmt.Errorf("elastic: snapshot velocity count: %w", err)
+	}
+	tensors := int(binary.LittleEndian.Uint32(cnt[:]))
+	if tensors > maxSnapshotTensors {
+		return nil, fmt.Errorf("elastic: snapshot announces %d velocity tensors, cap is %d", tensors, maxSnapshotTensors)
+	}
+	for i := 0; i < tensors; i++ {
+		if _, err := io.ReadFull(r, cnt[:]); err != nil {
+			return nil, fmt.Errorf("elastic: velocity tensor %d length: %w", i, err)
+		}
+		n := int(binary.LittleEndian.Uint32(cnt[:]))
+		if n > maxSnapshotElems {
+			return nil, fmt.Errorf("elastic: velocity tensor %d announces %d elements, cap is %d", i, n, maxSnapshotElems)
+		}
+		raw, err := readChunked(r, 4*n, fmt.Sprintf("velocity tensor %d", i))
+		if err != nil {
+			return nil, err
+		}
+		v := make([]float32, n)
+		for j := range v {
+			v[j] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*j:]))
+		}
+		s.Velocity = append(s.Velocity, v)
+	}
+	return &s, nil
+}
+
+// readChunked reads exactly n announced bytes, growing the buffer in
+// bounded chunks so a corrupted length field fails on the (truncated)
+// stream instead of allocating the announced size up front.
+func readChunked(r io.Reader, n int, what string) ([]byte, error) {
+	const chunk = 1 << 20
+	buf := make([]byte, 0, min(n, chunk))
+	for len(buf) < n {
+		m := min(n-len(buf), chunk)
+		start := len(buf)
+		buf = append(buf, make([]byte, m)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, fmt.Errorf("elastic: snapshot %s: %w", what, err)
+		}
+	}
+	return buf, nil
+}

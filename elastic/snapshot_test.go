@@ -1,0 +1,159 @@
+package elastic
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleSnapshot() *Snapshot {
+	return &Snapshot{
+		Seed:         17,
+		World:        3,
+		Policy:       "qsgd4b512;*.b=32bit",
+		Step:         421,
+		Epoch:        6,
+		Batch:        2,
+		ShuffleState: 0xdeadbeefcafef00d,
+		Momentum:     0.9,
+		WeightDecay:  0.0005,
+		Params:       []byte("LPSGD\x00\x00\x01fake-checkpoint-bytes"),
+		Velocity:     [][]float32{{1, -2, 3.5}, {}, {0.25}},
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	in := sampleSnapshot()
+	var buf bytes.Buffer
+	if err := in.EncodeTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d trailing bytes after decode", buf.Len())
+	}
+}
+
+func TestSnapshotRoundTripEdgeCursor(t *testing.T) {
+	// Batch -1 (no batch completed yet in the epoch) must survive the
+	// offset-by-one wire encoding.
+	in := sampleSnapshot()
+	in.Batch = -1
+	in.Velocity = nil
+	var buf bytes.Buffer
+	if err := in.EncodeTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Batch != -1 {
+		t.Fatalf("batch cursor %d, want -1", out.Batch)
+	}
+}
+
+func TestSnapshotEncodeRejectsOversize(t *testing.T) {
+	s := sampleSnapshot()
+	s.Policy = strings.Repeat("x", 256)
+	if err := s.EncodeTo(&bytes.Buffer{}); err == nil {
+		t.Fatal("overlong policy must not encode")
+	}
+	s = sampleSnapshot()
+	s.Batch = -2
+	if err := s.EncodeTo(&bytes.Buffer{}); err == nil {
+		t.Fatal("batch below -1 must not encode")
+	}
+}
+
+func TestSnapshotReadRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("XXXXY"),
+		"truncated": {byte('L'), byte('P'), byte('S'), byte('E'), 1, 7},
+	}
+	// A wrong version must be named, not guessed at.
+	bad := []byte{byte('L'), byte('P'), byte('S'), byte('E'), 99}
+	cases["future version"] = bad
+	for name, wire := range cases {
+		if _, err := ReadSnapshot(bytes.NewReader(wire)); err == nil {
+			t.Errorf("%s: decoded successfully, want an error", name)
+		}
+	}
+}
+
+// TestSnapshotReadBoundsAllocations: a snapshot announcing a huge
+// model checkpoint over a tiny stream must fail on the stream, fast,
+// without allocating the announced size.
+func TestSnapshotReadBoundsAllocations(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleSnapshot().EncodeTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.Bytes()
+	// The params length field sits right before the params payload;
+	// corrupt it to the cap (within bounds, but far beyond the stream).
+	idx := bytes.Index(wire, []byte("LPSGD"))
+	binary.LittleEndian.PutUint32(wire[idx-4:], maxSnapshotParams)
+	done := make(chan error, 1)
+	go func() {
+		_, err := ReadSnapshot(bytes.NewReader(wire))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("truncated oversize snapshot decoded successfully")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("oversize length field wedged the reader")
+	}
+}
+
+// FuzzReadSnapshot mirrors quant's decoder fuzzing: arbitrary bytes
+// must produce an error or a snapshot — never a panic, an index error
+// or an attacker-sized allocation.
+func FuzzReadSnapshot(f *testing.F) {
+	var buf bytes.Buffer
+	if err := sampleSnapshot().EncodeTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("LPSE"))
+	f.Add(append([]byte{byte('L'), byte('P'), byte('S'), byte('E'), 1}, make([]byte, 64)...))
+	f.Fuzz(func(t *testing.T, wire []byte) {
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("ReadSnapshot panicked: %v", p)
+			}
+		}()
+		s, err := ReadSnapshot(bytes.NewReader(wire))
+		if err == nil && s == nil {
+			t.Fatal("nil snapshot without an error")
+		}
+	})
+}
+
+func TestConfigResolved(t *testing.T) {
+	r := Config{Enable: true}.Resolved()
+	if r.RejoinWindow != DefaultRejoinWindow || r.MaxRejoins != DefaultMaxRejoins {
+		t.Fatalf("defaults not filled: %+v", r)
+	}
+	r = Config{Enable: true, RejoinWindow: 1500 * time.Microsecond, MaxRejoins: -1}.Resolved()
+	if r.RejoinWindow != 2*time.Millisecond || r.MaxRejoins != -1 {
+		t.Fatalf("rounding/cap wrong: %+v", r)
+	}
+	if d := (Config{}).Resolved(); d.Enable || d.RejoinWindow != 0 {
+		t.Fatalf("disabled config grew settings: %+v", d)
+	}
+}

@@ -13,6 +13,14 @@
 // size — the replicas start bit-identical and the synchronous exchange
 // keeps them that way, which each rank verifies at the end by printing
 // the same final accuracy.
+//
+// The session here is elastic (WithElastic): if one rank dies mid-run,
+// the survivors hold a rejoin barrier open instead of aborting, and a
+// replacement launched with -rejoin takes the dead rank's slot,
+// receives the training state from a surviving donor, and the run
+// completes as if nothing happened:
+//
+//	go run ./examples/clustertrain -rank 1 -rejoin
 package main
 
 import (
@@ -22,21 +30,51 @@ import (
 	"log"
 	"time"
 
+	"repro/cluster"
+	"repro/elastic"
 	"repro/health"
 	"repro/lpsgd"
 )
 
 func main() {
 	var (
-		addr  = flag.String("addr", "127.0.0.1:7071", "coordinator rendezvous address")
-		rank  = flag.Int("rank", 0, "this process's rank")
-		world = flag.Int("world", 3, "total number of processes")
+		addr   = flag.String("addr", "127.0.0.1:7071", "coordinator rendezvous address")
+		rank   = flag.Int("rank", 0, "this process's rank")
+		world  = flag.Int("world", 3, "total number of processes")
+		rejoin = flag.Bool("rejoin", false, "replace a dead rank of the running session")
 	)
 	flag.Parse()
 
 	train, test := lpsgd.SyntheticImages(10, 512, 256, 3)
+
+	// A replacement re-enters through the rejoin barrier instead of the
+	// fresh rendezvous, and restores the donor's snapshot before Run —
+	// the facade path is the same from there on.
+	var membership lpsgd.Option
+	var restore *elastic.Snapshot
+	if *rejoin {
+		sess, snap, err := cluster.Rejoin(cluster.Config{
+			Addr: *addr, Rank: *rank, World: *world,
+			Accept:  []string{"qsgd4b512;*.b=32bit", "qsgd4b512", "qsgd8b512", "1bit*64"},
+			Health:  health.Config{Interval: 250 * time.Millisecond, Timeout: 2 * time.Second},
+			Timeout: 60 * time.Second,
+		})
+		if err != nil {
+			log.Fatalf("rejoin: %v", err)
+		}
+		log.Printf("rank %d rejoined at generation %d, resuming from step %d",
+			sess.Rank(), sess.Generation(), snap.Step)
+		membership, restore = lpsgd.WithClusterSession(sess), snap
+	} else {
+		membership = lpsgd.WithCluster(*addr, *rank, *world)
+	}
+
 	trainer, err := lpsgd.NewTrainer(lpsgd.MLP(64, 48, 10),
-		lpsgd.WithCluster(*addr, *rank, *world),
+		membership,
+		// Elastic session: a death verdict opens a one-minute rejoin
+		// barrier (coordinator-governed) instead of killing the run;
+		// this process tolerates up to 2 repairs.
+		lpsgd.WithElastic(2, time.Minute),
 		// Advertise a preference ladder of precision policies — a mixed
 		// per-layer scheme first, then plain codecs; the session settles
 		// on the cheapest one every rank accepts, floored at "32bit".
@@ -58,6 +96,11 @@ func main() {
 		log.Fatal(err)
 	}
 	defer trainer.Close()
+	if restore != nil {
+		if err := trainer.Restore(restore); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	policy := trainer.Policy().Name()
 	fmt.Printf("rank %d/%d training with negotiated policy %s\n",
@@ -66,9 +109,10 @@ func main() {
 	h, err := trainer.Run(train, test)
 	var dead health.ErrPeerDead
 	if errors.As(err, &dead) {
-		// A peer died mid-run: every surviving rank lands here with the
-		// same verdict, within ~2x the heartbeat timeout of the death.
-		log.Fatalf("rank %d/%d aborted: rank %d died (last heard %s ago); restart the cluster",
+		// With elasticity on, landing here means the repair failed too:
+		// the rejoin window closed without a replacement (or the budget
+		// is spent). Every surviving rank gets the same verdict.
+		log.Fatalf("rank %d/%d aborted: rank %d died (last heard %s ago) and no replacement arrived; restart the cluster",
 			trainer.Rank(), trainer.World(), dead.Rank,
 			time.Since(dead.LastSeen).Round(time.Millisecond))
 	}

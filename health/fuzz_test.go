@@ -1,0 +1,61 @@
+package health
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzReadMessage mirrors quant's FuzzDecodeAny pattern for the
+// control-plane wire decoder: whatever bytes arrive on a control link —
+// a corrupted peer, a stray connection, a truncated stream — the
+// decoder must return an error or a message, never panic, index out of
+// range, or allocate from an attacker-controlled length (all control
+// bodies are fixed-size, and the fuzzer holds it to that).
+func FuzzReadMessage(f *testing.F) {
+	// Every real message kind seeds the corpus.
+	f.Add(encodePing(nil, 2, 41, StepReport{Step: 7, Compute: time.Millisecond, Exchange: 2 * time.Millisecond}))
+	f.Add(encodeAbort(nil, 0, 3, time.Now().UnixNano()))
+	f.Add(encodeBye(nil, 1))
+	f.Add([]byte{})
+	f.Add([]byte("LPSH"))
+	f.Add([]byte{byte('L'), byte('P'), byte('S'), byte('H'), 1, 99})
+	f.Add(append(encodeBye(nil, 1), encodePing(nil, 0, 1, StepReport{})...))
+	f.Fuzz(func(t *testing.T, wire []byte) {
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("readMessage panicked: %v", p)
+			}
+		}()
+		r := bytes.NewReader(wire)
+		for {
+			m, err := readMessage(r)
+			if err != nil {
+				return // rejected or exhausted inputs only need to not panic
+			}
+			if m.Kind != kindPing && m.Kind != kindAbort && m.Kind != kindBye {
+				t.Fatalf("decoder accepted unknown kind %d", m.Kind)
+			}
+		}
+	})
+}
+
+// TestReadMessageRoundTrip pins the encode/decode pair for every kind.
+func TestReadMessageRoundTrip(t *testing.T) {
+	rep := StepReport{Step: 9, Compute: 3 * time.Millisecond, Exchange: time.Millisecond}
+	ping := encodePing(nil, 2, 17, rep)
+	m, err := readMessage(bytes.NewReader(ping))
+	if err != nil || m.Kind != kindPing || m.From != 2 || m.Seq != 17 || m.Report != rep || !m.HasSteps {
+		t.Fatalf("ping round trip: %+v, %v", m, err)
+	}
+	abort := encodeAbort(nil, 1, 3, 12345)
+	m, err = readMessage(bytes.NewReader(abort))
+	if err != nil || m.Kind != kindAbort || m.From != 1 || m.Dead != 3 || m.LastSeenNano != 12345 {
+		t.Fatalf("abort round trip: %+v, %v", m, err)
+	}
+	bye := encodeBye(nil, 4)
+	m, err = readMessage(bytes.NewReader(bye))
+	if err != nil || m.Kind != kindBye || m.From != 4 {
+		t.Fatalf("bye round trip: %+v, %v", m, err)
+	}
+}

@@ -165,6 +165,12 @@ type Monitor struct {
 	wg    sync.WaitGroup
 	seq   atomic.Uint64
 	bytes atomic.Int64
+	// bcast tracks in-flight abort-broadcast writes so Close can wait
+	// for them (bounded by the write deadline) before cutting the
+	// links: an elastic survivor closes its monitor moments after the
+	// verdict, and a broadcast raced away by the teardown would leave
+	// a slower peer to misread this rank's EOF as a second death.
+	bcast sync.WaitGroup
 }
 
 // NewMonitor wraps the per-peer control connections of one rank into a
@@ -453,20 +459,37 @@ func (m *Monitor) settle(rank int, lastSeen time.Time, broadcast bool) {
 	m.verdict = verdict
 	handlers := m.handlers
 	m.handlers = nil
-	departed := append([]bool(nil), m.departed...)
+	var targets []*link
+	if broadcast {
+		for p, l := range m.links {
+			if l == nil || p == rank || m.departed[p] {
+				continue
+			}
+			targets = append(targets, l)
+		}
+		// The Add happens under the same lock that guards closing, so a
+		// concurrent Close either sees closing set here first (and this
+		// settle returns early above) or reaches its bcast.Wait only
+		// after the counter covers every pending write — never an Add
+		// racing a Wait.
+		m.bcast.Add(len(targets))
+	}
 	m.mu.Unlock()
 
 	if broadcast {
-		// Concurrent, fire-and-forget: a wedged control link must not
-		// delay the local abort (or the broadcast to healthy peers) by
-		// its write deadline. Writes race Close closing the conns at
-		// worst, which surfaces as a failed write on a torn-down link.
+		// Concurrent: a wedged control link must not delay the local
+		// abort (or the broadcast to healthy peers) by its write
+		// deadline. The writes are tracked, not fire-and-forget — Close
+		// waits for them before cutting the links, so a survivor that
+		// tears its plane down immediately after the verdict (the
+		// elastic rejoin path) cannot cut off the broadcast that tells
+		// slower peers who actually died.
 		buf := encodeAbort(nil, m.local, rank, lastSeen.UnixNano())
-		for p, l := range m.links {
-			if l == nil || p == rank || departed[p] {
-				continue
-			}
-			go m.write(l, buf)
+		for _, l := range targets {
+			go func(l *link) {
+				defer m.bcast.Done()
+				m.write(l, buf)
+			}(l)
 		}
 	}
 	// Handlers run before Dead() closes, so a waiter woken by the
@@ -477,10 +500,45 @@ func (m *Monitor) settle(rank int, lastSeen time.Time, broadcast bool) {
 	close(m.dead)
 }
 
+// Kill severs the control links abruptly — no parting bye — so every
+// peer's monitor observes exactly what a SIGKILLed process would
+// produce: sockets dropping mid-stream, followed by a death verdict.
+// It exists for in-process fault-injection (the elastic-rejoin tests
+// simulate a rank death without forking an OS process); production
+// shutdown paths should use Close, whose bye distinguishes departure
+// from death.
+func (m *Monitor) Kill() {
+	m.mu.Lock()
+	if m.closing {
+		m.mu.Unlock()
+		return
+	}
+	m.closing = true
+	m.mu.Unlock()
+	close(m.stop)
+	for _, l := range m.links {
+		if l != nil {
+			l.conn.Close()
+		}
+	}
+	m.wg.Wait()
+}
+
 // Close shuts the health plane down cleanly: a bye is sent to every
 // peer (so their monitors mark this rank departed instead of dead),
 // the control links are closed, and the loops are joined. Close is
 // idempotent and never declares a verdict of its own.
+//
+// The bye goes out even when this monitor already holds a death
+// verdict: in an elastic session the survivors tear their planes down
+// to rebuild them at the rejoin barrier, and a survivor's sockets
+// vanishing without a bye would read as a second death on any peer
+// that has not reached its own verdict yet — making it blame a live
+// rank and poisoning the repair. With byes unconditional, the only
+// EOF-without-bye a monitor can observe belongs to a process that
+// actually died (which is also why Kill, the crash injector, is the
+// one path that skips them). Writes to already-dead links fail fast
+// and are ignored; wedged ones are bounded by the write deadline.
 func (m *Monitor) Close() error {
 	m.mu.Lock()
 	if m.closing {
@@ -491,7 +549,11 @@ func (m *Monitor) Close() error {
 	started := m.started
 	m.mu.Unlock()
 	close(m.stop)
-	if started && m.Verdict() == nil {
+	// An abort broadcast may still be in flight; it must reach the
+	// survivors before this rank's sockets vanish (bounded by the
+	// write deadline).
+	m.bcast.Wait()
+	if started {
 		// Byes go out concurrently, like the abort broadcast: one wedged
 		// control link must bound Close by a single write deadline, not
 		// world-1 of them.

@@ -132,6 +132,71 @@ func TestMonitorDetectsKilledPeer(t *testing.T) {
 	waitGoroutines(t, before)
 }
 
+// TestMonitorKillLooksLikeDeath: Kill severs the control links with no
+// parting bye, so peers reach a death verdict — the fault-injection
+// hook the elastic-rejoin tests simulate a SIGKILL with — while the
+// killed monitor itself shuts down without declaring anyone dead.
+func TestMonitorKillLooksLikeDeath(t *testing.T) {
+	before := runtime.NumGoroutine()
+	conns := controlMesh(t, 3)
+	ms := startMonitors(t, conns, Config{Interval: 25 * time.Millisecond, Timeout: 300 * time.Millisecond})
+
+	ms[2].Kill()
+	for r := 0; r < 2; r++ {
+		if dead := waitVerdict(t, ms[r], 2*time.Second); dead.Rank != 2 {
+			t.Fatalf("rank %d blamed rank %d, want 2", r, dead.Rank)
+		}
+	}
+	if ms[2].Verdict() != nil {
+		t.Fatalf("the killed monitor declared a verdict of its own: %v", ms[2].Verdict())
+	}
+	ms[2].Kill() // idempotent
+	for _, m := range ms {
+		m.Close()
+	}
+	waitGoroutines(t, before)
+}
+
+// TestMonitorFastCloseAfterVerdictDoesNotMisleadPeers pins the elastic
+// quiesce race: rank 1 detects rank 2's death (its link EOFs), reaches
+// a verdict, and immediately Closes its monitor to rebuild it at the
+// rejoin barrier — while rank 0 knows nothing yet (its own link to
+// rank 2 is merely silent). Rank 0 must end up blaming rank 2, never
+// rank 1: the abort broadcast must win the race against rank 1's
+// teardown (Close waits for in-flight broadcast writes), because a
+// wrong verdict here makes the coordinator reject the replacement and
+// poisons the whole repair.
+func TestMonitorFastCloseAfterVerdictDoesNotMisleadPeers(t *testing.T) {
+	conns := controlMesh(t, 3)
+	// Monitors for ranks 0 and 1 only; rank 2 is a silent husk whose
+	// connection ends the test holds.
+	m0, err := NewMonitor(0, 3, conns[0], Config{Interval: 25 * time.Millisecond, Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := NewMonitor(1, 3, conns[1], Config{Interval: 25 * time.Millisecond, Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0.Start()
+	m1.Start()
+	defer m0.Close()
+
+	// Rank 2 "dies" from rank 1's perspective only: rank 1 EOFs and
+	// declares, while rank 0's link to rank 2 stays silently open (its
+	// own deadline is 2s away). Rank 1 then tears down immediately —
+	// the elastic rejoin path.
+	conns[2][1].Close()
+	if dead := waitVerdict(t, m1, 2*time.Second); dead.Rank != 2 {
+		t.Fatalf("rank 1 blamed rank %d, want 2", dead.Rank)
+	}
+	m1.Close()
+
+	if dead := waitVerdict(t, m0, 2*time.Second); dead.Rank != 2 {
+		t.Fatalf("rank 0 blamed rank %d, want 2 — rank 1's teardown outran its abort broadcast", dead.Rank)
+	}
+}
+
 // TestMonitorSilenceDeadline: a peer whose process is wedged (sockets
 // open, no heartbeats) is declared dead by the deadline detector within
 // 2x the configured timeout, and not immediately.

@@ -30,6 +30,24 @@ func TestHealthOptionValidation(t *testing.T) {
 	}
 }
 
+// TestElasticOptionValidation: a negative rejoin window is rejected at
+// NewTrainer, and a bare WithElastic outside cluster mode is inert —
+// exactly like the other cluster-shaped options.
+func TestElasticOptionValidation(t *testing.T) {
+	model := lpsgd.MLP(64, 8, 4)
+	if _, err := lpsgd.NewTrainer(model, lpsgd.WithElastic(1, -time.Second)); err == nil {
+		t.Error("NewTrainer accepted a negative rejoin window")
+	}
+	trainer, err := lpsgd.NewTrainer(model,
+		lpsgd.WithElastic(2, 30*time.Second),
+		lpsgd.WithWorkers(2),
+	)
+	if err != nil {
+		t.Fatalf("bare WithElastic outside cluster mode: %v", err)
+	}
+	trainer.Close()
+}
+
 // TestWithStepDeadlineThroughFacade: the step deadline reaches the
 // engine and aborts a run through the public API.
 func TestWithStepDeadlineThroughFacade(t *testing.T) {

@@ -58,6 +58,7 @@ import (
 	"time"
 
 	"repro/cluster"
+	"repro/elastic"
 	"repro/health"
 	"repro/nn"
 	"repro/parallel"
@@ -140,6 +141,7 @@ type clusterJoin struct {
 	rank, world int
 	timeout     time.Duration
 	health      health.Config
+	elastic     elastic.Config
 	session     *cluster.Session
 }
 
@@ -360,6 +362,45 @@ func WithHeartbeat(interval, timeout time.Duration) Option {
 	}
 }
 
+// WithElastic turns a death verdict into a recoverable event: instead
+// of aborting the whole cluster when one rank dies, the survivors
+// quiesce at the next step barrier, the coordinator holds a rejoin
+// barrier open for rejoinWindow, a replacement process (lpsgd-worker
+// -rejoin, typically launched by a supervisor reacting to the death)
+// claims the dead rank's slot via rendezvous state transfer, and
+// training resumes — with digests bit-identical to an uninterrupted
+// run for residual-free precision policies (32bit, the QSGD family;
+// see repro/elastic for the exact-resume contract). maxRejoins caps
+// how many such repairs this process tolerates (0 means
+// elastic.DefaultMaxRejoins, negative means unlimited); a further
+// death, or a window that expires without a replacement, surfaces the
+// usual health.ErrPeerDead. A zero rejoinWindow means
+// elastic.DefaultRejoinWindow.
+//
+// Like WithHeartbeat, the coordinator governs the session: its window
+// rides in the rendezvous welcome and decides for every rank whether
+// elasticity is on (on other ranks the option only sets the local
+// rejoin budget). Elasticity requires the health plane — the failure
+// detector's verdict is the rejoin trigger — so combining WithElastic
+// with a disabled heartbeat is a construction error on the
+// coordinator. No effect outside cluster mode.
+func WithElastic(maxRejoins int, rejoinWindow time.Duration) Option {
+	return func(c *config) {
+		if rejoinWindow < 0 {
+			c.fail(fmt.Errorf("lpsgd: rejoin window must not be negative, got %v", rejoinWindow))
+			return
+		}
+		if c.cluster == nil {
+			c.cluster = &clusterJoin{}
+		}
+		c.cluster.elastic = elastic.Config{
+			Enable:       true,
+			RejoinWindow: rejoinWindow,
+			MaxRejoins:   maxRejoins,
+		}
+	}
+}
+
 // WithStepDeadline bounds the wall time of one synchronous step
 // (compute + gradient exchange); on expiry the trainer aborts the
 // fabric and Run returns a parallel.ErrStepDeadline. Where the
@@ -376,13 +417,15 @@ func WithStepDeadline(d time.Duration) Option {
 	}
 }
 
-// WithHealthHandler registers a callback invoked exactly once if the
-// health plane declares a peer dead — after the fabric has been
+// WithHealthHandler registers a callback invoked once per death
+// verdict the health plane reaches — after the fabric has been
 // aborted, so the callback may inspect state but the exchange is
-// already unblocking. Use it for operational side channels (alerting,
-// checkpoint-on-death); Run still returns the health.ErrPeerDead
-// verdict. No effect when the health plane is off or outside cluster
-// mode.
+// already unblocking. In an elastic session (WithElastic) that can
+// mean once per repaired death: the handler is re-registered on every
+// replacement monitor a rejoin round installs. Use it for operational
+// side channels (alerting, checkpoint-on-death); Run still returns
+// the health.ErrPeerDead verdict when a death goes unrepaired. No
+// effect when the health plane is off or outside cluster mode.
 func WithHealthHandler(fn func(error)) Option {
 	return func(c *config) {
 		if fn == nil {
@@ -528,24 +571,39 @@ func NewTrainer(model BuildFunc, opts ...Option) (*Trainer, error) {
 				Accept:  c.acceptedPolicies(),
 				Timeout: c.cluster.timeout,
 				Health:  c.cluster.health,
+				Elastic: c.cluster.elastic,
 			})
 			if err != nil {
 				return nil, err
 			}
 		}
 		// The rendezvous outcome drives the engine: negotiated policy,
-		// world size, this rank, the established mesh, and the health
-		// plane watching it (the trainer owns the monitor and closes it
-		// — bye first, then sockets — in Close).
+		// world size, this rank, the established mesh, the health plane
+		// watching it (the trainer owns the monitor and closes it — bye
+		// first, then sockets — in Close), and — when the coordinator
+		// enabled elasticity — the session itself as the trainer's
+		// rejoin controller.
 		c.cfg.Policy = sess.Policy()
 		c.cfg.Workers = sess.World()
 		c.cfg.Rank = sess.Rank()
 		c.cfg.Fabric = sess.Fabric()
 		c.cfg.Monitor = sess.Monitor()
 		c.cfg.UseTCP = false
-		if c.handler != nil && sess.Monitor() != nil {
-			sess.Monitor().OnVerdict(c.handler)
+		if sess.Elastic().Enable {
+			c.cfg.Elastic = sess
+			c.cfg.MaxRejoins = sess.Elastic().MaxRejoins
+			// WithElastic's budget wins over an adopted session's: the
+			// session learnt the coordinator's window from the welcome,
+			// but the budget is a per-process choice.
+			if c.cluster.elastic.MaxRejoins != 0 {
+				c.cfg.MaxRejoins = c.cluster.elastic.MaxRejoins
+			}
 		}
+		// The handler goes through the trainer, not straight onto the
+		// session's monitor: a rejoin round replaces the monitor, and
+		// the trainer re-registers the handler on each replacement so
+		// alerting keeps working across repairs.
+		c.cfg.HealthHandler = c.handler
 		t, err := parallel.NewTrainer(model, c.cfg)
 		if err != nil {
 			sess.Close()

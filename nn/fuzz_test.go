@@ -1,0 +1,38 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzNetworkLoad holds the checkpoint decoder to the same standard as
+// the quant wire decoders: arbitrary or truncated bytes must yield an
+// error, never a panic or an index error. The decoder's allocations
+// are bounded by construction — parameter count, names (≤4096) and
+// shapes are validated against the live network before any data buffer
+// is sized — so a hostile length field cannot make Load allocate
+// beyond the model it restores into; the fuzzer guards that property
+// by running with ordinary test memory limits.
+func FuzzNetworkLoad(f *testing.F) {
+	var valid bytes.Buffer
+	if err := checkpointNet(1).Save(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("LPSGD\x00\x00\x01"))
+	// Valid magic, implausible parameter count.
+	f.Add(append([]byte("LPSGD\x00\x00\x01"), 0xff, 0xff, 0xff, 0xff))
+	// Truncations of the valid checkpoint at awkward boundaries.
+	f.Add(valid.Bytes()[:len(valid.Bytes())/2])
+	f.Add(valid.Bytes()[:9])
+	f.Fuzz(func(t *testing.T, wire []byte) {
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("Load panicked: %v", p)
+			}
+		}()
+		net := checkpointNet(2)
+		_ = net.Load(bytes.NewReader(wire)) // error return is fine
+	})
+}

@@ -31,6 +31,19 @@ func NewSGD(params []*Param, lr, momentum float32) *SGD {
 // LR returns the current learning rate.
 func (s *SGD) LR() float32 { return s.lr }
 
+// Momentum returns the momentum coefficient μ.
+func (s *SGD) Momentum() float32 { return s.momentum }
+
+// WeightDecay returns the L2 regularisation coefficient λ.
+func (s *SGD) WeightDecay() float32 { return s.weightDecay }
+
+// Velocity returns the optimiser's momentum buffers, one per parameter
+// in parameter order. The matrices alias live optimiser state: resume
+// machinery (repro/elastic) reads them to checkpoint mid-run momentum
+// and writes them to restore it — a resumed run is only bit-identical
+// to an uninterrupted one if v travels with w.
+func (s *SGD) Velocity() []*tensor.Matrix { return s.velocity }
+
 // SetLR updates the learning rate (used by schedules between epochs).
 func (s *SGD) SetLR(lr float32) { s.lr = lr }
 

@@ -21,6 +21,7 @@
 package parallel
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -29,6 +30,7 @@ import (
 
 	"repro/comm"
 	"repro/data"
+	"repro/elastic"
 	"repro/health"
 	"repro/nn"
 	"repro/quant"
@@ -113,6 +115,28 @@ type Config struct {
 	// parting bye distinguishes this rank's clean shutdown from a death
 	// — in Close. Nil outside cluster mode.
 	Monitor *health.Monitor
+	// HealthHandler is invoked with the death verdict whenever the
+	// attached health plane declares a peer dead — once per verdict,
+	// which in an elastic session can mean once per repaired death.
+	// The trainer registers it on Monitor at construction and again on
+	// every replacement monitor a rejoin round installs, so the
+	// callback keeps firing across repairs (registering directly on
+	// the original monitor would go dark after the first one).
+	HealthHandler func(error)
+	// Elastic attaches the session's rejoin controller (typically the
+	// cluster.Session itself — see repro/elastic). When set, a
+	// health-plane death verdict becomes a recoverable event: instead
+	// of surfacing health.ErrPeerDead, the trainer quiesces at the step
+	// barrier its abort unwound to, asks the controller to repair the
+	// world (re-rendezvous, replacement admission, state transfer),
+	// swaps in the rebuilt fabric and monitor, and resumes training at
+	// the agreed step. Only meaningful in cluster mode (Fabric set);
+	// nil keeps PR 4's fatal-abort behaviour.
+	Elastic elastic.Rejoiner
+	// MaxRejoins caps how many rejoin rounds this trainer tolerates
+	// before a further death verdict is surfaced (0 means
+	// elastic.DefaultMaxRejoins; negative means unlimited).
+	MaxRejoins int
 	// StepDeadline bounds the wall time of one synchronous step
 	// (compute + exchange); 0 disables it. On expiry the trainer aborts
 	// the fabric and Run returns an ErrStepDeadline — the straggler
@@ -280,10 +304,35 @@ type Trainer struct {
 	monitor  *health.Monitor
 
 	// stepIdx counts completed synchronous steps; statsMu guards the
-	// latest straggler report.
+	// latest straggler report and the elastic cursor.
 	stepIdx   int64
 	statsMu   sync.Mutex
 	lastStats StepStats
+
+	// Elastic cursor (guarded by statsMu): where in the data schedule
+	// the last completed step happened. curEpoch is the running epoch,
+	// lastBatch the index of the last completed batch within it (-1
+	// before the first), epochShuffleState the shuffle RNG's state at
+	// the epoch's start — together they pin the exact resume position a
+	// snapshot carries.
+	curEpoch          int
+	lastBatch         int
+	epochShuffleState uint64
+	// restored is a pending resume cursor: a snapshot installed by
+	// Restore (a replacement before Run) or by a rejoin round (a
+	// survivor catching up), consumed by the training loop.
+	restored *elastic.Snapshot
+	// rejoins counts completed rejoin rounds against Config.MaxRejoins;
+	// wireBase accumulates the traffic of fabrics retired by those
+	// rounds so byte accounting stays cumulative across repairs.
+	rejoins  int
+	wireBase int64
+}
+
+// totalWireBytes returns the bytes this process's ranks have sent over
+// every fabric incarnation of the run.
+func (t *Trainer) totalWireBytes() int64 {
+	return t.wireBase + t.fabric.TotalBytes()
 }
 
 // NewTrainer builds the local replicas with identical initial weights
@@ -348,6 +397,28 @@ func NewTrainer(build func(r *rng.RNG) *nn.Network, cfg Config) (*Trainer, error
 			Codec: c,
 		})
 	}
+	if err := t.buildReducer(); err != nil {
+		t.Close()
+		return nil, err
+	}
+	if cfg.Elastic != nil && cfg.Fabric == nil {
+		t.Close()
+		return nil, fmt.Errorf("parallel: elastic sessions need cluster mode (Config.Fabric); a single-process trainer has no rank to lose")
+	}
+	if cfg.HealthHandler != nil && t.monitor != nil {
+		t.monitor.OnVerdict(cfg.HealthHandler)
+	}
+	t.lastBatch = -1
+	return t, nil
+}
+
+// buildReducer (re)builds the aggregation primitive over the current
+// fabric — at construction, and again after a rejoin round replaced
+// the mesh. Encoder state starts fresh either way: stochastic streams
+// are step-keyed (comm.StepKeyed), and error-feedback residuals reset
+// to zero on every rank in lockstep.
+func (t *Trainer) buildReducer() error {
+	cfg := t.cfg
 	switch cfg.Primitive {
 	case MPI:
 		t.reducer = comm.NewReduceBroadcastLocal(t.fabric, t.specs, cfg.Seed, t.ranks)
@@ -357,16 +428,14 @@ func NewTrainer(build func(r *rng.RNG) *nn.Network, cfg Config) (*Trainer, error
 		} else {
 			frac := float64(t.plan.WireBytes()) / float64(t.plan.RawBytes())
 			if frac > 1 {
-				t.Close()
-				return nil, fmt.Errorf("parallel: policy %s expands this model's wire volume (%.2fx raw); the NCCL byte-volume simulation needs a compressing policy — use the MPI primitive instead", cfg.Policy.Name(), frac)
+				return fmt.Errorf("parallel: policy %s expands this model's wire volume (%.2fx raw); the NCCL byte-volume simulation needs a compressing policy — use the MPI primitive instead", cfg.Policy.Name(), frac)
 			}
 			t.reducer = comm.NewSimulatedRing(t.fabric, frac)
 		}
 	default:
-		t.Close()
-		return nil, fmt.Errorf("parallel: unknown primitive %d", cfg.Primitive)
+		return fmt.Errorf("parallel: unknown primitive %d", cfg.Primitive)
 	}
-	return t, nil
+	return nil
 }
 
 // Close releases the fabric's resources (socket connections for the
@@ -451,7 +520,11 @@ func (t *Trainer) SaveCheckpoint(w io.Writer) error {
 }
 
 // LoadCheckpoint restores weights into every replica, preserving the
-// synchronous-SGD invariant that all replicas are bit-identical.
+// synchronous-SGD invariant that all replicas are bit-identical. In a
+// cluster, every rank must load the same checkpoint bytes (warm-start:
+// the -load flag of the CLIs). Weights only — optimiser momentum, the
+// data cursor and step counters start fresh; for a resume that is
+// bit-identical to an uninterrupted run, use SaveState/LoadState.
 func (t *Trainer) LoadCheckpoint(r io.Reader) error {
 	if err := t.replicas[0].Load(r); err != nil {
 		return err
@@ -464,30 +537,194 @@ func (t *Trainer) LoadCheckpoint(r io.Reader) error {
 	return nil
 }
 
+// makeSnapshot captures the full elastic session state at the current
+// step barrier: weights, optimiser velocity, hyperparameters, the
+// step counter and the data-shard cursor. It is the donor-side hook of
+// a rejoin round and the writer behind SaveState. The trainer must be
+// quiescent (between steps) when it runs.
+func (t *Trainer) makeSnapshot() (*elastic.Snapshot, error) {
+	t.statsMu.Lock()
+	step, epoch, batch, shuf := t.stepIdx, t.curEpoch, t.lastBatch, t.epochShuffleState
+	t.statsMu.Unlock()
+	var params bytes.Buffer
+	if err := t.replicas[0].Save(&params); err != nil {
+		return nil, err
+	}
+	opt := t.opts[0]
+	var vel [][]float32
+	for _, v := range opt.Velocity() {
+		vel = append(vel, append([]float32(nil), v.Data...))
+	}
+	return &elastic.Snapshot{
+		Seed:         t.cfg.Seed,
+		World:        t.cfg.Workers,
+		Policy:       t.plan.Policy.Name(),
+		Step:         step,
+		Epoch:        epoch,
+		Batch:        batch,
+		ShuffleState: shuf,
+		Momentum:     opt.Momentum(),
+		WeightDecay:  opt.WeightDecay(),
+		Params:       params.Bytes(),
+		Velocity:     vel,
+	}, nil
+}
+
+// installSnapshot validates a snapshot against this trainer's
+// configuration and installs it: weights into every replica, velocity
+// into every optimiser, the step counter, and a pending resume cursor
+// the training loop consumes. It is the catch-up hook of a rejoin
+// round and the reader behind LoadState/Restore.
+func (t *Trainer) installSnapshot(snap *elastic.Snapshot) error {
+	cfg := t.cfg
+	if snap.Seed != cfg.Seed {
+		return fmt.Errorf("parallel: snapshot from seed %d cannot resume a seed-%d run (the seed keys the data order and every stochastic stream)", snap.Seed, cfg.Seed)
+	}
+	if snap.World != cfg.Workers {
+		return fmt.Errorf("parallel: snapshot of a %d-rank world, this trainer runs %d", snap.World, cfg.Workers)
+	}
+	if name := t.plan.Policy.Name(); snap.Policy != name {
+		return fmt.Errorf("parallel: snapshot trained under policy %q, this trainer runs %q", snap.Policy, name)
+	}
+	if m := t.opts[0].Momentum(); snap.Momentum != m {
+		return fmt.Errorf("parallel: snapshot momentum %v, this trainer runs %v", snap.Momentum, m)
+	}
+	if wd := t.opts[0].WeightDecay(); snap.WeightDecay != wd {
+		return fmt.Errorf("parallel: snapshot weight decay %v, this trainer runs %v", snap.WeightDecay, wd)
+	}
+	if snap.Epoch < 0 || snap.Batch < -1 || snap.Step < 0 {
+		return fmt.Errorf("parallel: snapshot cursor (epoch %d, batch %d, step %d) is invalid", snap.Epoch, snap.Batch, snap.Step)
+	}
+	// Weights first — the checkpoint decoder carries the full
+	// name/shape validation, so a foreign snapshot fails here cleanly.
+	if err := t.LoadCheckpoint(bytes.NewReader(snap.Params)); err != nil {
+		return err
+	}
+	for _, opt := range t.opts {
+		vel := opt.Velocity()
+		if len(snap.Velocity) != len(vel) {
+			return fmt.Errorf("parallel: snapshot carries %d velocity tensors, optimiser has %d", len(snap.Velocity), len(vel))
+		}
+		for i, v := range vel {
+			if len(snap.Velocity[i]) != len(v.Data) {
+				return fmt.Errorf("parallel: velocity tensor %d has %d elements, optimiser wants %d", i, len(snap.Velocity[i]), len(v.Data))
+			}
+			copy(v.Data, snap.Velocity[i])
+		}
+	}
+	t.statsMu.Lock()
+	t.stepIdx = snap.Step
+	t.curEpoch = snap.Epoch
+	t.lastBatch = snap.Batch
+	t.epochShuffleState = snap.ShuffleState
+	t.statsMu.Unlock()
+	t.restored = snap
+	return nil
+}
+
+// Restore installs an elastic snapshot received out of band — the
+// replacement path: cluster.Rejoin hands the snapshot the donor
+// streamed, Restore installs it, and the next Run resumes at its
+// cursor instead of epoch 0.
+func (t *Trainer) Restore(snap *elastic.Snapshot) error {
+	if snap == nil {
+		return fmt.Errorf("parallel: nil snapshot")
+	}
+	return t.installSnapshot(snap)
+}
+
+// SaveState writes the trainer's full elastic session state — weights,
+// optimiser velocity, counters and data cursor, in the repro/elastic
+// snapshot format. Unlike SaveCheckpoint (weights only), a run resumed
+// from this state via LoadState continues bit-identically to one that
+// never stopped. Call it between Run calls or after Run returns, not
+// mid-step.
+func (t *Trainer) SaveState(w io.Writer) error {
+	snap, err := t.makeSnapshot()
+	if err != nil {
+		return err
+	}
+	return snap.EncodeTo(w)
+}
+
+// LoadState restores state written by SaveState; the next Run resumes
+// at the saved cursor. In a cluster, every rank must load the same
+// state bytes.
+func (t *Trainer) LoadState(r io.Reader) error {
+	snap, err := elastic.ReadSnapshot(r)
+	if err != nil {
+		return err
+	}
+	return t.installSnapshot(snap)
+}
+
 // Run trains on train for the configured epochs, measuring accuracy on
 // test, and returns the history.
+//
+// With an elastic controller attached (Config.Elastic), a peer-death
+// verdict mid-run is repaired instead of surfaced: the loop quiesces
+// at the step barrier its abort unwound to, the controller rebuilds
+// the world, and training continues — re-running the interrupted step
+// in place, or jumping to a donor's cursor when this rank had to catch
+// up. A trainer that had a snapshot installed before Run (Restore /
+// LoadState) starts at the snapshot's cursor instead of epoch 0; its
+// History then records the resumed portion only, and WireBytes counts
+// traffic of the current mesh incarnation.
 func (t *Trainer) Run(train, test *data.Dataset) (*History, error) {
 	cfg := t.cfg
 	h := &History{Config: cfg}
 	shuffle := rng.New(cfg.Seed).Fork(0xdead)
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	epoch, startBatch := 0, 0
+	if snap := t.takeRestored(); snap != nil {
+		shuffle.SetState(snap.ShuffleState)
+		epoch, startBatch = snap.Epoch, snap.Batch+1
+	}
+	for epoch < cfg.Epochs {
 		start := time.Now()
 		lr := cfg.Schedule.LRAt(epoch)
 		for _, opt := range t.opts {
 			opt.SetLR(lr)
 		}
+		// The cursor marks the epoch's start before the permutation is
+		// drawn: restoring epochShuffleState and replaying Batches
+		// reproduces the exact batch order lastBatch indexes into.
+		t.statsMu.Lock()
+		t.curEpoch = epoch
+		t.lastBatch = startBatch - 1
+		t.epochShuffleState = shuffle.State()
+		t.statsMu.Unlock()
 		batches := train.Batches(shuffle, cfg.BatchSize)
 		var lossSum float64
 		var lossCnt int
 		slowCount := make([]int, cfg.Workers)
-		for _, batch := range batches {
+		jumped := false
+		for bi := startBatch; bi < len(batches); bi++ {
+			batch := batches[bi]
 			if len(batch) < cfg.Workers {
+				t.noteBatch(bi)
 				continue // drop a tail smaller than the worker count
 			}
 			loss, err := t.runStep(train, batch)
 			if err != nil {
-				return nil, err
+				snap, rerr := t.tryRejoin(err)
+				if rerr != nil {
+					return nil, rerr
+				}
+				if snap != nil {
+					// This rank was behind the resume point: adopt the
+					// donor's cursor and re-enter the outer loop there.
+					// The partial pass contributes no epoch stats.
+					shuffle.SetState(snap.ShuffleState)
+					epoch, startBatch = snap.Epoch, snap.Batch+1
+					jumped = true
+					break
+				}
+				// Already at the resume point: re-run the interrupted
+				// step over the rebuilt mesh.
+				bi--
+				continue
 			}
+			t.noteBatch(bi)
 			lossSum += loss
 			lossCnt++
 			t.statsMu.Lock()
@@ -496,6 +733,10 @@ func (t *Trainer) Run(train, test *data.Dataset) (*History, error) {
 			}
 			t.statsMu.Unlock()
 		}
+		if jumped {
+			continue
+		}
+		startBatch = 0
 		slowest := -1
 		for r, n := range slowCount {
 			if n > 0 && (slowest < 0 || n > slowCount[slowest]) {
@@ -508,7 +749,7 @@ func (t *Trainer) Run(train, test *data.Dataset) (*History, error) {
 			TestAccuracy: -1,
 			TestTop5:     -1,
 			LR:           lr,
-			WireBytes:    t.fabric.TotalBytes(),
+			WireBytes:    t.totalWireBytes(),
 			Elapsed:      time.Since(start),
 			SlowestRank:  slowest,
 		}
@@ -522,9 +763,81 @@ func (t *Trainer) Run(train, test *data.Dataset) (*History, error) {
 			}
 		}
 		h.Epochs = append(h.Epochs, stats)
+		epoch++
 	}
-	h.TotalWireBytes = t.fabric.TotalBytes()
+	h.TotalWireBytes = t.totalWireBytes()
 	return h, nil
+}
+
+// noteBatch advances the elastic cursor past a finished (or skipped)
+// batch index of the running epoch.
+func (t *Trainer) noteBatch(bi int) {
+	t.statsMu.Lock()
+	t.lastBatch = bi
+	t.statsMu.Unlock()
+}
+
+// takeRestored consumes the pending resume cursor.
+func (t *Trainer) takeRestored() *elastic.Snapshot {
+	snap := t.restored
+	t.restored = nil
+	return snap
+}
+
+// maxRejoins resolves the trainer's rejoin budget: negative means
+// unlimited.
+func (t *Trainer) maxRejoins() int {
+	if t.cfg.MaxRejoins != 0 {
+		return t.cfg.MaxRejoins
+	}
+	return elastic.DefaultMaxRejoins
+}
+
+// tryRejoin decides what a step error means. Without an elastic
+// controller — or for errors that are not a peer-death verdict, or
+// once the rejoin budget is spent — the error is final and returned
+// as-is (wrapped with the budget note where that is the cause). With
+// one, the controller repairs the world; on success the trainer swaps
+// in the rebuilt fabric and monitor, rebuilds the reducer over them,
+// and reports how to resume: a non-nil snapshot moves the cursor (this
+// rank caught up to the donor), nil re-runs the interrupted step in
+// place. A failed repair surfaces the original verdict with the repair
+// failure noted, still errors.As-matchable as health.ErrPeerDead so
+// exit-code contracts hold.
+func (t *Trainer) tryRejoin(stepErr error) (*elastic.Snapshot, error) {
+	if t.cfg.Elastic == nil {
+		return nil, stepErr
+	}
+	var dead health.ErrPeerDead
+	if !errors.As(stepErr, &dead) {
+		return nil, stepErr
+	}
+	if budget := t.maxRejoins(); budget >= 0 && t.rejoins >= budget {
+		return nil, fmt.Errorf("parallel: rank %d exhausted its %d rejoin rounds: %w", t.ranks[0], budget, stepErr)
+	}
+	t.rejoins++
+	out, err := t.cfg.Elastic.Rejoin(stepErr, elastic.LocalState{
+		Step:     t.currentStep(),
+		Snapshot: t.makeSnapshot,
+		Install:  t.installSnapshot,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("parallel: rank %d could not rejoin (%v) after %w", t.ranks[0], err, stepErr)
+	}
+	// The replacement fabric's byte counter starts at zero; fold the
+	// old incarnation's traffic into the base so EpochStats.WireBytes
+	// stays cumulative across repairs (the old fabric is closed but
+	// its counter remains readable).
+	t.wireBase += t.fabric.TotalBytes()
+	t.fabric = out.Fabric
+	t.monitor = out.Monitor
+	if t.cfg.HealthHandler != nil && t.monitor != nil {
+		t.monitor.OnVerdict(t.cfg.HealthHandler)
+	}
+	if err := t.buildReducer(); err != nil {
+		return nil, err
+	}
+	return t.takeRestored(), nil
 }
 
 // runStep drives one synchronous step through the guard rails: a
@@ -632,6 +945,21 @@ func (t *Trainer) awaitVerdict() error {
 // batch; the loss it reports averages its local shards only.
 func (t *Trainer) step(train *data.Dataset, batch []int) (float64, error) {
 	k := t.cfg.Workers
+	// Elastic sessions key the reducer's stochastic streams to the step
+	// about to run — once, before any worker encodes. Every rank
+	// derives the same index from its own completed-step counter, so
+	// the streams agree across processes; re-entering an aborted step
+	// re-keys to the same index, which is what lets a rejoin re-run it
+	// bit-identically, and a replacement reconstruct a dead rank's
+	// streams from the counters alone. Non-elastic runs keep the
+	// paper's original cumulative streams, so enabling elasticity is
+	// the one switch that changes (reproducibly) which random draws a
+	// quantised run sees.
+	if t.cfg.Elastic != nil {
+		if sk, ok := t.reducer.(comm.StepKeyed); ok {
+			sk.BeginStep(t.currentStep() + 1)
+		}
+	}
 	losses := make([]float64, len(t.ranks))
 	errs := make([]error, len(t.ranks))
 	compute := make([]time.Duration, len(t.ranks))

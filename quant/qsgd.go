@@ -164,6 +164,11 @@ type qsgdEncoder struct {
 	framer
 }
 
+// Reseed implements Reseeder: the RNG stream is the encoder's only
+// mutable state, so repositioning it makes the encoder bit-identical
+// to a freshly built one with the same seed.
+func (e *qsgdEncoder) Reseed(seed uint64) { e.rng.SetState(seed) }
+
 // Encode implements Encoder.
 func (e *qsgdEncoder) Encode(src []float32) []byte {
 	if len(src) != e.n {

@@ -104,6 +104,23 @@ type Encoder interface {
 	EncodeTo(w io.Writer, src []float32) (int, error)
 }
 
+// Reseeder is implemented by encoders whose only mutable state is a
+// stochastic-rounding RNG stream (QSGD's). Reseed repositions that
+// stream, which lets the aggregation layer key the stream to the
+// training step: when every encoder is reseeded with a seed derived
+// from (experiment seed, rank, tensor, stripe, step) at each step
+// boundary, a rank's stochastic state becomes a pure function of those
+// coordinates — reconstructible by a replacement process after a
+// crash, and rewindable on a survivor whose aborted half-step consumed
+// draws the uninterrupted run never would have. Error-feedback codecs
+// (1bitSGD, top-k) carry data-dependent residuals and deliberately do
+// not implement it.
+type Reseeder interface {
+	// Reseed repositions the encoder's random stream as if it had just
+	// been built with NewEncoder(..., seed).
+	Reseed(seed uint64)
+}
+
 // words32 returns how many uint32 words hold nBits bits.
 func words32(nBits int) int { return (nBits + 31) / 32 }
 

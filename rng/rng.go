@@ -23,6 +23,16 @@ func New(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// State returns the generator's internal state. Together with SetState
+// it lets checkpoint/restore machinery (repro/elastic) capture a stream
+// mid-run and resume it bit-identically: the splitmix64 state is the
+// whole generator, so State/SetState round-trips losslessly.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState repositions the generator to a state previously captured
+// with State. SetState(seed) is equivalent to *r = *New(seed).
+func (r *RNG) SetState(s uint64) { r.state = s }
+
 // Fork returns an independent generator derived from the parent's seed and
 // the given stream identifier. Forks with distinct ids produce
 // uncorrelated streams, which lets each (worker, tensor) pair own a

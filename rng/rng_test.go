@@ -16,6 +16,30 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
+func TestStateRoundTrip(t *testing.T) {
+	r := New(42)
+	for i := 0; i < 1000; i++ {
+		r.Uint64()
+	}
+	saved := r.State()
+	want := []uint64{r.Uint64(), r.Uint64(), r.Uint64()}
+	r.SetState(saved)
+	for i, w := range want {
+		if got := r.Uint64(); got != w {
+			t.Fatalf("draw %d after SetState: got %d, want %d", i, got, w)
+		}
+	}
+	// SetState(seed) must match New(seed) exactly.
+	var a RNG
+	a.SetState(7)
+	b := New(7)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("SetState(seed) diverges from New(seed)")
+		}
+	}
+}
+
 func TestForkIndependence(t *testing.T) {
 	parent := New(7)
 	f1 := parent.Fork(1)
