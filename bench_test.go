@@ -16,10 +16,10 @@ import (
 
 	"repro/comm"
 	"repro/internal/harness"
-	"repro/internal/simulate"
 	"repro/internal/workload"
 	"repro/quant"
 	"repro/rng"
+	"repro/sim"
 )
 
 // --- Figure 5: accuracy under low-precision gradients (real training) ---
@@ -62,7 +62,7 @@ func BenchmarkFig5_LSTMAccuracy(b *testing.B) {
 
 // --- Figures 6–9: time per epoch ---
 
-func benchEpochFigure(b *testing.B, m workload.Machine, prim simulate.Primitive, gpus int) {
+func benchEpochFigure(b *testing.B, m workload.Machine, prim sim.Primitive, gpus int) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
 		tables, err := harness.EpochTimeFigure(m, prim, gpus)
@@ -78,27 +78,27 @@ func benchEpochFigure(b *testing.B, m workload.Machine, prim simulate.Primitive,
 		b.Fatal(err)
 	}
 	_ = fp
-	fp32, _ := simulate.Run(simulate.Config{Network: workload.VGG19, Machine: m, Primitive: prim, GPUs: gpus})
-	q4, _ := simulate.Run(simulate.Config{Network: workload.VGG19, Machine: m, Primitive: prim,
+	fp32, _ := sim.Run(sim.Config{Network: workload.VGG19, Machine: m, Primitive: prim, GPUs: gpus})
+	q4, _ := sim.Run(sim.Config{Network: workload.VGG19, Machine: m, Primitive: prim,
 		Codec: quant.NewQSGD(4, 512, quant.MaxNorm), GPUs: gpus})
 	b.ReportMetric(fp32.EpochHours(), "vgg_fp32_epoch_h")
 	b.ReportMetric(fp32.EpochSec/q4.EpochSec, "vgg_q4_speedup")
 }
 
 func BenchmarkFig6_EC2MPIEpochTime(b *testing.B) {
-	benchEpochFigure(b, workload.EC2P2, simulate.MPI, 8)
+	benchEpochFigure(b, workload.EC2P2, sim.MPI, 8)
 }
 
 func BenchmarkFig7_EC2NCCLEpochTime(b *testing.B) {
-	benchEpochFigure(b, workload.EC2P2, simulate.NCCL, 8)
+	benchEpochFigure(b, workload.EC2P2, sim.NCCL, 8)
 }
 
 func BenchmarkFig8_DGXMPIEpochTime(b *testing.B) {
-	benchEpochFigure(b, workload.DGX1, simulate.MPI, 8)
+	benchEpochFigure(b, workload.DGX1, sim.MPI, 8)
 }
 
 func BenchmarkFig9_DGXNCCLEpochTime(b *testing.B) {
-	benchEpochFigure(b, workload.DGX1, simulate.NCCL, 8)
+	benchEpochFigure(b, workload.DGX1, sim.NCCL, 8)
 }
 
 // --- Figures 10–11: samples/second tables ---
@@ -106,7 +106,7 @@ func BenchmarkFig9_DGXNCCLEpochTime(b *testing.B) {
 func BenchmarkFig10_EC2MPITables(b *testing.B) {
 	var tables int
 	for i := 0; i < b.N; i++ {
-		ts, err := harness.ThroughputFigure(workload.EC2P2, simulate.MPI)
+		ts, err := harness.ThroughputFigure(workload.EC2P2, sim.MPI)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -118,7 +118,7 @@ func BenchmarkFig10_EC2MPITables(b *testing.B) {
 func BenchmarkFig11_EC2NCCLTables(b *testing.B) {
 	var tables int
 	for i := 0; i < b.N; i++ {
-		ts, err := harness.ThroughputFigure(workload.EC2P2, simulate.NCCL)
+		ts, err := harness.ThroughputFigure(workload.EC2P2, sim.NCCL)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -132,12 +132,12 @@ func BenchmarkFig11_EC2NCCLTables(b *testing.B) {
 func BenchmarkFig12to15_Scalability(b *testing.B) {
 	configs := []struct {
 		m    workload.Machine
-		prim simulate.Primitive
+		prim sim.Primitive
 	}{
-		{workload.EC2P2, simulate.MPI},
-		{workload.EC2P2, simulate.NCCL},
-		{workload.DGX1, simulate.MPI},
-		{workload.DGX1, simulate.NCCL},
+		{workload.EC2P2, sim.MPI},
+		{workload.EC2P2, sim.NCCL},
+		{workload.DGX1, sim.MPI},
+		{workload.DGX1, sim.NCCL},
 	}
 	for i := 0; i < b.N; i++ {
 		for _, cfg := range configs {
@@ -148,12 +148,12 @@ func BenchmarkFig12to15_Scalability(b *testing.B) {
 	}
 	// Surface the AlexNet MPI 16-GPU scalability contrast the paper
 	// highlights (quantised ≈8×, full precision <3×).
-	fp, _ := simulate.Run(simulate.Config{Network: workload.AlexNet, Machine: workload.EC2P2,
-		Primitive: simulate.MPI, GPUs: 16})
-	ob, _ := simulate.Run(simulate.Config{Network: workload.AlexNet, Machine: workload.EC2P2,
-		Primitive: simulate.MPI, Codec: quant.OneBit{}, GPUs: 16})
-	base, _ := simulate.Run(simulate.Config{Network: workload.AlexNet, Machine: workload.EC2P2,
-		Primitive: simulate.MPI, GPUs: 1})
+	fp, _ := sim.Run(sim.Config{Network: workload.AlexNet, Machine: workload.EC2P2,
+		Primitive: sim.MPI, GPUs: 16})
+	ob, _ := sim.Run(sim.Config{Network: workload.AlexNet, Machine: workload.EC2P2,
+		Primitive: sim.MPI, Codec: quant.OneBit{}, GPUs: 16})
+	base, _ := sim.Run(sim.Config{Network: workload.AlexNet, Machine: workload.EC2P2,
+		Primitive: sim.MPI, GPUs: 1})
 	b.ReportMetric(fp.SamplesPerSec/base.SamplesPerSec, "alexnet_fp32_scal16")
 	b.ReportMetric(ob.SamplesPerSec/base.SamplesPerSec, "alexnet_1bit_scal16")
 }
@@ -244,12 +244,12 @@ func BenchmarkAblation_Reshaping(b *testing.B) {
 		{"reshaped64", quant.NewOneBitReshaped(64)},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
-			var r simulate.Result
+			var r sim.Result
 			var err error
 			for i := 0; i < b.N; i++ {
-				r, err = simulate.Run(simulate.Config{
+				r, err = sim.Run(sim.Config{
 					Network: workload.ResNet152, Machine: workload.EC2P2,
-					Primitive: simulate.MPI, Codec: tc.codec, GPUs: 8,
+					Primitive: sim.MPI, Codec: tc.codec, GPUs: 8,
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -267,12 +267,12 @@ func BenchmarkAblation_Reshaping(b *testing.B) {
 func BenchmarkAblation_Overlap(b *testing.B) {
 	for _, ov := range []float64{0, 0.25, 0.5, 0.9} {
 		b.Run("overlap="+itoa(int(ov*100))+"pct", func(b *testing.B) {
-			var r simulate.Result
+			var r sim.Result
 			var err error
 			for i := 0; i < b.N; i++ {
-				r, err = simulate.Run(simulate.Config{
+				r, err = sim.Run(sim.Config{
 					Network: workload.AlexNet, Machine: workload.EC2P2,
-					Primitive: simulate.MPI, GPUs: 8, Overlap: ov,
+					Primitive: sim.MPI, GPUs: 8, Overlap: ov,
 				})
 				if err != nil {
 					b.Fatal(err)

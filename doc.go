@@ -32,11 +32,19 @@
 // digests bit-identical to an uninterrupted run under residual-free
 // policies; enabled by lpsgd.WithElastic and lpsgd-worker -rejoin,
 // with Trainer.SaveState/LoadState exposing the same snapshot for
-// planned, exact resumption), and nn/tensor/data/rng (the
+// planned, exact resumption), sim (the performance laboratory: the
+// calibrated single-exchange cost model of the paper's machines,
+// framing overhead included, plus a deterministic discrete-event
+// cluster simulator — JSON scenarios with heterogeneous topologies,
+// straggler/jitter/failure workload generators and trace replay, run
+// on a seeded logical clock at up to thousands of ranks, with exchange
+// volumes cross-validated byte-for-byte against live TCP and outputs
+// locked by golden datasets under sim/testdata; driven from the
+// command line via lpsgd-sim -scenario), and nn/tensor/data/rng (the
 // deep-learning substrate). The experiment machinery stays under
-// internal/: workload/simulate (the calibrated performance model of
-// the paper's machines, framing overhead included) and harness (one
-// runner per table and figure). See README.md for a quickstart and a
+// internal/: workload (machine and network calibration data) and
+// harness (one runner per table and figure); internal/simulate remains
+// as a deprecated shim over sim. See README.md for a quickstart and a
 // tour; the top-level bench_test.go regenerates every figure as a Go
 // benchmark.
 package repro

@@ -27,12 +27,12 @@ import (
 	"strings"
 
 	"repro/data"
-	"repro/internal/simulate"
 	"repro/internal/workload"
 	"repro/nn"
 	"repro/parallel"
 	"repro/quant"
 	"repro/rng"
+	"repro/sim"
 )
 
 // Codec is the gradient-compression interface (see repro/quant).
@@ -178,23 +178,23 @@ type EstimateOptions struct {
 }
 
 // Estimate prices one configuration with the calibrated cost model.
-func Estimate(opts EstimateOptions) (simulate.Result, error) {
+func Estimate(opts EstimateOptions) (sim.Result, error) {
 	net, err := workload.NetworkByName(opts.Network)
 	if err != nil {
-		return simulate.Result{}, err
+		return sim.Result{}, err
 	}
 	m, err := workload.MachineByName(opts.Machine)
 	if err != nil {
-		return simulate.Result{}, err
+		return sim.Result{}, err
 	}
-	var prim simulate.Primitive
+	var prim sim.Primitive
 	switch strings.ToUpper(opts.Primitive) {
 	case "MPI", "":
-		prim = simulate.MPI
+		prim = sim.MPI
 	case "NCCL":
-		prim = simulate.NCCL
+		prim = sim.NCCL
 	default:
-		return simulate.Result{}, fmt.Errorf("core: unknown primitive %q", opts.Primitive)
+		return sim.Result{}, fmt.Errorf("core: unknown primitive %q", opts.Primitive)
 	}
 	precision := opts.Precision
 	if precision == "" {
@@ -202,9 +202,9 @@ func Estimate(opts EstimateOptions) (simulate.Result, error) {
 	}
 	policy, err := quant.ParsePolicy(precision)
 	if err != nil {
-		return simulate.Result{}, err
+		return sim.Result{}, err
 	}
-	return simulate.Run(simulate.Config{
+	return sim.Run(sim.Config{
 		Network:       net,
 		Machine:       m,
 		Primitive:     prim,

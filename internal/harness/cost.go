@@ -5,9 +5,9 @@ import (
 	"math"
 
 	"repro/internal/report"
-	"repro/internal/simulate"
 	"repro/internal/workload"
 	"repro/quant"
+	"repro/sim"
 )
 
 // CostAccuracyRow is one point of Figure 16 (left): a network, the
@@ -38,9 +38,9 @@ func CheapestTraining(net workload.Network) (CostAccuracyRow, error) {
 				continue
 			}
 			for _, label := range []string{"32bit", "qsgd8"} {
-				prim := simulate.NCCL
+				prim := sim.NCCL
 				if !workload.EC2P2.SupportsNCCL(gpus) {
-					prim = simulate.MPI
+					prim = sim.MPI
 				}
 				r, err := simRun(net, workload.EC2P2, prim, label, gpus)
 				if err != nil {
@@ -102,14 +102,14 @@ func SpeedupSweep() ([]SpeedupSweepRow, error) {
 	extras := []int64{0, 62e6, 250e6, 1e9, 4e9, 16e9, 64e9}
 	var out []SpeedupSweepRow
 	for _, extra := range extras {
-		net := simulate.WithDummyParams(workload.AlexNet, extra)
-		fp, err := simulate.Run(simulate.Config{Network: net, Machine: workload.EC2P2,
-			Primitive: simulate.NCCL, GPUs: 8})
+		net := sim.WithDummyParams(workload.AlexNet, extra)
+		fp, err := sim.Run(sim.Config{Network: net, Machine: workload.EC2P2,
+			Primitive: sim.NCCL, GPUs: 8})
 		if err != nil {
 			return nil, err
 		}
-		q8, err := simulate.Run(simulate.Config{Network: net, Machine: workload.EC2P2,
-			Primitive: simulate.NCCL, Codec: quant.NewQSGD(8, 512, quant.MaxNorm), GPUs: 8})
+		q8, err := sim.Run(sim.Config{Network: net, Machine: workload.EC2P2,
+			Primitive: sim.NCCL, Codec: quant.NewQSGD(8, 512, quant.MaxNorm), GPUs: 8})
 		if err != nil {
 			return nil, err
 		}

@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/report"
-	"repro/internal/simulate"
 	"repro/internal/workload"
+	"repro/sim"
 )
 
 // GridRow is one configuration of the study's full cross-product (the
@@ -17,7 +17,7 @@ type GridRow struct {
 	Network   string
 	Precision string
 	GPUs      int
-	Result    simulate.Result
+	Result    sim.Result
 }
 
 // FullGrid prices every feasible configuration of the study's axes —
@@ -26,9 +26,9 @@ type GridRow struct {
 func FullGrid() ([]GridRow, error) {
 	var rows []GridRow
 	for _, m := range workload.Machines() {
-		for _, prim := range []simulate.Primitive{simulate.MPI, simulate.NCCL} {
+		for _, prim := range []sim.Primitive{sim.MPI, sim.NCCL} {
 			labels := PrecisionLabels
-			if prim == simulate.NCCL {
+			if prim == sim.NCCL {
 				labels = NCCLPrecisionLabels
 			}
 			for _, net := range workload.Networks() {
@@ -37,7 +37,7 @@ func FullGrid() ([]GridRow, error) {
 						if gpus > m.MaxGPUs {
 							continue
 						}
-						if prim == simulate.NCCL && !m.SupportsNCCL(gpus) {
+						if prim == sim.NCCL && !m.SupportsNCCL(gpus) {
 							continue
 						}
 						if _, ok := net.BatchFor(gpus); !ok {

@@ -16,9 +16,9 @@ package harness
 import (
 	"fmt"
 
-	"repro/internal/simulate"
 	"repro/internal/workload"
 	"repro/quant"
+	"repro/sim"
 )
 
 // PrecisionLabels is the paper's precision ladder in presentation order
@@ -49,15 +49,15 @@ func mustCodec(label string) quant.Codec {
 	return c
 }
 
-// simRun wraps simulate.Run for a (net, machine, prim, label, gpus)
+// simRun wraps sim.Run for a (net, machine, prim, label, gpus)
 // tuple.
-func simRun(net workload.Network, m workload.Machine, prim simulate.Primitive,
-	label string, gpus int) (simulate.Result, error) {
+func simRun(net workload.Network, m workload.Machine, prim sim.Primitive,
+	label string, gpus int) (sim.Result, error) {
 	c, err := CodecByLabel(label)
 	if err != nil {
-		return simulate.Result{}, err
+		return sim.Result{}, err
 	}
-	return simulate.Run(simulate.Config{
+	return sim.Run(sim.Config{
 		Network: net, Machine: m, Primitive: prim, Codec: c, GPUs: gpus,
 	})
 }

@@ -1,0 +1,31 @@
+package simulate
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+	"repro/sim"
+)
+
+// TestShimDelegatesToSim: the deprecated aliases must price exactly
+// like the sim package they forward to.
+func TestShimDelegatesToSim(t *testing.T) {
+	cfg := Config{Network: workload.AlexNet, Machine: workload.EC2P2, Primitive: MPI, GPUs: 8}
+	viaShim, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaShim != direct {
+		t.Fatalf("shim result %+v differs from sim result %+v", viaShim, direct)
+	}
+	if MPI != sim.MPI || NCCL != sim.NCCL {
+		t.Fatal("primitive constants diverged")
+	}
+	if DefaultKernel != sim.DefaultKernel {
+		t.Fatal("kernel model diverged")
+	}
+}

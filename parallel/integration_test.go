@@ -5,11 +5,11 @@ import (
 
 	"repro/comm"
 	"repro/data"
-	"repro/internal/simulate"
 	"repro/internal/workload"
 	"repro/nn"
 	"repro/quant"
 	"repro/rng"
+	"repro/sim"
 	"repro/tensor"
 )
 
@@ -111,9 +111,9 @@ func TestEngineBytesConsistentWithPlanArithmetic(t *testing.T) {
 // a workload equals 4 bytes × the parameter count of the inventory —
 // and the engine's plan on a real network obeys the same arithmetic.
 func TestSimulatorAndEngineAgreeOnModelBytes(t *testing.T) {
-	r, err := simulate.Run(simulate.Config{
+	r, err := sim.Run(sim.Config{
 		Network: workload.AlexNet, Machine: workload.EC2P2,
-		Primitive: simulate.MPI, GPUs: 2,
+		Primitive: sim.MPI, GPUs: 2,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -236,8 +236,14 @@ type StepStats struct {
 	Exchange []time.Duration
 	// Known[r] reports whether rank r's timings are populated.
 	Known []bool
-	// Slowest is the known rank with the largest compute+exchange sum,
-	// -1 when nothing is known.
+	// Slowest is the known rank with the largest compute time, -1 when
+	// nothing is known. Compute is the discriminating signal: the
+	// exchange is a blocking collective, so a fast rank's exchange time
+	// is mostly spent waiting for the straggler and every rank's
+	// compute+exchange sum comes out nearly equal. Attributing by
+	// compute names the rank that arrived at the barrier last — the
+	// same rank the discrete-event simulator (repro/sim) charges with
+	// gating the step.
 	Slowest int
 }
 
@@ -1048,10 +1054,15 @@ func (t *Trainer) recordStep(compute, exchange []time.Duration) {
 			}
 		}
 	}
+	// Attribute by compute time: in a blocking collective the other
+	// ranks' exchange timers absorb the wait for the straggler, so the
+	// compute+exchange sums are nearly equal across ranks and carry no
+	// signal. The last rank to finish computing is the one gating the
+	// barrier — matching the simulator's attribution.
 	var worst time.Duration
 	for p := 0; p < k; p++ {
-		if s.Known[p] && (s.Slowest < 0 || s.Compute[p]+s.Exchange[p] > worst) {
-			worst = s.Compute[p] + s.Exchange[p]
+		if s.Known[p] && (s.Slowest < 0 || s.Compute[p] > worst) {
+			worst = s.Compute[p]
 			s.Slowest = p
 		}
 	}

@@ -1,0 +1,75 @@
+package parallel
+
+import (
+	"testing"
+	"time"
+
+	"repro/nn"
+	"repro/rng"
+	"repro/sim"
+	"repro/tensor"
+)
+
+// dragLayer is a pass-through layer that sleeps in Forward, making one
+// rank measurably slow without touching the arithmetic.
+type dragLayer struct{ delay time.Duration }
+
+func (d *dragLayer) Name() string { return "drag" }
+func (d *dragLayer) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if d.delay > 0 {
+		time.Sleep(d.delay)
+	}
+	return x
+}
+func (d *dragLayer) Backward(dout *tensor.Matrix) *tensor.Matrix { return dout }
+func (d *dragLayer) Params() []*nn.Param                         { return nil }
+
+// TestLiveAndSimulatedStragglerAgree: slow the same rank in a live
+// 4-worker run and in a simulated 4-rank scenario; both attributions —
+// parallel.EpochStats.SlowestRank and sim.ClusterResult.SlowestRank —
+// must name it.
+func TestLiveAndSimulatedStragglerAgree(t *testing.T) {
+	const slowRank = 2
+
+	// Live: NewTrainer calls build once per worker, in rank order, so a
+	// counter identifies the rank being built.
+	buildBase, train, test := smallTask()
+	next := 0
+	build := func(r *rng.RNG) *nn.Network {
+		rank := next
+		next++
+		net := buildBase(r)
+		if rank == slowRank {
+			layers := append([]nn.Layer{&dragLayer{delay: 15 * time.Millisecond}}, net.Layers...)
+			return nn.MustNetwork(layers...)
+		}
+		return net
+	}
+	tr, err := NewTrainer(build, Config{
+		Workers: 4, BatchSize: 16, Epochs: 1, Seed: 9,
+		Schedule: nn.ConstantLR(0.1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	h, err := tr.Run(train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Epochs[0].SlowestRank; got != slowRank {
+		t.Errorf("live attribution named rank %d, want %d", got, slowRank)
+	}
+
+	// Simulated: the same world shape with the same rank pinned slow.
+	res, err := sim.RunScenario(sim.Scenario{
+		Name: "live-agreement", Ranks: 4, Steps: 4,
+		Stragglers: &sim.StragglerModel{Slow: []sim.SlowRank{{Rank: slowRank, Factor: 4}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SlowestRank != slowRank {
+		t.Errorf("simulated attribution named rank %d, want %d", res.SlowestRank, slowRank)
+	}
+}

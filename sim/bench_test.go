@@ -1,0 +1,35 @@
+package sim
+
+import "testing"
+
+// BenchmarkSimStep measures engine throughput at cluster scale: one
+// fully-featured 1024-rank session (multi-host topology, lognormal
+// stragglers, per-step jitter) per iteration. The reported events/sec
+// metric is the simulator's capacity planning number — how much
+// simulated cluster time a second of wall time buys.
+func BenchmarkSimStep(b *testing.B) {
+	sc := Scenario{
+		Name: "bench-1k", Seed: 1, Ranks: 1024, Steps: 20,
+		Policy: "qsgd4b512",
+		Topology: &Topology{
+			RanksPerHost:     8,
+			Intra:            Link{GBps: 8, LatencyUS: 60},
+			Inter:            Link{GBps: 1.2, LatencyUS: 200},
+			Oversubscription: 4,
+		},
+		Stragglers: &StragglerModel{Dist: "lognormal", Sigma: 0.1},
+		Jitter:     &JitterModel{Dist: "uniform", MaxMS: 1},
+	}
+	b.ReportAllocs()
+	var events int64
+	for n := 0; n < b.N; n++ {
+		res, err := RunScenario(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(events)/secs, "events/sec")
+	}
+}

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
+
+// The discrete-event engine: a seeded, single-threaded event loop on a
+// logical clock measured in integer nanoseconds. Determinism is the
+// design invariant — ties are broken by schedule order, all randomness
+// flows from the scenario seed through repro/rng, and no wall time is
+// read anywhere — so the same scenario always produces the same event
+// trace, hash-locked by the golden datasets.
+
+// Event is one fired simulation event, as recorded in the trace.
+type Event struct {
+	// AtNS is the logical firing time in nanoseconds.
+	AtNS int64
+	// Kind names the event class ("compute", "quant", "xfer",
+	// "barrier", "death", "detect", "rejoin").
+	Kind string
+	// Rank is the rank the event belongs to (-1 for whole-cluster
+	// events such as barriers).
+	Rank int
+	// Step is the 1-based synchronous step the event belongs to.
+	Step int
+}
+
+// scheduled is a pending event in the queue.
+type scheduled struct {
+	ev  Event
+	seq uint64 // tie-break: FIFO among events at the same instant
+	fn  func()
+}
+
+type eventHeap []*scheduled
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].ev.AtNS != h[j].ev.AtNS {
+		return h[i].ev.AtNS < h[j].ev.AtNS
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*scheduled)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is the deterministic discrete-event loop.
+type Engine struct {
+	now   int64
+	seq   uint64
+	queue eventHeap
+	fired int64
+	hash  interface {
+		Write([]byte) (int, error)
+		Sum64() uint64
+	}
+	trace  []Event
+	keep   bool
+	kindID map[string]byte
+}
+
+// NewEngine returns an empty engine at logical time zero. When
+// keepTrace is set the full fired-event list is retained (per-rank
+// timelines for the CLI); the trace hash is always maintained.
+func NewEngine(keepTrace bool) *Engine {
+	return &Engine{
+		hash:   fnv.New64a(),
+		keep:   keepTrace,
+		kindID: map[string]byte{},
+	}
+}
+
+// Now returns the current logical time in nanoseconds.
+func (e *Engine) Now() int64 { return e.now }
+
+// Schedule queues fn at the given absolute logical time. Scheduling in
+// the past is a programming error.
+func (e *Engine) Schedule(atNS int64, kind string, rank, step int, fn func()) {
+	if atNS < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %d, before now %d", kind, atNS, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &scheduled{
+		ev:  Event{AtNS: atNS, Kind: kind, Rank: rank, Step: step},
+		seq: e.seq,
+		fn:  fn,
+	})
+}
+
+// After is Schedule relative to the current time.
+func (e *Engine) After(delayNS int64, kind string, rank, step int, fn func()) {
+	if delayNS < 0 {
+		delayNS = 0
+	}
+	e.Schedule(e.now+delayNS, kind, rank, step, fn)
+}
+
+// Run drains the queue, firing events in (time, schedule-order)
+// sequence, and returns the number of events fired.
+func (e *Engine) Run() int64 {
+	var buf [16]byte
+	for e.queue.Len() > 0 {
+		it := heap.Pop(&e.queue).(*scheduled)
+		e.now = it.ev.AtNS
+		e.fired++
+		// Fold the event into the running trace hash: time, kind,
+		// rank and step pin the full causal order.
+		id, ok := e.kindID[it.ev.Kind]
+		if !ok {
+			id = byte(len(e.kindID))
+			e.kindID[it.ev.Kind] = id
+		}
+		binary.LittleEndian.PutUint64(buf[0:], uint64(it.ev.AtNS))
+		binary.LittleEndian.PutUint32(buf[8:], uint32(it.ev.Rank))
+		buf[12] = id
+		buf[13] = byte(it.ev.Step)
+		buf[14] = byte(it.ev.Step >> 8)
+		buf[15] = byte(it.ev.Step >> 16)
+		e.hash.Write(buf[:])
+		if e.keep {
+			e.trace = append(e.trace, it.ev)
+		}
+		it.fn()
+	}
+	return e.fired
+}
+
+// TraceHash returns the FNV-1a digest of every event fired so far —
+// the compact fingerprint the determinism tests and golden datasets
+// lock.
+func (e *Engine) TraceHash() string { return fmt.Sprintf("%016x", e.hash.Sum64()) }
+
+// Trace returns the retained event list (nil unless NewEngine was
+// asked to keep it).
+func (e *Engine) Trace() []Event { return e.trace }

@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"os"
+	"testing"
+)
+
+// FuzzScenarioDecode: the decoder must never panic and never allocate
+// proportionally to a hostile input — it rejects oversized files before
+// parsing and checks every embedded collection against hard ceilings.
+// Whatever it accepts must be internally consistent: re-validation
+// passes and the scenario's bounds respect the package limits.
+func FuzzScenarioDecode(f *testing.F) {
+	for _, path := range []string{
+		"testdata/tcp_parity_mpi_3.json",
+		"testdata/hetero_straggler_64.json",
+		"testdata/mega_1024.json",
+		"testdata/abort_8.json",
+	} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"name":"tiny","ranks":2,"steps":1}`))
+	f.Add([]byte(`{"ranks":4,"steps":2,"tensors":[{"name":"w","rows":3,"cols":3}],"jitter":{"dist":"exp","mean_ms":1}}`))
+	f.Add([]byte(`{"ranks":8,"steps":3,"failures":[{"step":2,"rank":1,"rejoin":true}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := DecodeScenario(data)
+		if err != nil {
+			return
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("accepted scenario fails re-validation: %v", err)
+		}
+		if sc.Ranks < 1 || sc.Ranks > MaxRanks || sc.Steps < 1 || sc.Steps > MaxSteps {
+			t.Fatalf("accepted scenario violates bounds: ranks=%d steps=%d", sc.Ranks, sc.Steps)
+		}
+		if len(data) > MaxScenarioBytes {
+			t.Fatalf("accepted %d-byte input past the %d-byte cap", len(data), MaxScenarioBytes)
+		}
+	})
+}

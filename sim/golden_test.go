@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// updateGolden regenerates every golden dataset under testdata/:
+//
+//	go test ./sim -run Golden -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden datasets under testdata/")
+
+// scenarioFiles lists the checked-in scenario inputs (every testdata
+// JSON file that is not itself a golden dataset).
+func scenarioFiles(t testing.TB) []string {
+	t.Helper()
+	all, err := filepath.Glob(filepath.Join("testdata", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, p := range all {
+		if !strings.HasSuffix(p, ".golden.json") {
+			paths = append(paths, p)
+		}
+	}
+	if len(paths) == 0 {
+		t.Fatal("no scenarios under testdata/")
+	}
+	return paths
+}
+
+// TestGoldenDatasets: every checked-in scenario must reproduce its
+// golden summary byte for byte. All summary fields are integers or
+// strings, so this is an exact-match regression lock — any drift in
+// event ordering, pricing, byte accounting or the seeded draws shows up
+// as a diff (and the TraceHash field pins the full event trace, not
+// just the summary).
+func TestGoldenDatasets(t *testing.T) {
+	for _, path := range scenarioFiles(t) {
+		name := strings.TrimSuffix(filepath.Base(path), ".json")
+		t.Run(name, func(t *testing.T) {
+			sc, err := LoadScenario(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := RunScenario(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			goldenPath := strings.TrimSuffix(path, ".json") + ".golden.json"
+			if *updateGolden {
+				if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update-golden)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s diverged from its golden dataset:\ngot:\n%s\nwant:\n%s", name, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenScenariosStillValidate: the checked-in scenarios must pass
+// the offline validator (guards against testdata rotting as the schema
+// evolves).
+func TestGoldenScenariosStillValidate(t *testing.T) {
+	for _, path := range scenarioFiles(t) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeScenario(data); err != nil {
+			t.Errorf("%s: %v", path, err)
+		}
+	}
+}
