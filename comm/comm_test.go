@@ -131,8 +131,8 @@ func TestFabricByteAccounting(t *testing.T) {
 func TestFabricPanics(t *testing.T) {
 	f := NewFabric(2)
 	for i, fn := range []func(){
-		func() { f.Send(0, 0, nil) },
-		func() { f.Send(0, 5, nil) },
+		func() { f.Send(0, 0, nil) }, //lint:allow commerr Send panics on the self-link before returning; the recover below is the assertion
+		func() { f.Send(0, 5, nil) }, //lint:allow commerr Send panics on the out-of-range peer before returning; the recover below is the assertion
 		func() { NewFabric(0) },
 	} {
 		func() {

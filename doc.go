@@ -42,9 +42,12 @@
 // locked by golden datasets under sim/testdata; driven from the
 // command line via lpsgd-sim -scenario), and nn/tensor/data/rng (the
 // deep-learning substrate). The experiment machinery stays under
-// internal/: workload (machine and network calibration data) and
-// harness (one runner per table and figure); internal/simulate remains
-// as a deprecated shim over sim. See README.md for a quickstart and a
-// tour; the top-level bench_test.go regenerates every figure as a Go
+// internal/: workload (machine and network calibration data), harness
+// (one runner per table and figure) and lint (the project's static
+// analyzers, run as a vet tool via cmd/lpsgd-vet to machine-enforce
+// the wire-bound, sim-determinism, transport-error, goroutine-
+// lifecycle and deprecation contracts); internal/simulate remains as a
+// deprecated shim over sim. See README.md for a quickstart and a tour;
+// the top-level bench_test.go regenerates every figure as a Go
 // benchmark.
 package repro

@@ -121,10 +121,18 @@ func NewSession(opts TrainOptions) (*Session, error) {
 	if momentum == 0 {
 		momentum = 0.9
 	}
+	// TrainOptions keeps its Policy-or-Codec surface for callers, but
+	// the pair compiles into a policy here so the deprecated
+	// parallel.Config.Codec shim field gains no new users (the
+	// normalization in parallel fills Base/MinFrac defaults the same
+	// way it fills the deprecated pair's).
+	policy := opts.Policy
+	if policy == nil {
+		policy = &quant.Policy{Base: opts.Codec}
+	}
 	tr, err := parallel.NewTrainer(opts.Model, parallel.Config{
 		Workers:   opts.Workers,
-		Policy:    opts.Policy,
-		Codec:     opts.Codec,
+		Policy:    policy,
 		Primitive: prim,
 		BatchSize: opts.BatchSize,
 		Epochs:    opts.Epochs,

@@ -327,7 +327,7 @@ func runStudy(task string, build func(r *rng.RNG) *nn.Network,
 	for _, lc := range opts.Codecs {
 		tr, err := parallel.NewTrainer(build, parallel.Config{
 			Workers:   opts.Workers,
-			Codec:     lc.Codec,
+			Policy:    &quant.Policy{Base: lc.Codec},
 			Primitive: parallel.MPI,
 			BatchSize: opts.BatchSize,
 			Epochs:    opts.Epochs,

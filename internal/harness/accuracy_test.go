@@ -145,7 +145,7 @@ func TestInceptionModelTrainsQuantised(t *testing.T) {
 		TrainN: 256, TestN: 128, Noise: 1.0, Shift: true, Seed: 23,
 	})
 	tr, err := parallel.NewTrainer(InceptionModel(4), parallel.Config{
-		Workers: 2, Codec: quant.NewQSGD(4, 512, quant.MaxNorm),
+		Workers: 2, Policy: &quant.Policy{Base: quant.NewQSGD(4, 512, quant.MaxNorm)},
 		BatchSize: 32, Epochs: 8, Schedule: nn.ConstantLR(0.05),
 		Momentum: 0.9, Seed: 24,
 	})

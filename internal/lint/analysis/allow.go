@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// A //lint:allow directive is the suite's escape hatch: placed at the
+// end of the offending line (or on its own line directly above it) it
+// suppresses exactly one diagnostic of the named analyzer, and the
+// reason is mandatory so every suppression documents why the invariant
+// does not apply:
+//
+//	m.write(l, bye) //lint:allow commerr parting bye is best-effort
+//
+// The directive grammar is deliberately rigid — one analyzer, one
+// diagnostic, one reason — so `grep lint:allow` enumerates every hole
+// punched in the invariants together with its justification.
+type directive struct {
+	file     *token.File
+	pos      token.Pos
+	line     int
+	analyzer string
+	reason   string
+}
+
+// parseDirectives extracts every //lint:allow directive from the
+// pass's files.
+func parseDirectives(pass *Pass) []directive {
+	var ds []directive
+	for _, f := range pass.Files {
+		tf := pass.Fset.File(f.Pos())
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// The block form /*lint:allow ...*/ exists so a fixture
+				// can put a separate comment after the directive on the
+				// same line; real code should use the line form.
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					if text, ok = strings.CutPrefix(c.Text, "/*lint:allow"); !ok {
+						continue
+					}
+					text = strings.TrimSuffix(text, "*/")
+				}
+				fields := strings.Fields(text)
+				d := directive{file: tf, pos: c.Pos(), line: tf.Line(c.Pos())}
+				if len(fields) > 0 {
+					d.analyzer = fields[0]
+				}
+				if len(fields) > 1 {
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				ds = append(ds, d)
+			}
+		}
+	}
+	return ds
+}
+
+// applyAllows filters the pass's raw diagnostics through the
+// //lint:allow directives and appends directive-hygiene diagnostics.
+// Malformed-directive findings use the shared "lintallow" category so
+// that drivers running several analyzers over the same package can
+// deduplicate the identical reports each of them produces.
+func applyAllows(pass *Pass) []Diagnostic {
+	ds := parseDirectives(pass)
+	diags := pass.diags
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+
+	suppressed := make([]bool, len(diags))
+	var extra []Diagnostic
+	for _, d := range ds {
+		switch {
+		case d.analyzer == "":
+			extra = append(extra, Diagnostic{Pos: d.pos, Category: "lintallow",
+				Message: "malformed //lint:allow directive: want //lint:allow <analyzer> <reason>"})
+			continue
+		case !known(d.analyzer):
+			extra = append(extra, Diagnostic{Pos: d.pos, Category: "lintallow",
+				Message: "//lint:allow names unknown analyzer " + strconvQuote(d.analyzer) +
+					" (known: " + strings.Join(Registered(), ", ") + ")"})
+			continue
+		case d.reason == "":
+			extra = append(extra, Diagnostic{Pos: d.pos, Category: "lintallow",
+				Message: "//lint:allow " + d.analyzer + " is missing a reason"})
+			continue
+		}
+		if d.analyzer != pass.Analyzer.Name {
+			continue // directive for another analyzer in the suite
+		}
+		// Suppress the first not-yet-suppressed diagnostic of this
+		// analyzer on the directive's line (trailing comment) or the
+		// line below (standalone comment above the finding).
+		hit := false
+		for i, diag := range diags {
+			if suppressed[i] || diag.Category != pass.Analyzer.Name {
+				continue
+			}
+			p := pass.Fset.Position(diag.Pos)
+			if p.Filename != d.file.Name() {
+				continue
+			}
+			if p.Line == d.line || p.Line == d.line+1 {
+				suppressed[i] = true
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			extra = append(extra, Diagnostic{Pos: d.pos, Category: pass.Analyzer.Name,
+				Message: "unused //lint:allow " + d.analyzer + " directive: no " + d.analyzer +
+					" diagnostic on this line or the next"})
+		}
+	}
+
+	var out []Diagnostic
+	for i, diag := range diags {
+		if !suppressed[i] {
+			out = append(out, diag)
+		}
+	}
+	out = append(out, extra...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
+func strconvQuote(s string) string { return `"` + s + `"` }

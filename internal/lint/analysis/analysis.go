@@ -1,0 +1,136 @@
+// Package analysis is a dependency-free miniature of the
+// golang.org/x/tools/go/analysis framework: an Analyzer is a named
+// check with a Run function over one type-checked package, and a Pass
+// carries the package's syntax, types and a diagnostic sink.
+//
+// The repository cannot vendor x/tools (the build is intentionally
+// dependency-free), so this package reimplements the one slice of the
+// framework the lint suite needs: single-package analyzers with no
+// cross-package facts. The driver (internal/lint/driver) speaks the
+// `go vet -vettool` JSON config protocol, so analyzers written against
+// this package run under plain `go vet` exactly like unitchecker-based
+// ones would.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, driver flags and
+	// //lint:allow directives. It must be a single lower-case word.
+	Name string
+	// Doc is the analyzer's documentation. The first line is used as
+	// the one-line summary in `lpsgd-vet help` and -flags output.
+	Doc string
+	// Run executes the check over one package, reporting findings via
+	// pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned in the analyzed package.
+type Diagnostic struct {
+	Pos token.Pos
+	// Category is the analyzer name for ordinary findings, or
+	// "lintallow" for malformed //lint:allow directives (which every
+	// analyzer reports identically, so drivers can deduplicate them).
+	Category string
+	Message  string
+}
+
+// Pass carries one type-checked package through an analyzer run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Category: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// PkgPath returns the package path with any go-test variant suffix
+// stripped: the external test package "repro/quant_test" (and the
+// bracketed form cmd/go uses for internal test variants) normalizes to
+// "repro/quant", so path-scoped rules treat a package and its tests as
+// one unit.
+func (p *Pass) PkgPath() string {
+	path := p.Pkg.Path()
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	return strings.TrimSuffix(path, "_test")
+}
+
+// IsTestFile reports whether f sits in a _test.go file. Analyzers that
+// enforce production-code invariants (goroutine lifecycle, wall-clock
+// bans) use this to leave test scaffolding alone.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	name := p.Fset.File(f.Pos()).Name()
+	return strings.HasSuffix(name, "_test.go")
+}
+
+// registry is the set of analyzer names known to the lint suite,
+// populated by Register at init time. //lint:allow directives naming
+// anything outside it are themselves diagnosed.
+var (
+	regMu    sync.Mutex
+	registry = map[string]bool{}
+)
+
+// Register records a's name in the global registry used to validate
+// //lint:allow directives. The suite package calls it from init.
+func Register(a *Analyzer) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[a.Name] = true
+}
+
+// Registered returns the sorted registered analyzer names.
+func Registered() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func known(name string) bool {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return registry[name]
+}
+
+// Run executes a over pass and returns its findings with //lint:allow
+// directives applied: a well-formed directive naming this analyzer
+// suppresses exactly one diagnostic on its own line or the line below;
+// malformed directives (unknown analyzer name, missing reason) and
+// directives for this analyzer that suppress nothing are themselves
+// diagnostics.
+func Run(a *Analyzer, pass *Pass) ([]Diagnostic, error) {
+	pass.Analyzer = a
+	pass.diags = nil
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	return applyAllows(pass), nil
+}

@@ -1,0 +1,169 @@
+// Package analysistest runs lint-suite analyzers over fixture packages
+// and checks their diagnostics against // want annotations, in the
+// style of golang.org/x/tools/go/analysis/analysistest (which the
+// dependency-free build cannot vendor).
+//
+// Fixtures live in GOPATH-style trees: <testdata>/src/<importpath>/.
+// A fixture may shadow a real module import path (repro/comm, say)
+// with a minimal fake, so analyzers that key on declaring package
+// paths can be exercised hermetically. Expectations are comments:
+//
+//	t.Send(0, 1, buf) // want `result of comm\.Transport\.Send discarded`
+//
+// Each quoted (or backquoted) string is a regular expression that must
+// match, on that line, one diagnostic of the analyzer under test.
+// Unmatched expectations and unexpected diagnostics both fail the
+// test.
+package analysistest
+
+import (
+	"fmt"
+	"go/scanner"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// TestData returns the conventional fixture root, "testdata" relative
+// to the test's working directory.
+func TestData() string { return "testdata" }
+
+// Run loads each fixture package, runs a over it (through the
+// framework's //lint:allow filtering) and diffs the diagnostics
+// against the fixture's want annotations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	l := loaderFor(testdata)
+	for _, path := range paths {
+		lp := l.load(path)
+		if lp.err != nil {
+			t.Errorf("%s: load %s: %v", a.Name, path, lp.err)
+			continue
+		}
+		if lp.info == nil {
+			t.Errorf("%s: %s resolved to a non-fixture package; fixtures must live under %s/src", a.Name, path, testdata)
+			continue
+		}
+		pass := &analysis.Pass{
+			Fset:      l.fset,
+			Files:     lp.files,
+			Pkg:       lp.pkg,
+			TypesInfo: lp.info,
+		}
+		diags, err := analysis.Run(a, pass)
+		if err != nil {
+			t.Errorf("%s: run on %s: %v", a.Name, path, err)
+			continue
+		}
+		checkWants(t, l, a, path, lp, diags)
+	}
+}
+
+// expectation is one want regexp anchored to a file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile(`^(?://|/\*)\s*want(\s+.*)$`)
+
+func checkWants(t *testing.T, l *loader, a *analysis.Analyzer, path string, lp *loadedPackage, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range lp.files {
+		tf := l.fset.File(f.Pos())
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				patterns, err := parseWantPatterns(strings.TrimSuffix(m[1], "*/"))
+				if err != nil {
+					t.Errorf("%s: %s: bad want comment %q: %v", a.Name, l.fset.Position(c.Pos()), c.Text, err)
+					continue
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Errorf("%s: %s: bad want regexp %q: %v", a.Name, l.fset.Position(c.Pos()), p, err)
+						continue
+					}
+					wants = append(wants, &expectation{
+						file: tf.Name(), line: tf.Line(c.Pos()), re: re, raw: p,
+					})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := l.fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: %s: unexpected diagnostic: %s", a.Name, pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none", a.Name, w.file, w.line, w.raw)
+		}
+	}
+}
+
+// parseWantPatterns splits a want comment's payload into its quoted or
+// backquoted regexp strings using the Go scanner, so patterns may
+// contain spaces.
+func parseWantPatterns(s string) ([]string, error) {
+	var sc scanner.Scanner
+	fset := token.NewFileSet()
+	file := fset.AddFile("want", fset.Base(), len(s))
+	var scanErr error
+	sc.Init(file, []byte(s), func(_ token.Position, msg string) {
+		if scanErr == nil {
+			scanErr = fmt.Errorf("%s", msg)
+		}
+	}, 0)
+	var out []string
+	for {
+		_, tok, lit := sc.Scan()
+		if tok == token.EOF || scanErr != nil {
+			break
+		}
+		if tok == token.SEMICOLON { // automatic semicolon at end of input
+			continue
+		}
+		if tok != token.STRING {
+			return nil, fmt.Errorf("unexpected token %s (want quoted regexps)", tok)
+		}
+		unq, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, unq)
+	}
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no patterns")
+	}
+	return out, nil
+}

@@ -1,0 +1,138 @@
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// loader type-checks fixture packages from source. Import resolution
+// tries the fixture tree first — testdata/src/<importpath> — so a
+// fixture can shadow real module paths like repro/comm with a minimal
+// fake that carries only the identity the analyzer keys on; anything
+// not found there falls through to the standard library, compiled
+// from $GOROOT/src by the go/importer source importer.
+type loader struct {
+	fset   *token.FileSet
+	srcDir string
+	std    types.Importer
+
+	mu   sync.Mutex
+	pkgs map[string]*loadedPackage
+}
+
+type loadedPackage struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+	err   error
+}
+
+var (
+	loadersMu sync.Mutex
+	loaders   = map[string]*loader{}
+)
+
+// loaderFor returns the shared loader for one testdata directory.
+// Sharing amortizes the source-importer's standard-library
+// type-checking across every test in the package.
+func loaderFor(testdata string) *loader {
+	loadersMu.Lock()
+	defer loadersMu.Unlock()
+	if l, ok := loaders[testdata]; ok {
+		return l
+	}
+	fset := token.NewFileSet()
+	l := &loader{
+		fset:   fset,
+		srcDir: filepath.Join(testdata, "src"),
+		std:    importer.ForCompiler(fset, "source", nil),
+		pkgs:   map[string]*loadedPackage{},
+	}
+	loaders[testdata] = l
+	return l
+}
+
+// Import implements types.Importer over the fixture tree with a
+// standard-library fallback.
+func (l *loader) Import(path string) (*types.Package, error) {
+	lp := l.load(path)
+	if lp.err != nil {
+		return nil, lp.err
+	}
+	return lp.pkg, nil
+}
+
+func (l *loader) load(path string) *loadedPackage {
+	l.mu.Lock()
+	if lp, ok := l.pkgs[path]; ok {
+		l.mu.Unlock()
+		return lp
+	}
+	lp := &loadedPackage{}
+	l.pkgs[path] = lp
+	l.mu.Unlock()
+
+	dir := filepath.Join(l.srcDir, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		lp.pkg, lp.files, lp.info, lp.err = l.check(path, dir)
+		return lp
+	}
+	lp.pkg, lp.err = l.std.Import(path)
+	return lp
+}
+
+// check parses and type-checks one fixture directory.
+func (l *loader) check(path, dir string) (*types.Package, []*ast.File, *types.Info, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, nil, nil, fmt.Errorf("analysistest: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, nil, nil, fmt.Errorf("analysistest: fixture %s does not type-check: %v", path, typeErrs[0])
+	}
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return pkg, files, info, nil
+}

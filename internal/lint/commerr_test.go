@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestCommerr(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.Commerr,
+		"commerr/a",    // transport and encoder discard shapes
+		"repro/health", // unexported Monitor.write, flagged inside its own package
+	)
+}

@@ -1,0 +1,304 @@
+// Package driver implements the `go vet -vettool` command-line
+// protocol for the lint suite, standing in for
+// golang.org/x/tools/go/analysis/unitchecker in this dependency-free
+// build.
+//
+// The protocol, as spoken by cmd/go (see buildVetConfig and
+// (*Builder).vet in cmd/go/internal/work/exec.go):
+//
+//   - `lpsgd-vet -V=full` prints a version line ending in a buildID
+//     token; cmd/go hashes it into its action cache key.
+//   - `lpsgd-vet -flags` prints the tool's flags as a JSON array so
+//     `go vet` can validate pass-through flags.
+//   - `lpsgd-vet [-<analyzer>...] <dir>/vet.cfg` analyzes the single
+//     package described by the JSON config: parse the listed Go files,
+//     type-check them against the export data cmd/go already built for
+//     every import, run the analyzers, print findings to stderr and
+//     exit non-zero if there were any.
+//
+// Import resolution needs no network and no source for dependencies:
+// the config maps each import path to a compiled package file, and
+// go/importer's gc importer reads export data straight out of those
+// archives.
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Config mirrors cmd/go's vetConfig JSON (the fields this driver
+// consumes; unknown fields are ignored by encoding/json).
+type Config struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+	GoVersion   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for cmd/lpsgd-vet. It never returns.
+func Main(analyzers ...*analysis.Analyzer) {
+	os.Exit(run(os.Args[1:], analyzers, os.Stdout, os.Stderr))
+}
+
+func run(args []string, analyzers []*analysis.Analyzer, stdout, stderr io.Writer) int {
+	enabled := map[string]bool{}
+	var cfgPath string
+	for _, arg := range args {
+		switch {
+		case strings.HasPrefix(arg, "-V"):
+			printVersion(stdout)
+			return 0
+		case arg == "-flags":
+			printFlags(stdout, analyzers)
+			return 0
+		case arg == "help", arg == "-h", arg == "--help":
+			printHelp(stderr, analyzers)
+			return 0
+		case strings.HasPrefix(arg, "-"):
+			name, val, ok := parseAnalyzerFlag(arg, analyzers)
+			if !ok {
+				fmt.Fprintf(stderr, "lpsgd-vet: unknown flag %s\n", arg)
+				return 1
+			}
+			enabled[name] = val
+		default:
+			cfgPath = arg
+		}
+	}
+	if cfgPath == "" || !strings.HasSuffix(cfgPath, ".cfg") {
+		fmt.Fprintf(stderr, "lpsgd-vet: run via `go vet -vettool=$(which lpsgd-vet) ./...`; direct invocation takes a cmd/go vet.cfg file\n")
+		return 1
+	}
+	selected := selectAnalyzers(analyzers, enabled)
+	code, err := runConfig(cfgPath, selected, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "lpsgd-vet: %v\n", err)
+		return 1
+	}
+	return code
+}
+
+// parseAnalyzerFlag recognises -<name>, -<name>=true, -<name>=false
+// for each analyzer, mirroring unitchecker's selection flags.
+func parseAnalyzerFlag(arg string, analyzers []*analysis.Analyzer) (name string, val, ok bool) {
+	body := strings.TrimPrefix(strings.TrimPrefix(arg, "-"), "-")
+	body, rawVal, hasVal := strings.Cut(body, "=")
+	val = true
+	if hasVal {
+		switch rawVal {
+		case "true", "1":
+			val = true
+		case "false", "0":
+			val = false
+		default:
+			return "", false, false
+		}
+	}
+	for _, a := range analyzers {
+		if a.Name == body {
+			return body, val, true
+		}
+	}
+	return "", false, false
+}
+
+// selectAnalyzers applies unitchecker flag semantics: explicit =true
+// flags select exactly that subset; otherwise =false flags subtract
+// from the full suite.
+func selectAnalyzers(analyzers []*analysis.Analyzer, enabled map[string]bool) []*analysis.Analyzer {
+	anyTrue := false
+	for _, v := range enabled {
+		anyTrue = anyTrue || v
+	}
+	var out []*analysis.Analyzer
+	for _, a := range analyzers {
+		v, set := enabled[a.Name]
+		switch {
+		case anyTrue && set && v:
+			out = append(out, a)
+		case !anyTrue && (!set || v):
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// printVersion emits the `-V=full` line cmd/go's toolID parser
+// expects: `<name> version devel ... buildID=<contentID>`. Hashing the
+// executable keeps the ID — and therefore cmd/go's vet result cache —
+// honest across rebuilds of the tool.
+func printVersion(w io.Writer) {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Fprintf(w, "lpsgd-vet version devel buildID=%x\n", h.Sum(nil))
+}
+
+// printFlags answers `go vet`'s -flags query: a JSON array of the
+// flags the tool accepts, one boolean per analyzer.
+func printFlags(w io.Writer, analyzers []*analysis.Analyzer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	flags := make([]jsonFlag, 0, len(analyzers))
+	for _, a := range analyzers {
+		flags = append(flags, jsonFlag{
+			Name: a.Name, Bool: true,
+			Usage: "enable only the " + a.Name + " analyzer: " + firstLine(a.Doc),
+		})
+	}
+	json.NewEncoder(w).Encode(flags)
+}
+
+func printHelp(w io.Writer, analyzers []*analysis.Analyzer) {
+	fmt.Fprintf(w, "lpsgd-vet: the repository's invariant checkers; run via go vet -vettool.\n\nAnalyzers:\n")
+	for _, a := range analyzers {
+		fmt.Fprintf(w, "  %-14s %s\n", a.Name, firstLine(a.Doc))
+	}
+}
+
+func firstLine(s string) string {
+	line, _, _ := strings.Cut(s, "\n")
+	return line
+}
+
+// runConfig analyzes the one package a vet.cfg describes. The returned
+// int is the process exit code: 0 clean, 2 findings.
+func runConfig(cfgPath string, analyzers []*analysis.Analyzer, stderr io.Writer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+	// cmd/go caches and propagates the vetx (facts) output; the suite
+	// computes no cross-package facts, so an empty marker suffices —
+	// but it must exist for the cache entry to be written.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("lpsgd-vet: no facts\n"), 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly || cfg.Standard[cfg.ImportPath] {
+		// Dependency-only visit (facts) or a standard-library package:
+		// the suite's invariants are repository-scoped.
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	tconf := types.Config{
+		Importer:  importer.ForCompiler(fset, "gc", lookup),
+		GoVersion: cfg.GoVersion,
+		Error:     func(error) {}, // accumulate via Check's return; go build reports them better
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err)
+	}
+
+	var all []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+		diags, err := analysis.Run(a, pass)
+		if err != nil {
+			return 0, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+		all = append(all, diags...)
+	}
+	all = dedupe(all)
+	for _, d := range all {
+		fmt.Fprintf(stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Category, d.Message)
+	}
+	if len(all) > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}
+
+// dedupe collapses identical (position, category, message) findings:
+// every analyzer validates //lint:allow directives, so a malformed
+// directive would otherwise be reported once per analyzer run.
+func dedupe(diags []analysis.Diagnostic) []analysis.Diagnostic {
+	sort.SliceStable(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		if diags[i].Category != diags[j].Category {
+			return diags[i].Category < diags[j].Category
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package driver_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles the real lpsgd-vet binary into a scratch dir, so
+// the test exercises the exact cmd/go handshake CI uses: -V=full
+// version probing, -flags registration, vet.cfg unit checking and
+// exit-status propagation.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "lpsgd-vet")
+	cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/lpsgd-vet")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build lpsgd-vet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Clean(filepath.Join(wd, "..", "..", ".."))
+}
+
+// TestVettoolCleanTree runs the suite through go vet over decoder
+// packages of the real tree, which must be clean: every legitimate
+// finding is fixed and every deliberate one carries a //lint:allow.
+func TestVettoolCleanTree(t *testing.T) {
+	bin := buildTool(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./elastic", "./quant", "./health")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool on clean packages failed: %v\n%s", err, out)
+	}
+}
+
+// TestVettoolFindsViolation plants a wall-clock read in a scratch
+// module's sim package and expects the vettool run to fail with a
+// simclock diagnostic, proving findings survive the cmd/go round trip.
+func TestVettoolFindsViolation(t *testing.T) {
+	bin := buildTool(t)
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "sim", "sim.go"), `package sim
+
+import "time"
+
+// Stamp reads the wall clock, which simclock must reject.
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool passed on a sim package that reads time.Now:\n%s", out)
+	}
+	if !strings.Contains(string(out), "simclock") || !strings.Contains(string(out), "time.Now") {
+		t.Fatalf("expected a simclock time.Now diagnostic, got:\n%s", out)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+
+	"repro/internal/lint/analysis"
+)
+
+// Golifecycle enforces the concurrency discipline the goroutine-leak-
+// counting tests assert dynamically: a goroutine launched in the
+// runtime packages must have a visible shutdown path. Every goroutine
+// in comm, health, cluster and parallel today is either bracketed by a
+// sync.WaitGroup Add/Done pair, parks on a done/stop/context channel,
+// or hands its result to the launcher over a channel the launcher
+// receives from — which is what lets Close be a join rather than a
+// hope. A `go func` with none of those is how the next DAG-overlap
+// exchange grows a leak that only shows up as a flaky -race lane.
+var Golifecycle = &analysis.Analyzer{
+	Name: "golifecycle",
+	Doc: "goroutine literals in comm/health/cluster/parallel need a visible shutdown path\n\n" +
+		"A `go func` literal must receive from a channel (done/stop/ctx),\n" +
+		"call Done on a sync.WaitGroup, or send on a channel the enclosing\n" +
+		"function receives from. Otherwise nothing joins it and Close\n" +
+		"cannot prove the goroutine exited.",
+	Run: runGolifecycle,
+}
+
+// lifecyclePackages are the packages whose goroutines the rule covers.
+var lifecyclePackages = map[string]bool{
+	"comm": true, "health": true, "cluster": true, "parallel": true,
+}
+
+func runGolifecycle(pass *analysis.Pass) error {
+	if !lifecyclePackages[path.Base(pass.PkgPath())] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				lit, ok := g.Call.Fun.(*ast.FuncLit)
+				if !ok {
+					return true // named functions own their lifecycle at their declaration
+				}
+				if !hasLifecycle(pass, lit, fd.Body) {
+					pass.Reportf(g.Pos(), "goroutine has no visible shutdown path: receive a done/ctx channel, bracket it with a sync.WaitGroup Add/Done pair, or send its result on a channel the caller receives")
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// hasLifecycle reports whether the goroutine literal shows one of the
+// accepted shutdown shapes.
+func hasLifecycle(pass *analysis.Pass, lit *ast.FuncLit, enclosing *ast.BlockStmt) bool {
+	joined := false
+	var sent []types.Object // channels the goroutine sends on
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			// <-done, <-ctx.Done(), select receives: the goroutine
+			// observes a termination signal.
+			if n.Op == token.ARROW {
+				joined = true
+			}
+		case *ast.RangeStmt:
+			// for msg := range ch parks on channel close.
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					joined = true
+				}
+			}
+		case *ast.CallExpr:
+			// wg.Done() (usually deferred) brackets the goroutine.
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if selection, ok := pass.TypesInfo.Selections[sel]; ok {
+					if pkg, name := namedRecv(selection.Recv()); pkg == "sync" && name == "WaitGroup" {
+						joined = true
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if id, ok := ast.Unparen(n.Chan).(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					sent = append(sent, obj)
+				}
+			}
+		}
+		return !joined
+	})
+	if joined {
+		return true
+	}
+	if len(sent) == 0 {
+		return false
+	}
+	// The goroutine reports on a channel: accept it if the enclosing
+	// function (anywhere, including sibling closures like a teardown
+	// helper) receives from that same channel — that receive is the
+	// join.
+	received := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if received {
+			return false
+		}
+		u, ok := n.(*ast.UnaryExpr)
+		if !ok || u.Op != token.ARROW {
+			return true
+		}
+		id, ok := ast.Unparen(u.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		for _, s := range sent {
+			if obj == s {
+				received = true
+			}
+		}
+		return !received
+	})
+	return received
+}

@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestGolifecycle(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.Golifecycle,
+		"golifecycle/comm",  // lifecycle evidence shapes, escape hatch, typo directive
+		"golifecycle/other", // out-of-scope package: bare goroutine, no findings
+	)
+}

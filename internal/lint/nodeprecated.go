@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"repro/internal/lint/analysis"
+)
+
+// Nodeprecated keeps the deprecated shims from leaking back into new
+// code. PR 3 replaced the (Codec, MinQuantisedFraction) pair with
+// quant.Policy end to end, and PR 6 promoted internal/simulate into
+// the sim package — but the shims (kept so old callers build) are one
+// import or one field reference away from reintroducing the very
+// configuration drift those PRs removed. This analyzer flags:
+//
+//   - imports of repro/internal/simulate (use repro/sim),
+//   - uses of quant.NewCodecPlan (use quant.NewPlan with a Policy),
+//   - reads or writes of parallel.Config.Codec and
+//     parallel.Config.MinQuantisedFraction (set Config.Policy),
+//
+// everywhere except the shim packages themselves, whose job is to
+// carry exactly these names.
+var Nodeprecated = &analysis.Analyzer{
+	Name: "nodeprecated",
+	Doc: "deprecated shims must not gain new callers\n\n" +
+		"internal/simulate, quant.NewCodecPlan and the parallel.Config\n" +
+		"Codec/MinQuantisedFraction pair are compatibility shims; new code\n" +
+		"uses repro/sim and quant.Policy. Only the shim packages themselves\n" +
+		"may reference them.",
+	Run: runNodeprecated,
+}
+
+// shimPackages may reference any deprecated name: they are the shims.
+var shimPackages = map[string]bool{
+	"repro/internal/simulate": true,
+}
+
+func runNodeprecated(pass *analysis.Pass) error {
+	pkgPath := pass.PkgPath()
+	if shimPackages[pkgPath] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "repro/internal/simulate" {
+				pass.Reportf(imp.Pos(), "import of deprecated shim repro/internal/simulate: the pricing model lives in repro/sim now")
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkDeprecatedSelector(pass, pkgPath, n)
+			case *ast.CompositeLit:
+				checkDeprecatedLiteral(pass, pkgPath, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDeprecatedSelector flags quant.NewCodecPlan references and
+// field selections of the deprecated parallel.Config pair.
+func checkDeprecatedSelector(pass *analysis.Pass, pkgPath string, sel *ast.SelectorExpr) {
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	switch obj.Pkg().Path() {
+	case "repro/quant":
+		if obj.Name() == "NewCodecPlan" && pkgPath != "repro/quant" {
+			pass.Reportf(sel.Pos(), "quant.NewCodecPlan is a deprecated shim: build a quant.Policy and call quant.NewPlan")
+		}
+	case "repro/parallel":
+		if pkgPath == "repro/parallel" {
+			return
+		}
+		if v, ok := obj.(*types.Var); ok && v.IsField() && deprecatedConfigField(pass, sel, obj.Name()) {
+			pass.Reportf(sel.Pos(), "parallel.Config.%s is a deprecated shim field: set Config.Policy instead", obj.Name())
+		}
+	}
+}
+
+// deprecatedConfigField reports whether sel selects Codec or
+// MinQuantisedFraction from a parallel.Config value.
+func deprecatedConfigField(pass *analysis.Pass, sel *ast.SelectorExpr, name string) bool {
+	if name != "Codec" && name != "MinQuantisedFraction" {
+		return false
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return false
+	}
+	pkg, recv := namedRecv(selection.Recv())
+	return pkg == "repro/parallel" && recv == "Config"
+}
+
+// checkDeprecatedLiteral flags keyed parallel.Config composite
+// literals that populate the deprecated pair.
+func checkDeprecatedLiteral(pass *analysis.Pass, pkgPath string, lit *ast.CompositeLit) {
+	if pkgPath == "repro/parallel" {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	pkg, name := namedRecv(t)
+	if pkg != "repro/parallel" || name != "Config" {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if key.Name == "Codec" || key.Name == "MinQuantisedFraction" {
+			pass.Reportf(kv.Pos(), "parallel.Config.%s is a deprecated shim field: set Config.Policy instead", key.Name)
+		}
+	}
+}

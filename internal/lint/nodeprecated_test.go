@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestNodeprecated(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.Nodeprecated,
+		"nodep/a",                 // deprecated imports, constructor and field uses
+		"repro/internal/simulate", // the shim itself is exempt from its own rule
+	)
+}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+
+	"repro/internal/lint/analysis"
+)
+
+// Simclock enforces the sim package's determinism contract: the
+// discrete-event simulator runs on a seeded logical clock in integer
+// nanoseconds and hashes its event trace with FNV-1a, so golden
+// datasets and same-seed reruns are reproducible bit for bit. One call
+// to time.Now — or one draw from the global math/rand generator —
+// breaks that contract silently: the run still completes, but the
+// trace hash stops being a function of (scenario, seed). The ban lives
+// here, at compile time, instead of only in sim/doc.go's prose and the
+// determinism regression tests.
+var Simclock = &analysis.Analyzer{
+	Name: "simclock",
+	Doc: "package sim must not read wall time or global randomness\n\n" +
+		"The simulator's golden trace hashes are reproducible only if every\n" +
+		"time and randomness source is the seeded logical clock. time.Now,\n" +
+		"time.Since, time.Sleep, timer constructors and the global math/rand\n" +
+		"functions are forbidden in sim's non-test code.",
+	Run: runSimclock,
+}
+
+// forbiddenTimeFuncs are the wall-clock entry points of package time.
+// Types and constants (time.Duration, time.Millisecond) remain fine:
+// the simulator uses them as units on its logical clock.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// allowedRandFuncs are the math/rand package-level functions that only
+// construct explicitly-seeded generators rather than drawing from the
+// global one.
+var allowedRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func runSimclock(pass *analysis.Pass) error {
+	if path.Base(pass.PkgPath()) != "sim" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if _, isFunc := obj.(*types.Func); !isFunc {
+				return true
+			}
+			// Package-level functions only: methods on *rand.Rand or
+			// *time.Timer values are reached through a constructor that
+			// is itself either allowed (rand.New) or already flagged.
+			if obj.Parent() != obj.Pkg().Scope() {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if forbiddenTimeFuncs[obj.Name()] {
+					pass.Reportf(sel.Pos(), "time.%s in package sim: the simulator must use its seeded logical clock, or golden trace hashes stop reproducing (see sim/doc.go determinism contract)", obj.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRandFuncs[obj.Name()] {
+					pass.Reportf(sel.Pos(), "global rand.%s in package sim: draw from an explicitly seeded *rand.Rand instead, or golden trace hashes stop reproducing (see sim/doc.go determinism contract)", obj.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

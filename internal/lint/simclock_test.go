@@ -1,0 +1,14 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestSimclock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.Simclock,
+		"simclock/sim",
+	)
+}

@@ -1,0 +1,86 @@
+// Package comm exercises the golifecycle analyzer: goroutine literals
+// in the communication packages need a visible shutdown path.
+package comm
+
+import "sync"
+
+func work()        {}
+func compute() int { return 0 }
+func use(int)      {}
+
+func leaky() {
+	go func() { // want `goroutine has no visible shutdown path`
+		for {
+			work()
+		}
+	}()
+}
+
+func bracketed(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+func doneChannel(done <-chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// resultJoined's goroutine is bounded because the enclosing function
+// receives the result it sends, the acceptor idiom in comm/tcp.go.
+func resultJoined() int {
+	out := make(chan int, 1)
+	go func() { out <- compute() }()
+	return <-out
+}
+
+// resultOrphaned sends on a channel nobody in the enclosing function
+// receives from, so the send is no evidence of a join.
+func resultOrphaned() {
+	out := make(chan int, 1)
+	go func() { out <- compute() }() // want `goroutine has no visible shutdown path`
+	_ = out
+}
+
+func rangeChannel(jobs <-chan int) {
+	go func() {
+		for j := range jobs {
+			use(j)
+		}
+	}()
+}
+
+type worker struct{}
+
+func (w *worker) loop() {}
+
+// namedGoroutine is out of scope: the rule targets literals, where the
+// body is visible to judge.
+func namedGoroutine(w *worker) {
+	go w.loop()
+}
+
+func allowedLeak() {
+	go func() { //lint:allow golifecycle fixture: process-lifetime pump, exits with the binary
+		for {
+			work()
+		}
+	}()
+}
+
+func typoLeak() {
+	go func() { /*lint:allow golifecycl typo in the analyzer name*/ // want `goroutine has no visible shutdown path` `names unknown analyzer "golifecycl"`
+		work()
+	}()
+}

@@ -1,0 +1,13 @@
+// Package other is outside the lifecycle-package set, so a bare
+// goroutine literal stays silent here.
+package other
+
+func work() {}
+
+func leaky() {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}

@@ -1,0 +1,51 @@
+// Package a exercises the nodeprecated analyzer against the fake
+// repro/quant, repro/parallel and repro/internal/simulate packages.
+package a
+
+import (
+	_ "repro/internal/simulate"    // want `import of deprecated shim repro/internal/simulate`
+	shim "repro/internal/simulate" //lint:allow nodeprecated fixture: migration in progress, tracked for removal
+	"repro/parallel"
+	"repro/quant"
+)
+
+var _ = shim.Estimate
+
+func deprecatedPlan(c quant.Codec) *quant.Plan {
+	return quant.NewCodecPlan(c, 1024, 0.99) // want `quant\.NewCodecPlan is a deprecated shim`
+}
+
+func supportedPlan(p *quant.Policy) *quant.Plan {
+	return quant.NewPlan(p, 1024)
+}
+
+func deprecatedLiteral(c quant.Codec) parallel.Config {
+	return parallel.Config{
+		Workers: 4,
+		Codec:   c, // want `parallel\.Config\.Codec is a deprecated shim field`
+	}
+}
+
+func deprecatedCodecRead(cfg parallel.Config) quant.Codec {
+	return cfg.Codec // want `parallel\.Config\.Codec is a deprecated shim field`
+}
+
+func deprecatedFracRead(cfg parallel.Config) float64 {
+	return cfg.MinQuantisedFraction // want `parallel\.Config\.MinQuantisedFraction is a deprecated shim field`
+}
+
+func supported(cfg parallel.Config) *quant.Policy {
+	return cfg.Policy
+}
+
+// allowedPlan proves the escape hatch suppresses exactly one
+// diagnostic: the second constructor call still fires.
+func allowedPlan(c quant.Codec) []*quant.Plan {
+	a := quant.NewCodecPlan(c, 64, 0.5) //lint:allow nodeprecated fixture: golden-table comparison needs the legacy path
+	b := quant.NewCodecPlan(c, 64, 0.5) // want `quant\.NewCodecPlan is a deprecated shim`
+	return []*quant.Plan{a, b}
+}
+
+func typoPlan(c quant.Codec) *quant.Plan {
+	return quant.NewCodecPlan(c, 64, 0.5) /*lint:allow nodeprecate typo in the analyzer name*/ // want `quant\.NewCodecPlan is a deprecated shim` `names unknown analyzer "nodeprecate"`
+}

@@ -1,0 +1,16 @@
+// Package comm is a minimal stand-in for the real repro/comm: it
+// carries only the identities the commerr analyzer keys on (the
+// package path, the Transport interface and a concrete fabric).
+package comm
+
+// Transport mirrors the real transport contract.
+type Transport interface {
+	Send(from, to int, payload []byte) error
+	Recv(from, to int) ([]byte, error)
+}
+
+// Fabric is a concrete transport.
+type Fabric struct{}
+
+func (*Fabric) Send(from, to int, payload []byte) error { return nil }
+func (*Fabric) Recv(from, to int) ([]byte, error)       { return nil, nil }

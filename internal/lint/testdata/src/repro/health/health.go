@@ -1,0 +1,34 @@
+// Package health is a minimal stand-in for the real repro/health: the
+// Monitor whose unexported control-plane write commerr protects. The
+// rule can only fire inside this package (the method is unexported),
+// so the fixture carries its own violations.
+package health
+
+type link struct{ id int }
+
+// Monitor mirrors the real monitor's shape.
+type Monitor struct{ links []*link }
+
+func (m *Monitor) write(l *link, payload []byte) bool { return len(payload) > 0 }
+
+func (m *Monitor) broadcast(payload []byte) {
+	for _, l := range m.links {
+		m.write(l, payload) // want `result of health\.Monitor\.write discarded`
+	}
+}
+
+func (m *Monitor) broadcastAllowed(payload []byte) {
+	for _, l := range m.links {
+		m.write(l, payload) //lint:allow commerr fixture: best-effort broadcast, peers keep their own deadlines
+	}
+}
+
+func (m *Monitor) broadcastCounted(payload []byte) int {
+	delivered := 0
+	for _, l := range m.links {
+		if m.write(l, payload) {
+			delivered++
+		}
+	}
+	return delivered
+}

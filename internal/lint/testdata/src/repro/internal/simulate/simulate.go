@@ -1,0 +1,13 @@
+// Package simulate is a minimal stand-in for the real deprecated
+// repro/internal/simulate shim. Its own body may reference the other
+// deprecated names — that is what shims are for — and the
+// nodeprecated analyzer must stay quiet here.
+package simulate
+
+import "repro/quant"
+
+// Estimate references the deprecated constructor, as the real shim
+// legitimately does.
+func Estimate(c quant.Codec) *quant.Plan {
+	return quant.NewCodecPlan(c, 1024, 0.99)
+}

@@ -1,0 +1,17 @@
+// Package parallel is a minimal stand-in for the real repro/parallel:
+// the Config struct with its deprecated Codec/MinQuantisedFraction
+// pair beside the supported Policy field.
+package parallel
+
+import "repro/quant"
+
+// Config mirrors the trainer configuration surface nodeprecated
+// polices.
+type Config struct {
+	Workers int
+	Policy  *quant.Policy
+	// Codec is deprecated: set Policy.
+	Codec quant.Codec
+	// MinQuantisedFraction is deprecated: set Policy.MinFrac.
+	MinQuantisedFraction float64
+}

@@ -1,0 +1,51 @@
+// Package sim exercises the simclock analyzer: wall-clock reads and
+// ambient randomness are forbidden in the simulator package.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// clock is a logical clock; its Now is fine because it is not
+// time.Now.
+type clock struct{ ticks int64 }
+
+func (c *clock) Now() int64 { return c.ticks }
+
+func badWallClock() int64 {
+	t := time.Now() // want `time\.Now in package sim`
+	return t.UnixNano()
+}
+
+func badSleep(d time.Duration) {
+	time.Sleep(d) // want `time\.Sleep in package sim`
+}
+
+func badSince(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since in package sim`
+}
+
+func badGlobalRand() int {
+	return rand.Intn(10) // want `global rand\.Intn in package sim`
+}
+
+// goodSeeded draws from an explicitly seeded source; rand.New and
+// rand.NewSource are the sanctioned constructors.
+func goodSeeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// goodLogical uses the package's own clock type.
+func goodLogical(c *clock) int64 { return c.Now() }
+
+func allowedWallClock() int64 {
+	t := time.Now() //lint:allow simclock fixture: startup banner timestamp never enters the trace
+	return t.UnixNano()
+}
+
+func typoWallClock() int64 {
+	t := time.Now() /*lint:allow simclok typo in the analyzer name*/ // want `time\.Now in package sim` `names unknown analyzer "simclok"`
+	return t.UnixNano()
+}

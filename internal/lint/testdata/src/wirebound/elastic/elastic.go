@@ -1,0 +1,114 @@
+// Package elastic exercises the wirebound analyzer: its import path
+// ends in a decoder package name, so every make size fed by a wire
+// length must be bounded first.
+package elastic
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+const maxElems = 1 << 20
+
+type header struct {
+	Magic uint32
+	N     uint32
+}
+
+func readUnguarded(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	buf := make([]byte, n) // want `make size derives from wire-decoded length "n" with no intervening bound check`
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+func readGuarded(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxElems {
+		return nil, io.ErrUnexpectedEOF
+	}
+	buf := make([]byte, n)
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+func readDirect(r io.Reader) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	payload := make([]byte, binary.BigEndian.Uint64(hdr[:])) // want `make size reads a wire length field directly with no bound check`
+	_, err := io.ReadFull(r, payload)
+	return payload, err
+}
+
+// readChunked caps the allocation with the min builtin, the chunked
+// decode idiom quant.readPayload and elastic.readChunked use.
+func readChunked(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	chunk := make([]byte, min(n, 4096))
+	_, err := io.ReadFull(r, chunk)
+	return chunk, err
+}
+
+func readStruct(r io.Reader) ([]float32, error) {
+	var hdr header
+	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+		return nil, err
+	}
+	vals := make([]float32, hdr.N) // want `make size derives from wire-decoded length "hdr" with no intervening bound check`
+	return vals, binary.Read(r, binary.LittleEndian, vals)
+}
+
+// readPinned pins the decoded count against a caller-supplied shape,
+// the nn.Load idiom: an equality comparison is a bound.
+func readPinned(r io.Reader, expect uint32) ([]float32, error) {
+	var hdr header
+	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+		return nil, err
+	}
+	if hdr.N != expect {
+		return nil, io.ErrUnexpectedEOF
+	}
+	vals := make([]float32, hdr.N)
+	return vals, binary.Read(r, binary.LittleEndian, vals)
+}
+
+// readAllowed proves the escape hatch suppresses exactly one
+// diagnostic: the trailing directive clears its own line and the next
+// line still fires.
+func readAllowed(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	a := make([]byte, n) //lint:allow wirebound fixture: length is trusted here, proving the escape hatch
+	b := make([]byte, n) // want `make size derives from wire-decoded length "n" with no intervening bound check`
+	return append(a, b...), nil
+}
+
+// readTypo misspells the analyzer name, so the directive itself is the
+// finding and the diagnostic it meant to silence still fires.
+func readTypo(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	buf := make([]byte, n) /*lint:allow wirebond typo in the analyzer name*/ // want `make size derives from wire-decoded length "n"` `names unknown analyzer "wirebond"`
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}

@@ -1,0 +1,20 @@
+// Package other is outside the decoder-package set, so the same
+// unguarded allocation shape that fires in wirebound/elastic must stay
+// silent here.
+package other
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+func readUnguarded(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	buf := make([]byte, n)
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}

@@ -1,0 +1,50 @@
+// Package sim exercises the wirebound analyzer's json.Decoder rule:
+// scenario decoders in sim must reject unknown keys.
+package sim
+
+import (
+	"encoding/json"
+	"io"
+)
+
+type scenario struct {
+	Seed  int64 `json:"seed"`
+	Ranks int   `json:"ranks"`
+}
+
+func loadStrict(r io.Reader) (*scenario, error) {
+	var s scenario
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+func loadLoose(r io.Reader) (*scenario, error) {
+	var s scenario
+	dec := json.NewDecoder(r) // want `sim json\.Decoder "dec" never calls DisallowUnknownFields`
+	if err := dec.Decode(&s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+func loadChained(r io.Reader) (*scenario, error) {
+	var s scenario
+	if err := json.NewDecoder(r).Decode(&s); err != nil { // want `sim json\.Decoder used without DisallowUnknownFields`
+		return nil, err
+	}
+	return &s, nil
+}
+
+// loadAllowed documents a deliberately lenient decoder.
+func loadAllowed(r io.Reader) (*scenario, error) {
+	var s scenario
+	dec := json.NewDecoder(r) //lint:allow wirebound fixture: forward-compatible reader tolerates new keys
+	if err := dec.Decode(&s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

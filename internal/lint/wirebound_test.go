@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestWirebound(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.Wirebound,
+		"wirebound/elastic", // bound-check taint cases, escape hatch, typo directive
+		"wirebound/sim",     // json.Decoder DisallowUnknownFields cases
+		"wirebound/other",   // out-of-scope package: same shapes, no findings
+	)
+}

@@ -40,4 +40,12 @@
 // testdata/ (regenerate with `go test ./sim -run Golden -update-golden`)
 // and every simulation is reproducible from its seed: same scenario,
 // same seed, same event trace, same summary.
+//
+// The determinism contract is machine-enforced: the simclock analyzer
+// in internal/lint (run by `make lint` and the CI lint lane) rejects
+// wall-clock reads (time.Now, time.Since, time.Sleep, ...) and global
+// math/rand draws anywhere in this package, because either one would
+// silently break seed-reproducibility and the golden trace hashes.
+// Time comes from the seeded logical clock; randomness comes from
+// explicitly seeded *rand.Rand values.
 package sim
