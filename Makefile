@@ -15,7 +15,7 @@ XTOOLS_TARGET := golang.org/x/tools@v0.24.0
 GO ?= go
 BIN := bin
 
-.PHONY: all build test race lint lint-vet lint-fmt lint-external race-coverage clean
+.PHONY: all build test race bench lint lint-vet lint-fmt lint-external race-coverage clean
 
 all: build
 
@@ -33,6 +33,12 @@ race: race-coverage
 
 race-coverage:
 	scripts/race_coverage.sh check
+
+# bench runs the tracer-overhead acceptance (the same training step
+# with the obs plane absent vs fully attached) and writes the paired
+# ns/op plus the relative overhead to BENCH_step.json.
+bench:
+	scripts/bench_step.sh
 
 # lint is the whole static-analysis surface: formatting, the project's
 # own analyzer suite through the real `go vet -vettool` protocol, and

@@ -37,6 +37,7 @@ import (
 	"repro/comm"
 	"repro/elastic"
 	"repro/health"
+	"repro/obs"
 	"repro/quant"
 )
 
@@ -74,6 +75,10 @@ type Config struct {
 	// window means elasticity is off. Requires the health plane: the
 	// failure detector's verdict is the rejoin trigger.
 	Elastic elastic.Config
+	// Tracer, when set, records the session's control-plane events —
+	// rendezvous and rejoin rounds — as obs.PhaseControl spans. Nil
+	// (the default) is fully inert.
+	Tracer *obs.Tracer
 }
 
 const defaultTimeout = 30 * time.Second
@@ -151,6 +156,7 @@ type Session struct {
 	el         elastic.Config
 	accepts    []string
 	generation int
+	tracer     *obs.Tracer
 }
 
 // Rank returns this process's rank.
@@ -269,6 +275,7 @@ func (c *Coordinator) Close() error { return c.ln.Close() }
 func (c *Coordinator) Join() (*Session, error) {
 	defer c.ln.Close()
 	cfg := c.cfg
+	rendStart := cfg.Tracer.Now()
 	deadline := time.Now().Add(cfg.timeout())
 
 	accepts := make([][]string, cfg.World)
@@ -387,7 +394,11 @@ func (c *Coordinator) Join() (*Session, error) {
 		closeConns(ctrl)
 		return nil, err
 	}
-	return newSession(cfg, policyName, addrs, conns, ctrl, hb, el, c.ln.Addr().String())
+	sess, err := newSession(cfg, policyName, addrs, conns, ctrl, hb, el, c.ln.Addr().String())
+	if err == nil {
+		cfg.Tracer.Record(cfg.Rank, obs.PhaseControl, "rendezvous", -1, 0, rendStart, cfg.Tracer.Now()-rendStart)
+	}
+	return sess, err
 }
 
 // checkHello validates one worker's hello against the coordinator's
@@ -423,6 +434,7 @@ func (c *Coordinator) checkHello(h hello, rendConns []net.Conn) error {
 
 // joinWorker runs the non-coordinator side of the rendezvous.
 func joinWorker(cfg Config) (*Session, error) {
+	rendStart := cfg.Tracer.Now()
 	deadline := time.Now().Add(cfg.timeout())
 	conn, err := dialCoordinator(cfg.Addr, deadline)
 	if err != nil {
@@ -486,7 +498,11 @@ func joinWorker(cfg Config) (*Session, error) {
 		closeConns(ctrl)
 		return nil, err
 	}
-	return newSession(cfg, wel.Codec, wel.Addrs, conns, ctrl, hb, el, cfg.Addr)
+	sess, err := newSession(cfg, wel.Codec, wel.Addrs, conns, ctrl, hb, el, cfg.Addr)
+	if err == nil {
+		cfg.Tracer.Record(cfg.Rank, obs.PhaseControl, "rendezvous", -1, 0, rendStart, cfg.Tracer.Now()-rendStart)
+	}
+	return sess, err
 }
 
 // establishMeshLinks builds one rank's full share of the mesh: it
@@ -626,6 +642,7 @@ func newSession(cfg Config, policyName string, addrs []string, conns, ctrl []net
 		hb:         hb,
 		el:         el,
 		accepts:    append([]string(nil), cfg.Accept...),
+		tracer:     cfg.Tracer,
 	}, nil
 }
 

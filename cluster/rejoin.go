@@ -10,6 +10,7 @@ import (
 	"repro/comm"
 	"repro/elastic"
 	"repro/health"
+	"repro/obs"
 	"repro/quant"
 )
 
@@ -81,6 +82,7 @@ func (s *Session) Rejoin(verdict error, local elastic.LocalState) (*elastic.Outc
 	}
 	s.fabric.Close()
 
+	rejoinStart := s.tracer.Now()
 	deadline := time.Now().Add(s.el.RejoinWindow)
 	var out *elastic.Outcome
 	var addrs []string
@@ -97,6 +99,7 @@ func (s *Session) Rejoin(verdict error, local elastic.LocalState) (*elastic.Outc
 	s.monitor = out.Monitor
 	s.generation = out.Generation
 	s.peers = addrs
+	s.tracer.Record(s.rank, obs.PhaseControl, "rejoin", dead.Rank, 0, rejoinStart, s.tracer.Now()-rejoinStart)
 	return out, nil
 }
 
@@ -435,6 +438,7 @@ func Rejoin(cfg Config) (*Session, *elastic.Snapshot, error) {
 	if cfg.Rank == 0 {
 		return nil, nil, fmt.Errorf("cluster: rank 0 is the coordinator and cannot be replaced")
 	}
+	rejoinStart := cfg.Tracer.Now()
 	deadline := time.Now().Add(cfg.timeout())
 	wel, conns, ctrl, err := rejoinHandshake(cfg.Addr, cfg.Rank, cfg.World, cfg.Accept, -1, deadline)
 	if err != nil {
@@ -478,5 +482,7 @@ func Rejoin(cfg Config) (*Session, *elastic.Snapshot, error) {
 		accepts:    append([]string(nil), cfg.Accept...),
 		generation: out.Generation,
 	}
+	sess.tracer = cfg.Tracer
+	cfg.Tracer.Record(cfg.Rank, obs.PhaseControl, "rejoin", -1, 0, rejoinStart, cfg.Tracer.Now()-rejoinStart)
 	return sess, out.Installed, nil
 }

@@ -1,0 +1,92 @@
+// Command lpsgd-trace converts a live step-phase trace — the JSONL a
+// training run's obs.Tracer emits via -trace-out or the /trace
+// endpoint — into a sim-comparable timeline and, given a scenario,
+// diffs the two: per-phase time-share deltas (compute, quantisation,
+// communication, barrier blocking) and whether the live run and the
+// discrete-event simulator blame the same straggler rank.
+//
+// Examples:
+//
+//	lpsgd-train -workers 4 -trace-out trace.jsonl ...
+//	lpsgd-trace -live trace.jsonl
+//	lpsgd-trace -live trace.jsonl -scenario sim/testdata/hetero_straggler_64.json
+//
+// Without -scenario the command prints the aggregated live timeline
+// (per-rank phase totals and gating counts). With -scenario it runs
+// the scenario through the simulator and prints the overlay report.
+//
+// Exit codes:
+//
+//	0  success; with -scenario, the straggler attributions agree
+//	1  the overlay was built but live and simulated attribution
+//	   disagree (or the simulation failed at run time)
+//	2  usage error: bad flags, unreadable trace, bad scenario file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/sim"
+)
+
+func main() {
+	var (
+		live     = flag.String("live", "", "JSONL span trace from a live run (obs.Tracer sink or /trace endpoint)")
+		scenario = flag.String("scenario", "", "JSON scenario to simulate and diff the live trace against (sim.Scenario)")
+		seed     = flag.Uint64("seed", 0, "override the scenario's seed (0 keeps the file's)")
+	)
+	flag.Parse()
+
+	if *live == "" {
+		fmt.Fprintln(os.Stderr, "lpsgd-trace: -live is required (a JSONL trace file)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*live)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	tl, err := sim.ReadLiveTrace(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *scenario == "" {
+		if err := tl.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	sc, err := sim.LoadScenario(*scenario)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+	res, err := sim.RunScenario(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ov, err := sim.BuildOverlay(tl, res)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := ov.WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if !ov.Agree {
+		os.Exit(1)
+	}
+}

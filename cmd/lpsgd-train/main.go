@@ -25,6 +25,14 @@
 //
 //	lpsgd-train -task image -codec qsgd4 -cluster 3 -epochs 6
 //
+// -metrics-addr serves the observability plane over HTTP (/metrics in
+// Prometheus text format, /debug/vars, /debug/pprof, /trace as JSONL)
+// and -trace-out appends the step-phase trace to a file for offline
+// comparison against the simulator via cmd/lpsgd-trace. Neither flag
+// is forwarded to forked cluster workers (they would collide on the
+// port or interleave in the file); rank 0's plane observes its own
+// ranks only.
+//
 // Cluster runs carry a health plane: -heartbeat/-heartbeat-timeout
 // tune the failure detector (a dead rank aborts every survivor with a
 // typed verdict instead of hanging the mesh), and -step-deadline
@@ -54,6 +62,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/report"
 	"repro/lpsgd"
+	"repro/obs"
 )
 
 func main() {
@@ -81,6 +90,9 @@ func main() {
 		stepWait     = flag.Duration("step-deadline", 0, "abort if one synchronous step exceeds this wall time (0 = unbounded)")
 		rejoinWindow = flag.Duration("rejoin-window", 0, "cluster mode: make the session elastic — hold a rejoin barrier open this long after a rank death and re-fork the dead rank (0 disables)")
 		maxRejoins   = flag.Int("max-rejoins", 0, "cluster mode: rank deaths the supervisor repairs before giving up (0 = default)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text), /debug/vars, /debug/pprof and /trace on this address (e.g. 127.0.0.1:9090); not forwarded to forked workers")
+		traceOut    = flag.String("trace-out", "", "append the step-phase trace as JSONL to this file (convert/diff with lpsgd-trace); not forwarded to forked workers")
 	)
 	flag.Parse()
 
@@ -109,6 +121,34 @@ func main() {
 		lpsgd.WithLearningRate(float32(*lr)),
 		lpsgd.WithSeed(*seed),
 		lpsgd.WithStepDeadline(*stepWait),
+	}
+
+	// Observability plane: one registry+tracer pair per process. The
+	// tracer ring is sized for the /trace endpoint; -trace-out streams
+	// every span regardless of ring capacity.
+	var obsTracer *obs.Tracer
+	if *metricsAddr != "" || *traceOut != "" {
+		reg := obs.NewRegistry()
+		obsTracer = obs.NewTracer(1 << 16)
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			obsTracer.SetSink(f)
+		}
+		opts = append(opts, lpsgd.WithMetrics(reg), lpsgd.WithTracer(obsTracer))
+		if *metricsAddr != "" {
+			srv, err := obs.Serve(*metricsAddr, reg, obsTracer)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "observability plane on http://%s (/metrics, /debug/pprof, /trace)\n", srv.Addr())
+		}
+		defer obsTracer.Close()
 	}
 
 	// Cluster smoke mode: rank 0 coordinates on an ephemeral port and
@@ -242,6 +282,7 @@ func main() {
 	}
 	h, err := trainer.Run(train, test)
 	if err != nil {
+		obsTracer.Close() // flush -trace-out before the exit skips the defers
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -50,6 +50,17 @@
 //
 //	lpsgd-worker -coordinator 127.0.0.1:7070 -rank 2 -world 3 -rejoin ...
 //
+// # Observability
+//
+// -metrics-addr serves this rank's observability plane over HTTP:
+// /metrics (Prometheus text: wire and control bytes, per-peer link
+// traffic, phi suspicion, step and phase histograms), /debug/vars,
+// /debug/pprof, and /trace (the step-phase span ring as JSONL).
+// -trace-out appends every span to a file; feed it to cmd/lpsgd-trace
+// to diff the live timeline against the discrete-event simulator.
+// Each rank needs its own address (or none) — the plane is per
+// process.
+//
 // The replacement receives the full session state (weights, momentum,
 // step and data cursors) from a surviving donor and training resumes;
 // under residual-free policies (32bit, the QSGD family) the final
@@ -89,6 +100,7 @@ import (
 	"repro/health"
 	"repro/internal/harness"
 	"repro/lpsgd"
+	"repro/obs"
 )
 
 // Exit codes, documented in the command comment above and asserted by
@@ -141,6 +153,9 @@ func main() {
 		testN     = flag.Int("test-samples", 192, "test set size")
 		saveTo    = flag.String("save", "", "write a checkpoint of the trained model to this file")
 		loadFrom  = flag.String("load", "", "warm-start from this nn checkpoint before training (identical file on every rank)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text), /debug/vars, /debug/pprof and /trace on this address (per process — every rank needs its own)")
+		traceOut    = flag.String("trace-out", "", "append the step-phase trace as JSONL to this file (convert/diff with lpsgd-trace)")
 	)
 	flag.Parse()
 
@@ -164,9 +179,36 @@ func main() {
 		}
 	}
 
+	// Observability plane: per-process registry and tracer. The HTTP
+	// server lives until the process exits; the trace sink is flushed
+	// on every exit path that follows training.
+	var (
+		obsTracer *obs.Tracer
+		obsReg    *obs.Registry
+	)
+	if *metricsAddr != "" || *traceOut != "" {
+		obsReg = obs.NewRegistry()
+		obsTracer = obs.NewTracer(1 << 16)
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fail(exitUsage, err)
+			}
+			obsTracer.SetSink(f)
+		}
+		if *metricsAddr != "" {
+			srv, err := obs.Serve(*metricsAddr, obsReg, obsTracer)
+			if err != nil {
+				fail(exitUsage, err)
+			}
+			fmt.Fprintf(os.Stderr, "lpsgd-worker: observability plane on http://%s (/metrics, /debug/pprof, /trace)\n", srv.Addr())
+		}
+	}
+
 	cfg := cluster.Config{
 		Addr: *coordAddr, Rank: *rank, World: *world,
 		Accept: names, Timeout: *joinWait,
+		Tracer: obsTracer,
 		Health: health.Config{
 			Interval: *heartbeat,
 			Timeout:  *hbTimeout,
@@ -227,6 +269,8 @@ func main() {
 		lpsgd.WithEpochs(*epochs),
 		lpsgd.WithLearningRate(float32(*lr)),
 		lpsgd.WithSeed(*seed),
+		lpsgd.WithMetrics(obsReg),
+		lpsgd.WithTracer(obsTracer),
 	)
 	if err != nil {
 		sess.Close()
@@ -260,6 +304,7 @@ func main() {
 		// bye; after a death verdict the mesh is already aborted and
 		// Close is cheap.
 		trainer.Close()
+		obsTracer.Close()
 		fail(code, err)
 	}
 
@@ -286,5 +331,6 @@ func main() {
 	// health plane's bye before the process vanishes, so peers still
 	// mid-shutdown see a departure, not a death.
 	trainer.Close()
+	obsTracer.Close()
 	os.Exit(exitOK)
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"repro/obs"
 	"repro/quant"
 )
 
@@ -69,6 +70,7 @@ type ReduceBroadcast struct {
 	specs   []TensorSpec
 	stripes [][]stripe
 	workers []*rbWorker
+	tracer  *obs.Tracer
 }
 
 type rbWorker struct {
@@ -81,6 +83,9 @@ type rbWorker struct {
 	accum []float32
 	// frame is the scratch buffer frames are assembled in (framed mode).
 	frame bytes.Buffer
+	// acc gathers the in-flight Reduce call's phase timings (each
+	// worker's Reduce runs on its own goroutine, so this is unshared).
+	acc spanAcc
 }
 
 // NewReduceBroadcast builds the primitive for the given tensors over the
@@ -163,6 +168,10 @@ func mixSeed(parts ...uint64) uint64 {
 
 // Name implements Reducer.
 func (rb *ReduceBroadcast) Name() string { return "mpi-rb" }
+
+// SetTracer implements Traceable: Reduce then records per-tensor
+// quantise/transfer/decode spans. A nil tracer disables tracing again.
+func (rb *ReduceBroadcast) SetTracer(tr *obs.Tracer) { rb.tracer = tr }
 
 // aggStripe is the stripe coordinate reserved for a worker's aggregate
 // re-encoder in seed derivation — outside any real stripe index, so the
@@ -259,6 +268,9 @@ func (rb *ReduceBroadcast) Reduce(rank, tensorID int, g []float32) error {
 	}
 	ws := rb.workers[rank]
 	stripes := rb.stripes[tensorID]
+	tr := rb.tracer
+	ws.acc = spanAcc{}
+	reduceStart := tr.Now()
 
 	// Phase 1: encode each stripe and ship it to its owner. The local
 	// stripe is encoded too (the sender-side residual must advance
@@ -273,7 +285,9 @@ func (rb *ReduceBroadcast) Reduce(rank, tensorID int, g []float32) error {
 		enc := ws.stripeEnc[tensorID][o]
 		src := g[st.off : st.off+st.n]
 		if o == rank {
+			t0 := tr.Now()
 			ownWire = append(ownWire[:0], enc.Encode(src)...)
+			ws.acc.quantise += tr.Now() - t0
 		} else if err := rb.sendEncoded(ws, enc, rank, o, src); err != nil {
 			return fmt.Errorf("comm: send stripe of %s to %d: %w", spec.Name, o, err)
 		}
@@ -283,21 +297,28 @@ func (rb *ReduceBroadcast) Reduce(rank, tensorID int, g []float32) error {
 	// aggregate, and broadcast it.
 	if own := stripes[rank]; own.n > 0 {
 		accum := ws.accum[:own.n]
+		t0 := tr.Now()
 		if err := spec.Codec.Decode(ownWire, own.n, spec.Wire, accum); err != nil {
 			return fmt.Errorf("comm: decode own stripe of %s: %w", spec.Name, err)
 		}
+		ws.acc.decode += tr.Now() - t0
 		tmp := ws.tmp[:own.n]
 		for p := 0; p < k; p++ {
 			if p == rank {
 				continue
 			}
+			t0 = tr.Now()
 			wire, err := rb.fabric.Recv(p, rank)
 			if err != nil {
 				return fmt.Errorf("comm: recv stripe of %s from %d: %w", spec.Name, p, err)
 			}
+			ws.acc.transfer += tr.Now() - t0
+			ws.acc.bytes += int64(len(wire))
+			t0 = tr.Now()
 			if err := rb.decodeWire(spec, wire, own.n, tmp); err != nil {
 				return fmt.Errorf("comm: decode stripe of %s from %d: %w", spec.Name, p, err)
 			}
+			ws.acc.decode += tr.Now() - t0
 			for i, v := range tmp {
 				accum[i] += v
 			}
@@ -307,31 +328,45 @@ func (rb *ReduceBroadcast) Reduce(rank, tensorID int, g []float32) error {
 		dst := g[own.off : own.off+own.n]
 		if rb.framed {
 			ws.frame.Reset()
+			t0 = tr.Now()
 			if _, err := ws.aggEnc[tensorID].EncodeTo(&ws.frame, accum); err != nil {
 				return fmt.Errorf("comm: frame aggregate of %s: %w", spec.Name, err)
 			}
+			ws.acc.quantise += tr.Now() - t0
+			t0 = tr.Now()
 			for p := 0; p < k; p++ {
 				if p != rank {
 					if err := rb.fabric.Send(rank, p, ws.frame.Bytes()); err != nil {
 						return fmt.Errorf("comm: broadcast aggregate of %s to %d: %w", spec.Name, p, err)
 					}
+					ws.acc.bytes += int64(ws.frame.Len())
 				}
 			}
+			ws.acc.transfer += tr.Now() - t0
+			t0 = tr.Now()
 			if _, err := quant.DecodeFramed(ws.frame.Bytes(), dst); err != nil {
 				return fmt.Errorf("comm: decode own aggregate of %s: %w", spec.Name, err)
 			}
+			ws.acc.decode += tr.Now() - t0
 		} else {
+			t0 = tr.Now()
 			aggWire := ws.aggEnc[tensorID].Encode(accum)
+			ws.acc.quantise += tr.Now() - t0
+			t0 = tr.Now()
 			for p := 0; p < k; p++ {
 				if p != rank {
 					if err := rb.fabric.Send(rank, p, aggWire); err != nil {
 						return fmt.Errorf("comm: broadcast aggregate of %s to %d: %w", spec.Name, p, err)
 					}
+					ws.acc.bytes += int64(len(aggWire))
 				}
 			}
+			ws.acc.transfer += tr.Now() - t0
+			t0 = tr.Now()
 			if err := spec.Codec.Decode(aggWire, own.n, spec.Wire, dst); err != nil {
 				return fmt.Errorf("comm: decode own aggregate of %s: %w", spec.Name, err)
 			}
+			ws.acc.decode += tr.Now() - t0
 		}
 	}
 
@@ -341,28 +376,52 @@ func (rb *ReduceBroadcast) Reduce(rank, tensorID int, g []float32) error {
 		if o == rank || st.n == 0 {
 			continue
 		}
+		t0 := tr.Now()
 		wire, err := rb.fabric.Recv(o, rank)
 		if err != nil {
 			return fmt.Errorf("comm: recv aggregate of %s from %d: %w", spec.Name, o, err)
 		}
+		ws.acc.transfer += tr.Now() - t0
+		ws.acc.bytes += int64(len(wire))
+		t0 = tr.Now()
 		if err := rb.decodeWire(spec, wire, st.n, g[st.off:st.off+st.n]); err != nil {
 			return fmt.Errorf("comm: decode aggregate of %s from %d: %w", spec.Name, o, err)
 		}
+		ws.acc.decode += tr.Now() - t0
 	}
+	ws.acc.record(tr, rank, spec.Name, reduceStart)
 	return nil
 }
 
 // sendEncoded encodes src with enc and ships it from -> to, wrapping it
 // in a self-describing frame when the transport demands one.
 func (rb *ReduceBroadcast) sendEncoded(ws *rbWorker, enc quant.Encoder, from, to int, src []float32) error {
+	tr := rb.tracer
 	if !rb.framed {
-		return rb.fabric.Send(from, to, enc.Encode(src))
+		t0 := tr.Now()
+		wire := enc.Encode(src)
+		ws.acc.quantise += tr.Now() - t0
+		t0 = tr.Now()
+		err := rb.fabric.Send(from, to, wire)
+		ws.acc.transfer += tr.Now() - t0
+		if err == nil {
+			ws.acc.bytes += int64(len(wire))
+		}
+		return err
 	}
 	ws.frame.Reset()
+	t0 := tr.Now()
 	if _, err := enc.EncodeTo(&ws.frame, src); err != nil {
 		return err
 	}
-	return rb.fabric.Send(from, to, ws.frame.Bytes())
+	ws.acc.quantise += tr.Now() - t0
+	t0 = tr.Now()
+	err := rb.fabric.Send(from, to, ws.frame.Bytes())
+	ws.acc.transfer += tr.Now() - t0
+	if err == nil {
+		ws.acc.bytes += int64(ws.frame.Len())
+	}
+	return err
 }
 
 // decodeWire decodes one received message of n elements into dst. On a

@@ -47,9 +47,13 @@ type RemoteFabric struct {
 	closing   chan struct{}
 	writers   sync.WaitGroup
 	rmu       []sync.Mutex
-	bytes     atomic.Int64
-	sends     atomic.Int64
-	closed    atomic.Bool
+	// traffic[p] accounts the link to peer p (zero at p == local).
+	// Payload bytes only — the 4-byte frame header is transport framing,
+	// not exchange traffic, and the simulator prices payloads. The
+	// aggregate TotalBytes/TotalMessages are sums over these, so the
+	// per-peer and total views can never disagree.
+	traffic []peerCounters
+	closed  atomic.Bool
 	// werr records the first asynchronous socket write failure; Send
 	// reports it on the next call.
 	werr atomic.Pointer[error]
@@ -58,6 +62,18 @@ type RemoteFabric struct {
 	// future — returns it instead of ErrClosed, so a health-plane death
 	// verdict survives the teardown it triggers.
 	aerr atomic.Pointer[error]
+}
+
+// peerCounters is the atomic backing of one link's PeerTraffic view.
+type peerCounters struct {
+	txBytes, rxBytes, txFrames, rxFrames atomic.Int64
+}
+
+// PeerTraffic is a point-in-time snapshot of one link's accounting:
+// payload bytes and frame counts in each direction, as seen from the
+// local rank (Tx = local sent to the peer, Rx = local received).
+type PeerTraffic struct {
+	TxBytes, RxBytes, TxFrames, RxFrames int64
 }
 
 // maxRemoteMessage bounds a single message announced by a peer (1 GiB);
@@ -101,6 +117,7 @@ func NewRemoteFabric(local, k int, conns []net.Conn) (*RemoteFabric, error) {
 		aborted: make(chan struct{}),
 		closing: make(chan struct{}),
 		rmu:     make([]sync.Mutex, k),
+		traffic: make([]peerCounters, k),
 	}
 	for p := range f.conns {
 		if p == local {
@@ -205,8 +222,8 @@ func (f *RemoteFabric) Send(from, to int, payload []byte) error {
 	select {
 	case f.queues[to] <- msg:
 		f.qmu.RUnlock()
-		f.bytes.Add(int64(len(msg)))
-		f.sends.Add(1)
+		f.traffic[to].txBytes.Add(int64(len(msg)))
+		f.traffic[to].txFrames.Add(1)
 		return nil
 	case <-f.aborted:
 		f.qmu.RUnlock()
@@ -270,6 +287,8 @@ func (f *RemoteFabric) Recv(from, to int) ([]byte, error) {
 			return nil, f.recvErr(from, err)
 		}
 	}
+	f.traffic[from].rxBytes.Add(int64(n))
+	f.traffic[from].rxFrames.Add(1)
 	return buf, nil
 }
 
@@ -282,11 +301,40 @@ func (f *RemoteFabric) recvErr(from int, err error) error {
 	return fmt.Errorf("comm: recv from rank %d: %w", from, err)
 }
 
-// TotalBytes implements Transport: bytes sent by the local rank.
-func (f *RemoteFabric) TotalBytes() int64 { return f.bytes.Load() }
+// TotalBytes implements Transport: payload bytes sent by the local
+// rank, the sum of every link's TxBytes.
+func (f *RemoteFabric) TotalBytes() int64 {
+	var n int64
+	for p := range f.traffic {
+		n += f.traffic[p].txBytes.Load()
+	}
+	return n
+}
 
-// TotalMessages implements Transport: messages sent by the local rank.
-func (f *RemoteFabric) TotalMessages() int64 { return f.sends.Load() }
+// TotalMessages implements Transport: messages sent by the local rank,
+// the sum of every link's TxFrames.
+func (f *RemoteFabric) TotalMessages() int64 {
+	var n int64
+	for p := range f.traffic {
+		n += f.traffic[p].txFrames.Load()
+	}
+	return n
+}
+
+// PeerTraffic returns the accounting snapshot for the link to peer p.
+// The local rank's own slot is always zero.
+func (f *RemoteFabric) PeerTraffic(p int) PeerTraffic {
+	if p < 0 || p >= f.k {
+		panic(fmt.Sprintf("comm: peer %d outside world of %d", p, f.k))
+	}
+	c := &f.traffic[p]
+	return PeerTraffic{
+		TxBytes:  c.txBytes.Load(),
+		RxBytes:  c.rxBytes.Load(),
+		TxFrames: c.txFrames.Load(),
+		RxFrames: c.rxFrames.Load(),
+	}
+}
 
 // Close flushes queued messages to the peers (bounded by drainTimeout —
 // slower ranks may still be reading this rank's tail of the final

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/obs"
 	"repro/quant"
 )
 
@@ -24,6 +25,7 @@ import (
 type Ring struct {
 	fabric Transport
 	framed bool
+	tracer *obs.Tracer
 }
 
 // NewRing builds the primitive over the fabric.
@@ -31,6 +33,10 @@ func NewRing(f Transport) *Ring { return &Ring{fabric: f, framed: f.Framed()} }
 
 // Name implements Reducer.
 func (r *Ring) Name() string { return "nccl-ring" }
+
+// SetTracer implements Traceable: Reduce then records encode (packF32),
+// transfer and decode (unpackF32) spans per allreduce.
+func (r *Ring) SetTracer(tr *obs.Tracer) { r.tracer = tr }
 
 // WireBytesPerExchange returns the bytes one allreduce of n float32
 // values puts on the fabric across all peers: K · 2(K−1)/K · 4n, plus
@@ -112,23 +118,40 @@ func (r *Ring) Reduce(rank, _ int, g []float32) error {
 	right := (rank + 1) % k
 	left := (rank - 1 + k) % k
 
+	// The Ring is shared by every local rank's goroutine, so the phase
+	// accumulator lives on the stack, captured by the chunk closures.
+	tr := r.tracer
+	var acc spanAcc
+	reduceStart := tr.Now()
+
 	sendChunk := func(c int) error {
 		lo, hi := chunkRange(n, k, c)
-		if err := r.fabric.Send(rank, right, packF32(g[lo:hi], r.framed)); err != nil {
+		t0 := tr.Now()
+		buf := packF32(g[lo:hi], r.framed)
+		acc.encode += tr.Now() - t0
+		t0 = tr.Now()
+		if err := r.fabric.Send(rank, right, buf); err != nil {
 			return fmt.Errorf("comm: ring send chunk %d: %w", c, err)
 		}
+		acc.transfer += tr.Now() - t0
+		acc.bytes += int64(len(buf))
 		return nil
 	}
 	recvChunk := func(c int, add bool) error {
 		lo, hi := chunkRange(n, k, c)
+		t0 := tr.Now()
 		buf, err := r.fabric.Recv(left, rank)
 		if err != nil {
 			return fmt.Errorf("comm: ring recv chunk %d: %w", c, err)
 		}
+		acc.transfer += tr.Now() - t0
+		acc.bytes += int64(len(buf))
+		t0 = tr.Now()
 		vals, err := unpackF32(buf, hi-lo, r.framed)
 		if err != nil {
 			return fmt.Errorf("comm: ring chunk %d: %w", c, err)
 		}
+		acc.decode += tr.Now() - t0
 		for i := lo; i < hi; i++ {
 			if add {
 				g[i] += vals[i-lo]
@@ -159,6 +182,7 @@ func (r *Ring) Reduce(rank, _ int, g []float32) error {
 			return err
 		}
 	}
+	acc.record(tr, rank, "ring", reduceStart)
 	return nil
 }
 
@@ -189,6 +213,9 @@ func NewSimulatedRing(f Transport, fraction float64) *SimulatedRing {
 
 // Name implements Reducer.
 func (s *SimulatedRing) Name() string { return "nccl-ring-sim" }
+
+// SetTracer implements Traceable by delegating to the wrapped ring.
+func (s *SimulatedRing) SetTracer(tr *obs.Tracer) { s.ring.SetTracer(tr) }
 
 // Reduce implements Reducer.
 func (s *SimulatedRing) Reduce(rank, tensorID int, g []float32) error {

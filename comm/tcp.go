@@ -185,6 +185,20 @@ func (f *TCPFabric) TotalBytes() int64 {
 	return total
 }
 
+// PeerTraffic implements PeerAccounter: the process-level view of the
+// link to peer p, summed over every local rank's mesh view.
+func (f *TCPFabric) PeerTraffic(p int) PeerTraffic {
+	var total PeerTraffic
+	for _, r := range f.ranks {
+		pt := r.PeerTraffic(p)
+		total.TxBytes += pt.TxBytes
+		total.RxBytes += pt.RxBytes
+		total.TxFrames += pt.TxFrames
+		total.RxFrames += pt.RxFrames
+	}
+	return total
+}
+
 // TotalMessages implements Transport.
 func (f *TCPFabric) TotalMessages() int64 {
 	var total int64

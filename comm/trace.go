@@ -1,0 +1,46 @@
+package comm
+
+import "repro/obs"
+
+// PeerAccounter is implemented by fabrics that keep per-peer link
+// ledgers — RemoteFabric for one rank's mesh view, TCPFabric for the
+// process-level sum over its local ranks.
+type PeerAccounter interface {
+	PeerTraffic(p int) PeerTraffic
+}
+
+// Traceable is implemented by reducers that can attribute their work to
+// the step-phase tracer. The trainer type-asserts for it after building
+// a primitive; a reducer given a nil tracer must behave exactly as if
+// SetTracer was never called (the obs nil-safe contract).
+type Traceable interface {
+	SetTracer(*obs.Tracer)
+}
+
+// spanAcc accumulates one Reduce call's phase durations so the reducer
+// records a handful of coarse spans per tensor instead of one per
+// message. All fields are nanoseconds except bytes. With a nil tracer
+// every accumulated delta is zero (obs.(*Tracer).Now returns 0) and the
+// final Record calls are no-ops, so the accounting is inert.
+type spanAcc struct {
+	quantise, encode, transfer, decode, bytes int64
+}
+
+// record flushes the non-empty phases as spans anchored at startNS.
+func (a *spanAcc) record(tr *obs.Tracer, rank int, op string, startNS int64) {
+	if tr == nil {
+		return
+	}
+	if a.quantise > 0 {
+		tr.Record(rank, obs.PhaseQuantise, op, -1, 0, startNS, a.quantise)
+	}
+	if a.encode > 0 {
+		tr.Record(rank, obs.PhaseEncode, op, -1, 0, startNS, a.encode)
+	}
+	if a.transfer > 0 {
+		tr.Record(rank, obs.PhaseTransfer, op, -1, a.bytes, startNS, a.transfer)
+	}
+	if a.decode > 0 {
+		tr.Record(rank, obs.PhaseDecode, op, -1, 0, startNS, a.decode)
+	}
+}

@@ -40,13 +40,21 @@
 // on a seeded logical clock at up to thousands of ranks, with exchange
 // volumes cross-validated byte-for-byte against live TCP and outputs
 // locked by golden datasets under sim/testdata; driven from the
-// command line via lpsgd-sim -scenario), and nn/tensor/data/rng (the
-// deep-learning substrate). The experiment machinery stays under
+// command line via lpsgd-sim -scenario), obs (the observability plane:
+// a dependency-free metrics registry with nil-safe handles and a
+// step-phase span tracer that shares the simulator's phase vocabulary
+// — compute, quantise, encode, transfer, decode, barrier, control —
+// wired in via lpsgd.WithMetrics/WithTracer, served over HTTP by
+// obs.Serve as /metrics, /debug/vars, /debug/pprof and /trace, and
+// provably inert when absent: digest-parity and byte-parity tests plus
+// a paired step benchmark hold the enabled plane under 2% overhead;
+// cmd/lpsgd-trace diffs a captured trace against a simulated scenario),
+// and nn/tensor/data/rng (the deep-learning substrate). The experiment machinery stays under
 // internal/: workload (machine and network calibration data), harness
 // (one runner per table and figure) and lint (the project's static
 // analyzers, run as a vet tool via cmd/lpsgd-vet to machine-enforce
 // the wire-bound, sim-determinism, transport-error, goroutine-
-// lifecycle and deprecation contracts); internal/simulate remains as a
+// lifecycle, observability-inertness and deprecation contracts); internal/simulate remains as a
 // deprecated shim over sim. See README.md for a quickstart and a tour;
 // the top-level bench_test.go regenerates every figure as a Go
 // benchmark.

@@ -165,6 +165,9 @@ type Monitor struct {
 	wg    sync.WaitGroup
 	seq   atomic.Uint64
 	bytes atomic.Int64
+	// beat is the optional heartbeat observer (see OnHeartbeat) — an
+	// atomic.Pointer so the per-ping path never takes mu for it.
+	beat atomic.Pointer[func(peer int, gap time.Duration)]
 	// bcast tracks in-flight abort-broadcast writes so Close can wait
 	// for them (bounded by the write deadline) before cutting the
 	// links: an elastic survivor closes its monitor moments after the
@@ -256,6 +259,40 @@ func (m *Monitor) Verdict() error {
 // — must not move when the health plane is on.
 func (m *Monitor) ControlBytes() int64 { return m.bytes.Load() }
 
+// OnHeartbeat registers an observer invoked on every heartbeat received
+// from a peer with the gap since that peer's previous heartbeat (its
+// RTT-plus-jitter signal). At most one observer is active; nil detaches
+// it. The package stays free of repro dependencies — observability
+// wiring happens in the caller (repro/parallel feeds an obs histogram).
+func (m *Monitor) OnHeartbeat(fn func(peer int, gap time.Duration)) {
+	if fn == nil {
+		m.beat.Store(nil)
+		return
+	}
+	m.beat.Store(&fn)
+}
+
+// Phi returns the failure detector's current suspicion level for a
+// peer: 0 before Start (or for the local rank and departed peers),
+// rising as the peer's heartbeats grow overdue (see Detector.Phi).
+func (m *Monitor) Phi(rank int) float64 {
+	if rank < 0 || rank >= m.world || rank == m.local {
+		return 0
+	}
+	m.mu.Lock()
+	started := m.started
+	gone := m.departed[rank]
+	m.mu.Unlock()
+	if !started || gone {
+		return 0
+	}
+	l := m.links[rank]
+	if l == nil || l.det == nil {
+		return 0
+	}
+	return l.det.Phi(time.Now())
+}
+
 // ReportStep records the local rank's latest step timing; the next
 // heartbeat to every peer carries it.
 func (m *Monitor) ReportStep(r StepReport) {
@@ -303,14 +340,21 @@ func (m *Monitor) Start() {
 		m.mu.Unlock()
 		return
 	}
+	// Detectors are created before started is published (still under
+	// mu), so Phi — which checks started first — never observes a nil
+	// detector on a started monitor.
+	now := time.Now()
+	for _, l := range m.links {
+		if l != nil {
+			l.det = NewDetector(m.cfg.Timeout, m.cfg.Phi, now)
+		}
+	}
 	m.started = true
 	m.mu.Unlock()
-	now := time.Now()
 	for p, l := range m.links {
 		if l == nil {
 			continue
 		}
-		l.det = NewDetector(m.cfg.Timeout, m.cfg.Phi, now)
 		m.wg.Add(2)
 		go m.sendLoop(p, l)
 		go m.readLoop(p, l)
@@ -379,6 +423,9 @@ func (m *Monitor) readLoop(peer int, l *link) {
 		switch msg.Kind {
 		case kindPing:
 			now := time.Now()
+			if fn := m.beat.Load(); fn != nil {
+				(*fn)(peer, now.Sub(l.det.LastSeen()))
+			}
 			l.det.Observe(now)
 			if msg.HasSteps {
 				m.mu.Lock()

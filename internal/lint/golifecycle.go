@@ -12,7 +12,7 @@ import (
 // Golifecycle enforces the concurrency discipline the goroutine-leak-
 // counting tests assert dynamically: a goroutine launched in the
 // runtime packages must have a visible shutdown path. Every goroutine
-// in comm, health, cluster and parallel today is either bracketed by a
+// in comm, health, cluster, parallel and obs today is either bracketed by a
 // sync.WaitGroup Add/Done pair, parks on a done/stop/context channel,
 // or hands its result to the launcher over a channel the launcher
 // receives from — which is what lets Close be a join rather than a
@@ -20,7 +20,7 @@ import (
 // exchange grows a leak that only shows up as a flaky -race lane.
 var Golifecycle = &analysis.Analyzer{
 	Name: "golifecycle",
-	Doc: "goroutine literals in comm/health/cluster/parallel need a visible shutdown path\n\n" +
+	Doc: "goroutine literals in comm/health/cluster/parallel/obs need a visible shutdown path\n\n" +
 		"A `go func` literal must receive from a channel (done/stop/ctx),\n" +
 		"call Done on a sync.WaitGroup, or send on a channel the enclosing\n" +
 		"function receives from. Otherwise nothing joins it and Close\n" +
@@ -30,7 +30,7 @@ var Golifecycle = &analysis.Analyzer{
 
 // lifecyclePackages are the packages whose goroutines the rule covers.
 var lifecyclePackages = map[string]bool{
-	"comm": true, "health": true, "cluster": true, "parallel": true,
+	"comm": true, "health": true, "cluster": true, "parallel": true, "obs": true,
 }
 
 func runGolifecycle(pass *analysis.Pass) error {

@@ -11,5 +11,6 @@ func TestGolifecycle(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), lint.Golifecycle,
 		"golifecycle/comm",  // lifecycle evidence shapes, escape hatch, typo directive
 		"golifecycle/other", // out-of-scope package: bare goroutine, no findings
+		"golifecycle/obs",   // observability plane is in scope since PR 9
 	)
 }

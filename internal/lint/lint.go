@@ -10,6 +10,7 @@ var Analyzers = []*analysis.Analyzer{
 	Commerr,
 	Golifecycle,
 	Nodeprecated,
+	Obsinert,
 	Simclock,
 	Wirebound,
 }

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Obsinert guards the contract the observability plane's benchmarks
+// prove: an instrumentation site costs nothing when the plane is off.
+// obs.Tracer.Record and the metric handles (Counter/Gauge/Histogram)
+// are nil-safe and branch out before touching their arguments — but Go
+// evaluates arguments first, so an argument that builds a string
+// (fmt.Sprintf, non-constant concatenation) allocates on every step
+// even with tracing disabled, exactly the overhead the nil fast path
+// exists to avoid. The same reasoning bans dynamic series names at
+// Registry registration sites: a per-call name defeats the registry's
+// dedup and grows an unbounded series set.
+var Obsinert = &analysis.Analyzer{
+	Name: "obsinert",
+	Doc: "obs instrumentation sites must stay allocation-free when the plane is disabled\n\n" +
+		"Arguments to obs.Tracer.Record and to the Counter/Gauge/Histogram\n" +
+		"handle methods are evaluated before the nil fast path can branch\n" +
+		"out, so they must not build strings per call (fmt.Sprintf/Sprint\n" +
+		"or non-constant concatenation). Registry registration (Counter,\n" +
+		"Gauge, Func, Histogram) needs a constant metric name: dynamic\n" +
+		"names defeat dedup and grow an unbounded series set.",
+	Run: runObsinert,
+}
+
+// obsHotMethods are the nil-safe fast-path entry points whose argument
+// expressions run on every step even when the plane is off.
+var obsHotMethods = map[string]map[string]bool{
+	"Tracer":    {"Record": true},
+	"Counter":   {"Inc": true, "Add": true},
+	"Gauge":     {"Set": true, "Add": true},
+	"Histogram": {"Observe": true},
+}
+
+// obsRegMethods are the Registry registration calls whose first
+// argument is the series name.
+var obsRegMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "Func": true, "Histogram": true,
+}
+
+func runObsinert(pass *analysis.Pass) error {
+	if pass.PkgPath() == "repro/obs" {
+		return nil // the plane itself builds strings, behind its own enabled checks
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, method, ok := obsMethodCall(pass, call)
+			if !ok {
+				return true
+			}
+			switch {
+			case obsHotMethods[recv][method]:
+				for _, arg := range call.Args {
+					if built := perCallString(pass, arg); built != "" {
+						pass.Reportf(arg.Pos(),
+							"%s in an argument to obs.%s.%s allocates even when the plane is disabled: use a static or pre-built string",
+							built, recv, method)
+					}
+				}
+			case recv == "Registry" && obsRegMethods[method]:
+				if len(call.Args) > 0 && !isConstString(pass, call.Args[0]) {
+					pass.Reportf(call.Args[0].Pos(),
+						"obs.Registry.%s needs a constant series name: dynamic names defeat dedup and grow an unbounded series set (vary labels instead)",
+						method)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// obsMethodCall resolves a call to a method on a repro/obs named type,
+// returning the receiver type name and method name.
+func obsMethodCall(pass *analysis.Pass, call *ast.CallExpr) (recv, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	selection, isMethod := pass.TypesInfo.Selections[sel]
+	if !isMethod || selection.Kind() != types.MethodVal {
+		return "", "", false
+	}
+	pkgPath, name := namedRecv(selection.Recv())
+	if pkgPath != "repro/obs" {
+		return "", "", false
+	}
+	return name, sel.Sel.Name, true
+}
+
+// perCallString reports the first per-call string construction found
+// inside e ("" when the expression is inert): a fmt string-building
+// call, or a non-constant string concatenation.
+func perCallString(pass *analysis.Pass, e ast.Expr) string {
+	bad := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		if bad != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure argument (Registry.Func's callback) runs at
+			// scrape time, not at the call site — its body is free to
+			// do work.
+			return false
+		case *ast.CallExpr:
+			if name := fmtStringCall(pass, n); name != "" {
+				bad = name
+			}
+		case *ast.BinaryExpr:
+			if n.Op != token.ADD {
+				return true
+			}
+			tv, found := pass.TypesInfo.Types[n]
+			if !found || tv.Value != nil {
+				return true // untyped or constant-folded: free at run time
+			}
+			if b, isBasic := tv.Type.Underlying().(*types.Basic); isBasic && b.Info()&types.IsString != 0 {
+				bad = "string concatenation"
+			}
+		}
+		return bad == ""
+	})
+	return bad
+}
+
+// fmtStringCall reports whether call is one of fmt's string builders.
+func fmtStringCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "fmt" {
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "Sprintf", "Sprint", "Sprintln":
+		return "fmt." + sel.Sel.Name
+	}
+	return ""
+}
+
+// isConstString reports whether e is a compile-time string constant.
+func isConstString(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+	return ok && tv.Value != nil
+}

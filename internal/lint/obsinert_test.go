@@ -1,0 +1,14 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestObsinert(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.Obsinert,
+		"obsinert/a", // hot-path string building, dynamic names, escape hatch
+	)
+}

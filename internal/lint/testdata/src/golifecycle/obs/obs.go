@@ -1,0 +1,25 @@
+// Package obs exercises golifecycle over the observability package:
+// with PR 9 the plane owns goroutines (the metrics server's serve
+// loop, the tracer's sink flusher), so its leaks are in scope too.
+package obs
+
+import "sync"
+
+func flush() {}
+
+func leakySink() {
+	go func() { // want `goroutine has no visible shutdown path`
+		for {
+			flush()
+		}
+	}()
+}
+
+func joinedSink(wg *sync.WaitGroup, done <-chan struct{}) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-done
+		flush()
+	}()
+}

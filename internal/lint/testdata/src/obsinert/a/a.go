@@ -1,0 +1,63 @@
+// Package a exercises the obsinert shapes against the fake repro/obs:
+// per-call string building in hot-path arguments, dynamic series names
+// at registration, and the expressions the rule must leave alone.
+package a
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/obs"
+)
+
+func hotPath(tr *obs.Tracer, c *obs.Counter, g *obs.Gauge, h *obs.Histogram, rank int, d int64) {
+	tr.Record(rank, obs.PhaseCompute, "step", -1, 0, 0, d) // static op: inert
+	op := "exchange"
+	tr.Record(rank, obs.PhaseCompute, op, -1, 0, 0, d)                           // pre-built op: inert
+	tr.Record(rank, obs.PhaseCompute, "a"+"b", -1, 0, 0, d)                      // constant-folded concat: inert
+	tr.Record(rank, obs.PhaseCompute, fmt.Sprintf("step-%d", rank), -1, 0, 0, d) // want `fmt\.Sprintf in an argument to obs\.Tracer\.Record`
+	tr.Record(rank, obs.PhaseCompute, "step-"+strconv.Itoa(rank), -1, 0, 0, d)   // want `string concatenation in an argument to obs\.Tracer\.Record`
+	c.Inc()
+	c.Add(d)
+	h.Observe(d)
+	g.Set(int64(len(fmt.Sprint(rank)))) // want `fmt\.Sprint in an argument to obs\.Gauge\.Set`
+}
+
+func register(r *obs.Registry, peers int) {
+	r.Counter("frames_total", "Frames.")
+	const name = "steps_total"
+	r.Counter(name, "Steps.") // named constant: fine
+	for p := 0; p < peers; p++ {
+		// Constant name with a varying label is the supported way to
+		// split a series per peer.
+		r.Func("peer_tx_bytes_total", "Bytes.", func() int64 { return 0 },
+			obs.Label{Key: "peer", Value: strconv.Itoa(p)})
+		r.Counter("peer_"+strconv.Itoa(p), "Bytes.") // want `obs\.Registry\.Counter needs a constant series name`
+	}
+	r.Gauge(fmt.Sprintf("gauge_%d", peers), "G.") // want `obs\.Registry\.Gauge needs a constant series name`
+	r.Histogram("hist_ns", "H.", nil)
+}
+
+// funcCallbacks run at scrape time, not at the call site: their bodies
+// are free to build strings.
+func scrapeTime(r *obs.Registry) {
+	r.Func("free_total", "F.", func() int64 {
+		return int64(len(fmt.Sprintf("%d", 42)))
+	})
+}
+
+// allowed documents the escape hatch: a fixed set of boot-time names
+// built once is allowed with a reason.
+func allowed(r *obs.Registry, shard int) {
+	r.Counter("shard_"+strconv.Itoa(shard), "S.") /*lint:allow obsinert one series per boot-time shard id*/
+}
+
+// notObs proves the rule keys on the receiver's package: a same-named
+// local type is out of scope.
+type localRegistry struct{}
+
+func (localRegistry) Counter(name, help string) {}
+
+func outOfScope(r localRegistry, n int) {
+	r.Counter("x_"+strconv.Itoa(n), "X.")
+}

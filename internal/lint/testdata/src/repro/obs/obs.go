@@ -1,0 +1,41 @@
+// Package obs is a minimal stand-in for the real repro/obs: it carries
+// only the identities the obsinert analyzer keys on (the package path,
+// the Tracer/Registry types and their nil-safe handles).
+package obs
+
+// Phase mirrors the step-phase vocabulary.
+type Phase uint8
+
+// PhaseCompute is the only phase the fixtures need.
+const PhaseCompute Phase = 0
+
+// Tracer mirrors the span recorder.
+type Tracer struct{}
+
+func (t *Tracer) Record(rank int, ph Phase, op string, peer int, bytes, startNS, durNS int64) {}
+
+// Label mirrors a series label.
+type Label struct{ Key, Value string }
+
+// Counter, Gauge and Histogram mirror the nil-safe metric handles.
+type (
+	Counter   struct{}
+	Gauge     struct{}
+	Histogram struct{}
+)
+
+func (c *Counter) Inc()              {}
+func (c *Counter) Add(n int64)       {}
+func (g *Gauge) Set(n int64)         {}
+func (g *Gauge) Add(n int64)         {}
+func (h *Histogram) Observe(v int64) {}
+
+// Registry mirrors the series registry.
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter      { return nil }
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge          { return nil }
+func (r *Registry) Func(name, help string, fn func() int64, labels ...Label) {}
+func (r *Registry) Histogram(name, help string, buckets []int64, labels ...Label) *Histogram {
+	return nil
+}

@@ -61,6 +61,7 @@ import (
 	"repro/elastic"
 	"repro/health"
 	"repro/nn"
+	"repro/obs"
 	"repro/parallel"
 	"repro/quant"
 	"repro/rng"
@@ -436,6 +437,25 @@ func WithHealthHandler(fn func(error)) Option {
 	}
 }
 
+// WithMetrics attaches an obs metrics registry: the trainer registers
+// its counters, gauges and step histograms (wire bytes, steps, phase
+// timings, per-peer link traffic in cluster mode) on it at
+// construction. Serve the registry with obs.Serve or scrape it via
+// Registry.WriteText. Nil is the default (no metrics).
+func WithMetrics(reg *obs.Registry) Option {
+	return func(c *config) { c.cfg.Metrics = reg }
+}
+
+// WithTracer attaches an obs step-phase tracer: the trainer and its
+// reducers record compute/quantise/encode/transfer/decode/barrier
+// spans per step, and the cluster session (when one is joined through
+// this facade) records its rendezvous and rejoin rounds as control
+// spans. The tracer is nil-safe and fully inert when unset; convert a
+// captured trace with lpsgd-trace to compare against the simulator.
+func WithTracer(tr *obs.Tracer) Option {
+	return func(c *config) { c.cfg.Tracer = tr }
+}
+
 // WithAcceptedPolicies sets the policy strings (quant.ParsePolicy
 // grammar — bare codec names included) this rank advertises during the
 // cluster rendezvous; the session settles on the cheapest policy every
@@ -572,6 +592,7 @@ func NewTrainer(model BuildFunc, opts ...Option) (*Trainer, error) {
 				Timeout: c.cluster.timeout,
 				Health:  c.cluster.health,
 				Elastic: c.cluster.elastic,
+				Tracer:  c.cfg.Tracer,
 			})
 			if err != nil {
 				return nil, err

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"math"
+	"strconv"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket int64 histogram. Bucket upper bounds are
+// chosen at registration time; Observe is a branch-light linear scan
+// plus two atomic adds — no locks, no allocation. A nil Histogram is a
+// no-op.
+type Histogram struct {
+	bounds []int64        // strictly increasing upper bounds (le)
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomic.Int64
+	count  atomic.Int64
+}
+
+func newHistogram(bounds []int64) *Histogram {
+	b := append([]int64(nil), bounds...)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// appendText renders the series in cumulative Prometheus form:
+// name_bucket{le="..."} lines (one per bound plus +Inf), then
+// name_sum and name_count.
+func (h *Histogram) appendText(b []byte, name, labels string) []byte {
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		b = appendBucket(b, name, labels, strconv.FormatInt(bound, 10), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	b = appendBucket(b, name, labels, "+Inf", cum)
+	b = appendSample(b, name+"_sum", labels, h.sum.Load())
+	b = appendSample(b, name+"_count", labels, h.count.Load())
+	return b
+}
+
+// appendBucket appends one name_bucket{...,le="bound"} cum\n line,
+// merging le into an existing label block if present.
+func appendBucket(b []byte, name, labels, le string, cum int64) []byte {
+	b = append(b, name...)
+	b = append(b, "_bucket"...)
+	if labels == "" {
+		b = append(b, `{le="`...)
+	} else {
+		b = append(b, labels[:len(labels)-1]...) // strip trailing '}'
+		b = append(b, `,le="`...)
+	}
+	b = append(b, le...)
+	b = append(b, `"} `...)
+	b = strconv.AppendInt(b, cum, 10)
+	b = append(b, '\n')
+	return b
+}
+
+// ExpBuckets returns n exponentially spaced bucket bounds starting at
+// min and multiplying by factor — the usual shape for nanosecond
+// latency histograms. min must be positive, factor > 1, n >= 1.
+func ExpBuckets(min int64, factor float64, n int) []int64 {
+	if min <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets requires min > 0, factor > 1, n >= 1")
+	}
+	out := make([]int64, n)
+	f := float64(min)
+	for i := 0; i < n; i++ {
+		v := int64(math.Round(f))
+		if i > 0 && v <= out[i-1] {
+			v = out[i-1] + 1
+		}
+		out[i] = v
+		f *= factor
+	}
+	return out
+}

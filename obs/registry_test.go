@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// buildFixtureRegistry registers one of everything with deterministic
+// values, exercising ordering, escaping and histogram cumulativeness.
+func buildFixtureRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("lpsgd_wire_tx_bytes_total", "Payload bytes sent, per peer.",
+		Label{"peer", "1"}).Add(4096)
+	r.Counter("lpsgd_wire_tx_bytes_total", "Payload bytes sent, per peer.",
+		Label{"peer", "0"}).Add(1024)
+	r.Gauge("lpsgd_world_size", "Current world size.").Set(4)
+	r.Func("lpsgd_control_bytes_total", "Heartbeat control-plane bytes.",
+		func() int64 { return 777 })
+	h := r.Histogram("lpsgd_step_phase_ns", "Per-phase step durations.",
+		[]int64{10, 100, 1000}, Label{"phase", "compute"})
+	for _, v := range []int64{5, 50, 500, 5000, 7} {
+		h.Observe(v)
+	}
+	// Escaping: backslash, quote and newline in a label value; newline
+	// and backslash in help.
+	r.Counter("lpsgd_odd_total", "strange \\ help\nsecond line",
+		Label{"path", `a\b"c` + "\n"}).Inc()
+	return r
+}
+
+func TestWriteTextGolden(t *testing.T) {
+	r := buildFixtureRegistry()
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWriteTextDeterministic(t *testing.T) {
+	r := buildFixtureRegistry()
+	var a, b bytes.Buffer
+	if err := r.WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two renders of the same registry differ")
+	}
+}
+
+func TestHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("m", "h", []int64{1, 2, 3})
+	for _, v := range []int64{0, 1, 2, 3, 4, 100} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`m_bucket{le="1"} 2`,
+		`m_bucket{le="2"} 3`,
+		`m_bucket{le="3"} 4`,
+		`m_bucket{le="+Inf"} 6`,
+		"m_sum 110",
+		"m_count 6",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if h.Count() != 6 || h.Sum() != 110 {
+		t.Fatalf("Count/Sum = %d/%d, want 6/110", h.Count(), h.Sum())
+	}
+}
+
+func TestIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c", "h", Label{"k", "v"})
+	b := r.Counter("c", "h", Label{"k", "v"})
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct handles")
+	}
+	a.Add(2)
+	if b.Value() != 2 {
+		t.Fatal("handles not shared")
+	}
+	// Different labels → different series, same family.
+	c := r.Counter("c", "h", Label{"k", "w"})
+	if c == a {
+		t.Fatal("different labels returned the same handle")
+	}
+}
+
+func TestConflictingRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering as gauge did not panic")
+		}
+	}()
+	r.Gauge("c", "h")
+}
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c", "h")
+	c.Inc()
+	c.Add(5)
+	g := r.Gauge("g", "h")
+	g.Set(1)
+	g.Add(1)
+	h := r.Histogram("m", "h", []int64{1})
+	h.Observe(9)
+	r.Func("f", "h", func() int64 { return 1 })
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles accumulated state")
+	}
+	if err := r.WriteText(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1000, 4, 5)
+	want := []int64{1000, 4000, 16000, 64000, 256000}
+	if len(b) != len(want) {
+		t.Fatalf("len = %d, want %d", len(b), len(want))
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, b[i], want[i])
+		}
+	}
+	// Slow growth must still be strictly increasing.
+	b = ExpBuckets(1, 1.01, 10)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("buckets not strictly increasing: %v", b)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Server exposes a registry and tracer over HTTP:
+//
+//	/metrics        Prometheus text exposition
+//	/debug/vars     expvar JSON
+//	/debug/pprof/*  runtime profiles (explicit handlers; no global mux)
+//	/trace          tracer ring as a JSONL download
+//
+// Close stops the listener and joins the serve goroutine.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+	wg  sync.WaitGroup
+}
+
+// Serve binds addr (e.g. ":9090", or ":0" for an ephemeral port — see
+// Addr) and starts serving. reg and tr may each be nil; their
+// endpoints then return empty bodies.
+func Serve(addr string, reg *Registry, tr *Tracer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WriteText(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		tr.WriteJSONL(w)
+	})
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.srv.Serve(ln) // returns ErrServerClosed (or a listener error) on Close
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address — useful with ":0".
+func (s *Server) Addr() string {
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener, drops open connections and joins the serve
+// goroutine.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	s.wg.Wait()
+	return err
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("lpsgd_test_total", "h").Add(42)
+	tr := NewTracer(8)
+	tr.Record(1, PhaseBarrier, "exchange", -1, 0, 10, 20)
+
+	s, err := Serve("127.0.0.1:0", reg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "lpsgd_test_total 42\n") {
+		t.Fatalf("/metrics: code=%d body=%q", code, body)
+	}
+	code, body = get(t, base+"/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, "memstats") {
+		t.Fatalf("/debug/vars: code=%d", code)
+	}
+	code, body = get(t, base+"/debug/pprof/goroutine?debug=1")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/goroutine: code=%d", code)
+	}
+	code, body = get(t, base+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace: code=%d", code)
+	}
+	spans, err := ReadSpans(strings.NewReader(body))
+	if err != nil || len(spans) != 1 || spans[0].Phase != PhaseBarrier {
+		t.Fatalf("/trace spans=%v err=%v", spans, err)
+	}
+}
+
+func TestServeNilPlanes(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+	for _, path := range []string{"/metrics", "/trace"} {
+		code, body := get(t, base+path)
+		if code != http.StatusOK || body != "" {
+			t.Fatalf("%s with nil planes: code=%d body=%q", path, code, body)
+		}
+	}
+}
+
+func TestServeCloseIdempotentAddr(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	if !strings.Contains(addr, ":") {
+		t.Fatalf("Addr = %q", addr)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The port is released: a second server can bind it again.
+	s2, err := Serve(addr, nil, nil)
+	if err != nil {
+		t.Fatalf("rebind after Close: %v", err)
+	}
+	s2.Close()
+}

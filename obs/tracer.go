@@ -1,0 +1,369 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Phase identifies which part of a synchronous step a span covers.
+// The vocabulary mirrors the simulator's event kinds so that live and
+// simulated timelines can be diffed phase-for-phase.
+type Phase uint8
+
+const (
+	PhaseCompute Phase = iota
+	PhaseQuantise
+	PhaseEncode
+	PhaseTransfer
+	PhaseDecode
+	PhaseBarrier
+	PhaseControl
+	numPhases
+)
+
+var phaseNames = [numPhases]string{
+	"compute", "quantise", "encode", "transfer", "decode", "barrier", "control",
+}
+
+// String returns the lowercase phase name used on the wire and in the
+// simulator overlay.
+func (p Phase) String() string {
+	if p < numPhases {
+		return phaseNames[p]
+	}
+	return "unknown"
+}
+
+// ParsePhase is the inverse of String.
+func ParsePhase(s string) (Phase, error) {
+	for i, n := range phaseNames {
+		if n == s {
+			return Phase(i), nil
+		}
+	}
+	return 0, fmt.Errorf("obs: unknown phase %q", s)
+}
+
+// Span is one traced interval. StartNS is nanoseconds since the
+// tracer's creation (a monotonic, process-local origin); DurNS is the
+// interval length. Bytes and Peer are -1-free: zero means "not
+// applicable" for Bytes, and Peer is -1 when no peer is involved.
+type Span struct {
+	Rank    int    `json:"rank"`
+	Step    int64  `json:"step"`
+	Phase   Phase  `json:"-"`
+	Op      string `json:"op,omitempty"`
+	Peer    int    `json:"peer"`
+	Bytes   int64  `json:"bytes"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+}
+
+// spanJSON is the wire shape: phase as its string name.
+type spanJSON struct {
+	Rank    int    `json:"rank"`
+	Step    int64  `json:"step"`
+	Phase   string `json:"phase"`
+	Op      string `json:"op,omitempty"`
+	Peer    int    `json:"peer"`
+	Bytes   int64  `json:"bytes"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+}
+
+// Tracer records spans into a bounded ring and, optionally, a JSONL
+// sink. All methods are nil-safe: a nil *Tracer is the disabled state,
+// and instrumented code calls Now/Record unconditionally. Now returns
+// 0 when disabled, so the pattern
+//
+//	t0 := tr.Now()
+//	... work ...
+//	tr.Record(rank, obs.PhaseTransfer, op, peer, n, t0, tr.Now()-t0)
+//
+// costs two nil checks and no allocation when tracing is off.
+type Tracer struct {
+	origin time.Time
+	step   atomic.Int64
+	// hist, when set, mirrors every recorded span's duration into the
+	// per-phase histogram of the matching index (see AttachHistograms),
+	// bridging the trace into the /metrics exposition.
+	hist atomic.Pointer[[numPhases]*Histogram]
+
+	mu   sync.Mutex
+	ring []Span
+	next int   // next write index
+	n    int   // spans currently held (≤ len(ring))
+	seq  int64 // total spans ever recorded
+
+	sink *bufio.Writer
+	sc   io.Closer
+	buf  []byte // reusable JSONL encode buffer
+}
+
+// NewTracer returns a tracer whose ring holds up to capacity spans
+// (older spans are overwritten). capacity must be positive.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		panic("obs: tracer capacity must be positive")
+	}
+	return &Tracer{origin: time.Now(), ring: make([]Span, capacity)}
+}
+
+// SetSink attaches a JSONL sink: every recorded span is also appended
+// to w as one JSON object per line. If w is an io.Closer, Close closes
+// it after flushing.
+func (t *Tracer) SetSink(w io.Writer) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sink = bufio.NewWriter(w)
+	if c, ok := w.(io.Closer); ok {
+		t.sc = c
+	}
+}
+
+// Now returns nanoseconds since the tracer's origin, or 0 when the
+// tracer is nil (disabled).
+func (t *Tracer) Now() int64 {
+	if t == nil {
+		return 0
+	}
+	return int64(time.Since(t.origin))
+}
+
+// SetStep publishes the current global step; spans recorded by lower
+// layers (reducers, fabrics) pick it up so they need no step plumbing.
+func (t *Tracer) SetStep(step int64) {
+	if t == nil {
+		return
+	}
+	t.step.Store(step)
+}
+
+// Step returns the current published step (0 when nil).
+func (t *Tracer) Step() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.step.Load()
+}
+
+// Record stores one span. peer is -1 when no peer is involved. op must
+// be a static or pre-built string — building it per call defeats the
+// disabled fast path (the obsinert lint check enforces this at
+// instrumentation sites).
+func (t *Tracer) Record(rank int, ph Phase, op string, peer int, bytes, startNS, durNS int64) {
+	if t == nil {
+		return
+	}
+	s := Span{
+		Rank:    rank,
+		Step:    t.step.Load(),
+		Phase:   ph,
+		Op:      op,
+		Peer:    peer,
+		Bytes:   bytes,
+		StartNS: startNS,
+		DurNS:   durNS,
+	}
+	if hp := t.hist.Load(); hp != nil && ph < numPhases {
+		hp[ph].Observe(durNS)
+	}
+	t.mu.Lock()
+	t.ring[t.next] = s
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+	}
+	if t.n < len(t.ring) {
+		t.n++
+	}
+	t.seq++
+	if t.sink != nil {
+		t.buf = appendSpanJSON(t.buf[:0], &s)
+		t.sink.Write(t.buf)
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of spans currently in the ring.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Recorded returns the total number of spans ever recorded, including
+// those already overwritten in the ring.
+func (t *Tracer) Recorded() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Snapshot returns the ring's spans in chronological (record) order.
+func (t *Tracer) Snapshot() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, t.n)
+	start := t.next - t.n
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// WriteJSONL writes the ring's spans to w, one JSON object per line,
+// oldest first.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	spans := t.Snapshot()
+	var buf []byte
+	for i := range spans {
+		buf = appendSpanJSON(buf[:0], &spans[i])
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush flushes the JSONL sink, if any.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sink == nil {
+		return nil
+	}
+	return t.sink.Flush()
+}
+
+// Close flushes and closes the sink, if any. The tracer itself remains
+// usable (further spans go to the ring only).
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var err error
+	if t.sink != nil {
+		err = t.sink.Flush()
+		t.sink = nil
+	}
+	if t.sc != nil {
+		if cerr := t.sc.Close(); err == nil {
+			err = cerr
+		}
+		t.sc = nil
+	}
+	return err
+}
+
+// appendSpanJSON hand-encodes one span as a JSONL line. Fields match
+// spanJSON; hand-rolled so the sink path allocates nothing per span
+// beyond the reusable buffer.
+func appendSpanJSON(b []byte, s *Span) []byte {
+	b = append(b, `{"rank":`...)
+	b = strconv.AppendInt(b, int64(s.Rank), 10)
+	b = append(b, `,"step":`...)
+	b = strconv.AppendInt(b, s.Step, 10)
+	b = append(b, `,"phase":"`...)
+	b = append(b, s.Phase.String()...)
+	b = append(b, '"')
+	if s.Op != "" {
+		b = append(b, `,"op":`...)
+		b = strconv.AppendQuote(b, s.Op)
+	}
+	b = append(b, `,"peer":`...)
+	b = strconv.AppendInt(b, int64(s.Peer), 10)
+	b = append(b, `,"bytes":`...)
+	b = strconv.AppendInt(b, s.Bytes, 10)
+	b = append(b, `,"start_ns":`...)
+	b = strconv.AppendInt(b, s.StartNS, 10)
+	b = append(b, `,"dur_ns":`...)
+	b = strconv.AppendInt(b, s.DurNS, 10)
+	b = append(b, "}\n"...)
+	return b
+}
+
+// ReadSpans parses a JSONL span stream (as written by WriteJSONL or a
+// sink) back into spans. Blank lines are skipped. Not a hot path —
+// uses encoding/json.
+func ReadSpans(r io.Reader) ([]Span, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Span
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var sj spanJSON
+		if err := json.Unmarshal(raw, &sj); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		ph, err := ParsePhase(sj.Phase)
+		if err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		out = append(out, Span{
+			Rank: sj.Rank, Step: sj.Step, Phase: ph, Op: sj.Op,
+			Peer: sj.Peer, Bytes: sj.Bytes, StartNS: sj.StartNS, DurNS: sj.DurNS,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SetPhaseHistograms mirrors every subsequently recorded span's
+// duration into hs[span.Phase] — typically the array AttachHistograms
+// built. Pass nil to detach.
+func (t *Tracer) SetPhaseHistograms(hs *[numPhases]*Histogram) {
+	if t == nil {
+		return
+	}
+	t.hist.Store(hs)
+}
+
+// AttachHistograms registers one duration histogram per phase under
+// name (labelled phase="...") and returns the per-phase array, ready
+// for SetPhaseHistograms. A nil registry yields all-nil (still
+// observable, no-op) histograms.
+func AttachHistograms(reg *Registry, name, help string, buckets []int64) *[numPhases]*Histogram {
+	var hs [numPhases]*Histogram
+	if reg == nil {
+		return &hs
+	}
+	for p := Phase(0); p < numPhases; p++ {
+		hs[p] = reg.Histogram(name, help, buckets, Label{"phase", p.String()})
+	}
+	return &hs
+}

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPhaseRoundTrip(t *testing.T) {
+	for p := Phase(0); p < numPhases; p++ {
+		got, err := ParsePhase(p.String())
+		if err != nil {
+			t.Fatalf("ParsePhase(%q): %v", p.String(), err)
+		}
+		if got != p {
+			t.Fatalf("round trip %v -> %q -> %v", p, p.String(), got)
+		}
+	}
+	if _, err := ParsePhase("bogus"); err == nil {
+		t.Fatal("ParsePhase accepted a bogus phase")
+	}
+	if Phase(200).String() != "unknown" {
+		t.Fatal("out-of-range phase did not stringify as unknown")
+	}
+}
+
+func TestTracerRingOrderAndWrap(t *testing.T) {
+	tr := NewTracer(4)
+	tr.SetStep(7)
+	for i := 0; i < 6; i++ {
+		tr.Record(i, PhaseCompute, "op", -1, 0, int64(i*10), 5)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Recorded() != 6 {
+		t.Fatalf("Recorded = %d, want 6", tr.Recorded())
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("snapshot len = %d, want 4", len(spans))
+	}
+	// Oldest surviving span is rank 2; chronological order preserved.
+	for i, s := range spans {
+		if s.Rank != i+2 {
+			t.Fatalf("span %d rank = %d, want %d", i, s.Rank, i+2)
+		}
+		if s.Step != 7 {
+			t.Fatalf("span %d step = %d, want 7", i, s.Step)
+		}
+	}
+}
+
+func TestTracerJSONLRoundTrip(t *testing.T) {
+	tr := NewTracer(16)
+	tr.SetStep(3)
+	tr.Record(0, PhaseQuantise, "fc1.weight", -1, 0, 100, 42)
+	tr.Record(1, PhaseTransfer, `odd"op\n`, 2, 4096, 150, 9)
+	tr.Record(2, PhaseBarrier, "", -1, 0, 200, 1000)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.Snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("span %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTracerSink(t *testing.T) {
+	tr := NewTracer(2) // smaller than the number of spans recorded
+	var sink bytes.Buffer
+	tr.SetSink(&sink)
+	for i := 0; i < 5; i++ {
+		tr.Record(i, PhaseControl, "rendezvous", -1, 0, int64(i), 1)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ReadSpans(&sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sink sees everything, even spans the ring overwrote.
+	if len(spans) != 5 {
+		t.Fatalf("sink got %d spans, want 5", len(spans))
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if tr.Now() != 0 {
+		t.Fatal("nil Now != 0")
+	}
+	tr.SetStep(5)
+	tr.Record(0, PhaseCompute, "x", -1, 0, 0, 1)
+	tr.SetSink(&bytes.Buffer{})
+	if tr.Len() != 0 || tr.Recorded() != 0 || tr.Step() != 0 {
+		t.Fatal("nil tracer accumulated state")
+	}
+	if tr.Snapshot() != nil {
+		t.Fatal("nil Snapshot != nil")
+	}
+	if err := tr.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadSpansRejectsGarbage(t *testing.T) {
+	if _, err := ReadSpans(strings.NewReader("{not json}\n")); err == nil {
+		t.Fatal("accepted malformed JSON")
+	}
+	if _, err := ReadSpans(strings.NewReader(`{"rank":0,"step":0,"phase":"warp"}` + "\n")); err == nil {
+		t.Fatal("accepted unknown phase")
+	}
+	spans, err := ReadSpans(strings.NewReader("\n\n"))
+	if err != nil || len(spans) != 0 {
+		t.Fatalf("blank lines: spans=%v err=%v", spans, err)
+	}
+}
+
+func TestAttachHistograms(t *testing.T) {
+	r := NewRegistry()
+	hs := AttachHistograms(r, "lpsgd_phase_ns", "h", []int64{10, 100})
+	hs[PhaseCompute].Observe(50)
+	hs[PhaseTransfer].Observe(5)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`lpsgd_phase_ns_count{phase="compute"} 1`,
+		`lpsgd_phase_ns_count{phase="transfer"} 1`,
+		`lpsgd_phase_ns_count{phase="barrier"} 0`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Nil registry: all-nil (but observable) histogram array.
+	hs = AttachHistograms(nil, "x", "h", []int64{1})
+	hs[PhaseCompute].Observe(1)
+}
+
+// BenchmarkTracerOverhead measures the cost of one instrumentation
+// site: two Now() calls plus one Record(), tracing enabled vs nil.
+func BenchmarkTracerOverhead(b *testing.B) {
+	b.Run("enabled", func(b *testing.B) {
+		tr := NewTracer(1 << 12)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t0 := tr.Now()
+			tr.Record(0, PhaseTransfer, "bench", 1, 4096, t0, tr.Now()-t0)
+		}
+	})
+	b.Run("disabled", func(b *testing.B) {
+		var tr *Tracer
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t0 := tr.Now()
+			tr.Record(0, PhaseTransfer, "bench", 1, 4096, t0, tr.Now()-t0)
+		}
+	})
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "h")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_ns", "h", ExpBuckets(1000, 4, 12))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}

@@ -25,7 +25,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/comm"
@@ -33,6 +35,7 @@ import (
 	"repro/elastic"
 	"repro/health"
 	"repro/nn"
+	"repro/obs"
 	"repro/quant"
 	"repro/rng"
 )
@@ -154,6 +157,18 @@ type Config struct {
 	// EvalEvery evaluates test accuracy every this many epochs
 	// (default 1).
 	EvalEvery int
+	// Tracer, when set, receives step-phase spans: a compute and a
+	// barrier span per local rank per step from the trainer itself, plus
+	// the quantise/encode/transfer/decode fine structure from the
+	// reducer (comm.Traceable). Nil disables tracing; the training
+	// trajectory and wire traffic are bit-identical either way (pinned
+	// by TestObsDisabledDigestParity).
+	Tracer *obs.Tracer
+	// Metrics, when set, registers the trainer's operational series:
+	// cumulative wire and control bytes, per-peer link traffic, step
+	// counters and phase histograms, health phi per peer. Nil disables
+	// registration; all instruments are obs nil-safe.
+	Metrics *obs.Registry
 }
 
 func (c *Config) fillDefaults() error {
@@ -309,11 +324,23 @@ type Trainer struct {
 	specs    []comm.TensorSpec
 	monitor  *health.Monitor
 
-	// stepIdx counts completed synchronous steps; statsMu guards the
-	// latest straggler report and the elastic cursor.
-	stepIdx   int64
-	statsMu   sync.Mutex
-	lastStats StepStats
+	// stepIdx counts completed synchronous steps; statsMu guards it,
+	// the elastic cursor, and the fabric/monitor identities (which a
+	// rejoin round swaps while metric scrapes read them).
+	stepIdx int64
+	statsMu sync.Mutex
+	// lastStats is the latest straggler report, published as an
+	// immutable snapshot: recordStep builds a fresh StepStats each step
+	// and stores the pointer, so StepStats() readers are race-clean by
+	// construction — no lock, no torn reads, nothing shared mutable.
+	lastStats atomic.Pointer[StepStats]
+
+	// tracer/metrics are the observability plane (both may be nil).
+	tracer       *obs.Tracer
+	metrics      *obs.Registry
+	computeHist  *obs.Histogram
+	exchangeHist *obs.Histogram
+	beatHist     *obs.Histogram
 
 	// Elastic cursor (guarded by statsMu): where in the data schedule
 	// the last completed step happened. curEpoch is the running epoch,
@@ -336,9 +363,54 @@ type Trainer struct {
 }
 
 // totalWireBytes returns the bytes this process's ranks have sent over
-// every fabric incarnation of the run.
+// every fabric incarnation of the run. statsMu covers the fabric swap
+// a rejoin performs, so a concurrent metrics scrape never reads a
+// half-retired incarnation.
 func (t *Trainer) totalWireBytes() int64 {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
 	return t.wireBase + t.fabric.TotalBytes()
+}
+
+// WireBytes returns the cumulative data-mesh payload bytes this
+// process's ranks have sent — the number EpochStats.WireBytes records
+// and the lpsgd_wire_tx_bytes_total metric exports, from one counter.
+func (t *Trainer) WireBytes() int64 { return t.totalWireBytes() }
+
+// ControlBytes returns the cumulative health-plane bytes this rank has
+// written (0 outside cluster mode) — the lpsgd_control_bytes_total
+// metric, kept beside WireBytes so the two wire namespaces are read
+// through one surface and can never disagree with /metrics.
+func (t *Trainer) ControlBytes() int64 {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	if t.monitor == nil {
+		return 0
+	}
+	return t.monitor.ControlBytes()
+}
+
+// peerTraffic reads the per-peer link accounting of the current fabric
+// incarnation (zero when the fabric does not expose it).
+func (t *Trainer) peerTraffic(p int) comm.PeerTraffic {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	if pa, ok := t.fabric.(comm.PeerAccounter); ok {
+		return pa.PeerTraffic(p)
+	}
+	return comm.PeerTraffic{}
+}
+
+// monitorPhi samples the health plane's suspicion level for a peer in
+// milli-phi (0 when no monitor is attached).
+func (t *Trainer) monitorPhi(p int) int64 {
+	t.statsMu.Lock()
+	m := t.monitor
+	t.statsMu.Unlock()
+	if m == nil {
+		return 0
+	}
+	return int64(m.Phi(p) * 1000)
 }
 
 // NewTrainer builds the local replicas with identical initial weights
@@ -351,7 +423,7 @@ func NewTrainer(build func(r *rng.RNG) *nn.Network, cfg Config) (*Trainer, error
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
-	t := &Trainer{cfg: cfg, monitor: cfg.Monitor}
+	t := &Trainer{cfg: cfg, monitor: cfg.Monitor, tracer: cfg.Tracer, metrics: cfg.Metrics}
 	if cfg.Fabric != nil {
 		if k := cfg.Fabric.K(); k != cfg.Workers {
 			return nil, fmt.Errorf("parallel: fabric spans %d ranks, config wants %d workers", k, cfg.Workers)
@@ -414,8 +486,89 @@ func NewTrainer(build func(r *rng.RNG) *nn.Network, cfg Config) (*Trainer, error
 	if cfg.HealthHandler != nil && t.monitor != nil {
 		t.monitor.OnVerdict(cfg.HealthHandler)
 	}
+	t.registerMetrics()
+	t.wireMonitorObs()
 	t.lastBatch = -1
 	return t, nil
+}
+
+// registerMetrics declares the trainer's series on Config.Metrics. A
+// nil registry makes every call a no-op (nil-safe handles), so the
+// method runs unconditionally. Callback-backed series read through the
+// trainer's guarded accessors, which keeps them correct across the
+// fabric and monitor swaps of elastic rejoin rounds without any
+// re-registration.
+func (t *Trainer) registerMetrics() {
+	m := t.metrics
+	m.Func("lpsgd_wire_tx_bytes_total",
+		"Cumulative data-mesh payload bytes sent by this process's ranks (all fabric incarnations).",
+		t.WireBytes)
+	m.Func("lpsgd_control_bytes_total",
+		"Cumulative health-plane control bytes written by this rank.",
+		t.ControlBytes)
+	m.Func("lpsgd_steps_total", "Completed synchronous steps.", t.currentStep)
+	m.Gauge("lpsgd_world_size", "Configured world size K.").Set(int64(t.cfg.Workers))
+	m.Gauge("lpsgd_rank", "Lowest rank this process drives.").Set(int64(t.ranks[0]))
+	m.Gauge("lpsgd_policy_wire_bytes",
+		"Encoded bytes one local gradient set occupies under the policy.").Set(t.plan.WireBytes())
+	m.Gauge("lpsgd_policy_raw_bytes",
+		"Raw fp32 bytes of one local gradient set (wire/raw is the achieved compression ratio).").Set(t.plan.RawBytes())
+	// Step-time histograms: 1µs..~4s exponential nanosecond buckets.
+	buckets := obs.ExpBuckets(1000, 4, 12)
+	t.computeHist = m.Histogram("lpsgd_step_compute_ns",
+		"Per-step forward+backward wall time of the local ranks.", buckets)
+	t.exchangeHist = m.Histogram("lpsgd_step_exchange_ns",
+		"Per-step gradient-exchange wall time of the local ranks.", buckets)
+	// Per-peer link traffic and suspicion, cluster mode only (the
+	// in-process fabrics have no peer links worth splitting).
+	if t.cfg.Fabric != nil {
+		for p := 0; p < t.cfg.Workers; p++ {
+			if p == t.ranks[0] {
+				continue
+			}
+			p := p
+			lbl := obs.Label{Key: "peer", Value: strconv.Itoa(p)}
+			m.Func("lpsgd_peer_tx_bytes_total", "Payload bytes sent to the peer.",
+				func() int64 { return t.peerTraffic(p).TxBytes }, lbl)
+			m.Func("lpsgd_peer_rx_bytes_total", "Payload bytes received from the peer.",
+				func() int64 { return t.peerTraffic(p).RxBytes }, lbl)
+			m.Func("lpsgd_peer_tx_frames_total", "Frames sent to the peer.",
+				func() int64 { return t.peerTraffic(p).TxFrames }, lbl)
+			m.Func("lpsgd_peer_rx_frames_total", "Frames received from the peer.",
+				func() int64 { return t.peerTraffic(p).RxFrames }, lbl)
+			m.Func("lpsgd_health_phi_milli", "Failure-detector suspicion level for the peer, x1000.",
+				func() int64 { return t.monitorPhi(p) }, lbl)
+		}
+	}
+	// Bridge the tracer's spans into per-phase /metrics histograms.
+	if t.tracer != nil && t.metrics != nil {
+		t.tracer.SetPhaseHistograms(obs.AttachHistograms(m, "lpsgd_phase_ns",
+			"Traced span durations by step phase.", buckets))
+	}
+	t.beatHist = m.Histogram("lpsgd_heartbeat_gap_ns",
+		"Gap between consecutive heartbeats from any peer.",
+		obs.ExpBuckets(1_000_000, 2, 14))
+}
+
+// wireMonitorObs attaches the observability hooks to the current
+// monitor. Called at construction and again after every rejoin round
+// (replacement monitors start bare).
+func (t *Trainer) wireMonitorObs() {
+	if t.monitor == nil {
+		return
+	}
+	if t.metrics != nil {
+		h := t.beatHist
+		t.monitor.OnHeartbeat(func(_ int, gap time.Duration) { h.Observe(int64(gap)) })
+	}
+	if t.tracer != nil {
+		tr := t.tracer
+		rank := t.ranks[0]
+		t.monitor.OnVerdict(func(error) {
+			now := tr.Now()
+			tr.Record(rank, obs.PhaseControl, "verdict", -1, 0, now, 0)
+		})
+	}
 }
 
 // buildReducer (re)builds the aggregation primitive over the current
@@ -440,6 +593,9 @@ func (t *Trainer) buildReducer() error {
 		}
 	default:
 		return fmt.Errorf("parallel: unknown primitive %d", cfg.Primitive)
+	}
+	if tb, ok := t.reducer.(comm.Traceable); ok {
+		tb.SetTracer(t.tracer)
 	}
 	return nil
 }
@@ -478,17 +634,20 @@ func (t *Trainer) abortFabric(err error) bool {
 
 // StepStats returns the straggler report of the most recent completed
 // (or timing-out) synchronous step. Before the first step it is zero
-// with Slowest == -1.
+// with Slowest == -1. The returned snapshot is immutable once
+// published — recordStep builds a fresh value per step and swaps an
+// atomic pointer — so concurrent callers during Run are race-free by
+// construction; the slices are defensively copied only because the
+// returned struct is mutable in the caller's hands.
 func (t *Trainer) StepStats() StepStats {
-	t.statsMu.Lock()
-	defer t.statsMu.Unlock()
-	s := t.lastStats
+	p := t.lastStats.Load()
+	if p == nil {
+		return StepStats{Slowest: -1}
+	}
+	s := *p
 	s.Compute = append([]time.Duration(nil), s.Compute...)
 	s.Exchange = append([]time.Duration(nil), s.Exchange...)
 	s.Known = append([]bool(nil), s.Known...)
-	if s.Known == nil {
-		s.Slowest = -1
-	}
 	return s
 }
 
@@ -549,6 +708,7 @@ func (t *Trainer) LoadCheckpoint(r io.Reader) error {
 // a rejoin round and the writer behind SaveState. The trainer must be
 // quiescent (between steps) when it runs.
 func (t *Trainer) makeSnapshot() (*elastic.Snapshot, error) {
+	snapStart := t.tracer.Now()
 	t.statsMu.Lock()
 	step, epoch, batch, shuf := t.stepIdx, t.curEpoch, t.lastBatch, t.epochShuffleState
 	t.statsMu.Unlock()
@@ -561,7 +721,7 @@ func (t *Trainer) makeSnapshot() (*elastic.Snapshot, error) {
 	for _, v := range opt.Velocity() {
 		vel = append(vel, append([]float32(nil), v.Data...))
 	}
-	return &elastic.Snapshot{
+	snap := &elastic.Snapshot{
 		Seed:         t.cfg.Seed,
 		World:        t.cfg.Workers,
 		Policy:       t.plan.Policy.Name(),
@@ -573,7 +733,9 @@ func (t *Trainer) makeSnapshot() (*elastic.Snapshot, error) {
 		WeightDecay:  opt.WeightDecay(),
 		Params:       params.Bytes(),
 		Velocity:     vel,
-	}, nil
+	}
+	t.tracer.Record(t.ranks[0], obs.PhaseControl, "snapshot", -1, int64(len(snap.Params)), snapStart, t.tracer.Now()-snapStart)
+	return snap, nil
 }
 
 // installSnapshot validates a snapshot against this trainer's
@@ -582,6 +744,7 @@ func (t *Trainer) makeSnapshot() (*elastic.Snapshot, error) {
 // the training loop consumes. It is the catch-up hook of a rejoin
 // round and the reader behind LoadState/Restore.
 func (t *Trainer) installSnapshot(snap *elastic.Snapshot) error {
+	restoreStart := t.tracer.Now()
 	cfg := t.cfg
 	if snap.Seed != cfg.Seed {
 		return fmt.Errorf("parallel: snapshot from seed %d cannot resume a seed-%d run (the seed keys the data order and every stochastic stream)", snap.Seed, cfg.Seed)
@@ -625,6 +788,7 @@ func (t *Trainer) installSnapshot(snap *elastic.Snapshot) error {
 	t.epochShuffleState = snap.ShuffleState
 	t.statsMu.Unlock()
 	t.restored = snap
+	t.tracer.Record(t.ranks[0], obs.PhaseControl, "restore", -1, int64(len(snap.Params)), restoreStart, t.tracer.Now()-restoreStart)
 	return nil
 }
 
@@ -733,11 +897,9 @@ func (t *Trainer) Run(train, test *data.Dataset) (*History, error) {
 			t.noteBatch(bi)
 			lossSum += loss
 			lossCnt++
-			t.statsMu.Lock()
-			if s := t.lastStats.Slowest; s >= 0 {
-				slowCount[s]++
+			if st := t.lastStats.Load(); st != nil && st.Slowest >= 0 {
+				slowCount[st.Slowest]++
 			}
-			t.statsMu.Unlock()
 		}
 		if jumped {
 			continue
@@ -833,12 +995,20 @@ func (t *Trainer) tryRejoin(stepErr error) (*elastic.Snapshot, error) {
 	// The replacement fabric's byte counter starts at zero; fold the
 	// old incarnation's traffic into the base so EpochStats.WireBytes
 	// stays cumulative across repairs (the old fabric is closed but
-	// its counter remains readable).
+	// its counter remains readable). The swap happens under statsMu so
+	// a concurrent metrics scrape reads either incarnation whole.
+	t.statsMu.Lock()
 	t.wireBase += t.fabric.TotalBytes()
 	t.fabric = out.Fabric
 	t.monitor = out.Monitor
+	t.statsMu.Unlock()
 	if t.cfg.HealthHandler != nil && t.monitor != nil {
 		t.monitor.OnVerdict(t.cfg.HealthHandler)
+	}
+	t.wireMonitorObs()
+	if t.tracer != nil {
+		now := t.tracer.Now()
+		t.tracer.Record(t.ranks[0], obs.PhaseControl, "rejoin", -1, 0, now, 0)
 	}
 	if err := t.buildReducer(); err != nil {
 		return nil, err
@@ -966,6 +1136,9 @@ func (t *Trainer) step(train *data.Dataset, batch []int) (float64, error) {
 			sk.BeginStep(t.currentStep() + 1)
 		}
 	}
+	// Publish the step index to the tracer so the reducer's spans carry
+	// it without any per-message plumbing (nil-safe no-op when off).
+	t.tracer.SetStep(t.currentStep() + 1)
 	losses := make([]float64, len(t.ranks))
 	errs := make([]error, len(t.ranks))
 	compute := make([]time.Duration, len(t.ranks))
@@ -975,6 +1148,7 @@ func (t *Trainer) step(train *data.Dataset, batch []int) (float64, error) {
 		wg.Add(1)
 		go func(li, w int) {
 			defer wg.Done()
+			c0 := t.tracer.Now()
 			start := time.Now()
 			shard := batch[w*len(batch)/k : (w+1)*len(batch)/k]
 			x, labels := train.Gather(shard)
@@ -984,8 +1158,12 @@ func (t *Trainer) step(train *data.Dataset, batch []int) (float64, error) {
 			losses[li] = loss.Forward(net.Forward(x, true), labels)
 			net.Backward(loss.Backward(labels))
 			compute[li] = time.Since(start)
+			t.tracer.Record(w, obs.PhaseCompute, "step", -1, 0, c0, int64(compute[li]))
 			// Exchange every tensor, then average over workers: the
-			// paper's x ← x − (η/K)·Σ g̃.
+			// paper's x ← x − (η/K)·Σ g̃. The barrier span covers the
+			// whole blocking exchange; the reducer's fine spans break it
+			// down, and the remainder is straggler wait.
+			e0 := t.tracer.Now()
 			exchStart := time.Now()
 			invK := 1 / float32(k)
 			for i, p := range net.Params() {
@@ -998,6 +1176,7 @@ func (t *Trainer) step(train *data.Dataset, batch []int) (float64, error) {
 				}
 			}
 			exchange[li] = time.Since(exchStart)
+			t.tracer.Record(w, obs.PhaseBarrier, "exchange", -1, 0, e0, int64(exchange[li]))
 			if t.cfg.ClipNorm > 0 {
 				nn.ClipGradNorm(net.Params(), t.cfg.ClipNorm)
 			}
@@ -1066,9 +1245,12 @@ func (t *Trainer) recordStep(compute, exchange []time.Duration) {
 			s.Slowest = p
 		}
 	}
-	t.statsMu.Lock()
-	t.lastStats = s
-	t.statsMu.Unlock()
+	for li := range t.ranks {
+		t.computeHist.Observe(int64(compute[li]))
+		t.exchangeHist.Observe(int64(exchange[li]))
+	}
+	// Publish the snapshot; the stored value is never mutated again.
+	t.lastStats.Store(&s)
 }
 
 // Evaluate returns top-1 accuracy of the canonical replica on ds.

@@ -1,10 +1,12 @@
 package parallel
 
 import (
+	"bytes"
 	"testing"
 	"time"
 
 	"repro/nn"
+	"repro/obs"
 	"repro/rng"
 	"repro/sim"
 	"repro/tensor"
@@ -71,5 +73,72 @@ func TestLiveAndSimulatedStragglerAgree(t *testing.T) {
 	}
 	if res.SlowestRank != slowRank {
 		t.Errorf("simulated attribution named rank %d, want %d", res.SlowestRank, slowRank)
+	}
+}
+
+// TestTraceOverlayStragglerAgree is the end-to-end path of
+// cmd/lpsgd-trace: capture a live step-phase trace with one dragged
+// rank, aggregate it into a sim-comparable timeline, run a matching
+// scenario, and assert the overlay reports straggler agreement.
+func TestTraceOverlayStragglerAgree(t *testing.T) {
+	const slowRank = 2
+
+	buildBase, train, test := smallTask()
+	next := 0
+	build := func(r *rng.RNG) *nn.Network {
+		rank := next
+		next++
+		net := buildBase(r)
+		if rank == slowRank {
+			layers := append([]nn.Layer{&dragLayer{delay: 15 * time.Millisecond}}, net.Layers...)
+			return nn.MustNetwork(layers...)
+		}
+		return net
+	}
+	tracer := obs.NewTracer(8192)
+	tr, err := NewTrainer(build, Config{
+		Workers: 4, BatchSize: 16, Epochs: 1, Seed: 9,
+		Schedule: nn.ConstantLR(0.1),
+		Tracer:   tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if _, err := tr.Run(train, test); err != nil {
+		t.Fatal(err)
+	}
+
+	// Round-trip the trace through its wire format, as lpsgd-trace
+	// would read it from a -trace-out file.
+	var wire bytes.Buffer
+	if err := tracer.WriteJSONL(&wire); err != nil {
+		t.Fatal(err)
+	}
+	live, err := sim.ReadLiveTrace(&wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Ranks != 4 {
+		t.Fatalf("live timeline covers %d ranks, want 4", live.Ranks)
+	}
+	if live.SlowestRank != slowRank {
+		t.Fatalf("live trace attribution named rank %d, want %d", live.SlowestRank, slowRank)
+	}
+
+	res, err := sim.RunScenario(sim.Scenario{
+		Name: "trace-overlay", Ranks: 4, Steps: 4,
+		Stragglers: &sim.StragglerModel{Slow: []sim.SlowRank{{Rank: slowRank, Factor: 4}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := sim.BuildOverlay(live, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ov.Agree {
+		t.Fatalf("live (rank %d) and simulated (rank %d) straggler attribution disagree",
+			ov.LiveSlowest, ov.SimSlowest)
 	}
 }

@@ -1,0 +1,39 @@
+#!/bin/sh
+# bench_step.sh — the tracer-overhead acceptance as a machine-readable
+# artifact. Runs the paired step benchmarks (parallel.BenchmarkStepUntraced
+# vs BenchmarkStepTraced: the same 4-worker training step with the obs
+# plane absent and fully attached) and writes the ns/op of both plus the
+# relative overhead in per-mille to a JSON file. The obs PR's acceptance
+# bar is <= 2% (20 per-mille); pass `-check` to enforce it.
+#
+# Usage:
+#   scripts/bench_step.sh [-check] [output.json]   # default BENCH_step.json
+set -eu
+
+check=0
+if [ "${1:-}" = "-check" ]; then
+    check=1
+    shift
+fi
+out="${1:-BENCH_step.json}"
+
+raw=$(go test ./parallel -run '^$' -bench '^BenchmarkStep(Untraced|Traced)$' \
+    -benchtime "${BENCHTIME:-1s}" -count 1)
+printf '%s\n' "$raw"
+
+untraced=$(printf '%s\n' "$raw" | awk '$1 ~ /^BenchmarkStepUntraced/ {print $3}')
+traced=$(printf '%s\n' "$raw" | awk '$1 ~ /^BenchmarkStepTraced/ {print $3}')
+if [ -z "$untraced" ] || [ -z "$traced" ]; then
+    echo "bench_step.sh: benchmark output missing ns/op lines" >&2
+    exit 1
+fi
+
+overhead=$(awk -v u="$untraced" -v t="$traced" 'BEGIN { printf "%d", (t - u) * 1000 / u }')
+printf '{\n  "benchmark": "parallel.BenchmarkStep",\n  "untraced_ns_per_op": %d,\n  "traced_ns_per_op": %d,\n  "overhead_milli": %d\n}\n' \
+    "${untraced%.*}" "${traced%.*}" "$overhead" >"$out"
+echo "wrote $out (tracer overhead: ${overhead} per-mille)"
+
+if [ "$check" = 1 ] && [ "$overhead" -gt 20 ]; then
+    echo "bench_step.sh: tracer overhead ${overhead} per-mille exceeds the 20 per-mille (2%) bar" >&2
+    exit 1
+fi

@@ -21,6 +21,7 @@ repro/cluster
 repro/cmd/lpsgd-experiments
 repro/cmd/lpsgd-quant
 repro/cmd/lpsgd-sim
+repro/cmd/lpsgd-trace
 repro/cmd/lpsgd-train
 repro/cmd/lpsgd-vet
 repro/cmd/lpsgd-worker
@@ -44,6 +45,7 @@ repro/internal/simulate
 repro/internal/workload
 repro/lpsgd
 repro/nn
+repro/obs
 repro/parallel
 repro/quant
 repro/rng

@@ -41,6 +41,17 @@
 // and every simulation is reproducible from its seed: same scenario,
 // same seed, same event trace, same summary.
 //
+// The simulator's per-rank timelines and the live observability plane
+// speak the same step-phase vocabulary — compute, quantise, encode,
+// transfer, decode, barrier, control (obs.Phase): a live run's
+// obs.Tracer labels its spans with exactly the phases the event engine
+// schedules, which is what lets ReadLiveTrace aggregate a captured
+// JSONL trace into a sim-comparable LiveTimeline and BuildOverlay diff
+// the two (per-phase time shares plus straggler attribution —
+// cmd/lpsgd-trace is the CLI). Extending one side's vocabulary means
+// extending the other: a phase the tracer emits but the engine never
+// schedules (or vice versa) silently drops out of the overlay.
+//
 // The determinism contract is machine-enforced: the simclock analyzer
 // in internal/lint (run by `make lint` and the CI lint lane) rejects
 // wall-clock reads (time.Now, time.Since, time.Sleep, ...) and global

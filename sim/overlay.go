@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/obs"
+)
+
+// This file bridges the live observability plane into the simulator:
+// a step-phase trace captured from a real run (obs.Tracer JSONL — the
+// /trace endpoint or a -trace-out file) is aggregated into the same
+// per-rank phase vocabulary a simulated ClusterResult reports, so the
+// two timelines can be laid over each other and diffed. cmd/lpsgd-trace
+// is the CLI for this comparison.
+//
+// The live and simulated clocks are not comparable in absolute terms —
+// one is wall time on whatever machine ran, the other a calibrated
+// logical clock — so the overlay compares *shares*: what fraction of a
+// rank-second went to compute, quantisation, communication and barrier
+// blocking. Straggler attribution, by contrast, is directly
+// comparable: both sides name the rank that gated the most steps.
+
+// LiveRank is one rank's phase totals aggregated from a live trace,
+// the live counterpart of RankSummary.
+type LiveRank struct {
+	Rank int `json:"rank"`
+	// ComputeNS sums compute spans; QuantNS sums quantise+encode
+	// (codec work on either side of the wire); CommNS sums
+	// transfer+decode; BlockedNS is barrier time not explained by
+	// quant or comm work — waiting for slower peers.
+	ComputeNS  int64 `json:"compute_ns"`
+	QuantNS    int64 `json:"quant_ns"`
+	CommNS     int64 `json:"comm_ns"`
+	BlockedNS  int64 `json:"blocked_ns"`
+	GatedSteps int   `json:"gated_steps"`
+}
+
+// LiveTimeline is the aggregate of one live step-phase trace.
+type LiveTimeline struct {
+	Ranks int `json:"ranks"`
+	Steps int `json:"steps"`
+	// SlowestRank gated the most steps (longest compute span per
+	// step; ties resolve to the lowest rank; -1 without compute
+	// spans) — directly comparable to ClusterResult.SlowestRank.
+	SlowestRank int        `json:"slowest_rank"`
+	PerRank     []LiveRank `json:"per_rank"`
+	// TransferBytes sums the payload bytes transfer spans carried.
+	TransferBytes int64 `json:"transfer_bytes"`
+	// Spans is the number of spans aggregated.
+	Spans int `json:"spans"`
+}
+
+// ReadLiveTrace aggregates a JSONL span stream (obs.Tracer's /trace
+// endpoint or sink file) into a live timeline.
+func ReadLiveTrace(r io.Reader) (*LiveTimeline, error) {
+	spans, err := obs.ReadSpans(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(spans) == 0 {
+		return nil, fmt.Errorf("sim: trace holds no spans")
+	}
+	ranks := 0
+	for _, s := range spans {
+		if s.Rank < 0 {
+			return nil, fmt.Errorf("sim: span with negative rank %d", s.Rank)
+		}
+		if s.Rank+1 > ranks {
+			ranks = s.Rank + 1
+		}
+	}
+	per := make([]LiveRank, ranks)
+	for r := range per {
+		per[r].Rank = r
+	}
+	// Longest compute span per (step, rank) decides who gated the
+	// step — the live counterpart of the simulator's barrier gating.
+	compute := map[int64]map[int]int64{}
+	steps := map[int64]bool{}
+	barrier := make([]int64, ranks)
+	tl := &LiveTimeline{Ranks: ranks, SlowestRank: -1, Spans: len(spans)}
+	for _, s := range spans {
+		steps[s.Step] = true
+		lr := &per[s.Rank]
+		switch s.Phase {
+		case obs.PhaseCompute:
+			lr.ComputeNS += s.DurNS
+			byRank := compute[s.Step]
+			if byRank == nil {
+				byRank = map[int]int64{}
+				compute[s.Step] = byRank
+			}
+			byRank[s.Rank] += s.DurNS
+		case obs.PhaseQuantise, obs.PhaseEncode:
+			lr.QuantNS += s.DurNS
+		case obs.PhaseTransfer:
+			lr.CommNS += s.DurNS
+			tl.TransferBytes += s.Bytes
+		case obs.PhaseDecode:
+			lr.CommNS += s.DurNS
+		case obs.PhaseBarrier:
+			barrier[s.Rank] += s.DurNS
+		}
+	}
+	// Barrier spans cover the whole exchange; the part not explained
+	// by this rank's own quant/comm work was spent waiting.
+	for r := range per {
+		if blocked := barrier[r] - per[r].QuantNS - per[r].CommNS; blocked > 0 {
+			per[r].BlockedNS = blocked
+		}
+	}
+	for _, byRank := range compute {
+		gater, worst := -1, int64(-1)
+		for r := 0; r < ranks; r++ {
+			if d, ok := byRank[r]; ok && d > worst {
+				gater, worst = r, d
+			}
+		}
+		if gater >= 0 {
+			per[gater].GatedSteps++
+		}
+	}
+	best := -1
+	for r := range per {
+		if per[r].GatedSteps > 0 && (best < 0 || per[r].GatedSteps > per[best].GatedSteps) {
+			best = r
+		}
+	}
+	tl.SlowestRank = best
+	tl.Steps = len(steps)
+	tl.PerRank = per
+	return tl, nil
+}
+
+// PhaseDelta compares one phase's share of total rank-time between the
+// live and simulated timelines. Shares are in milli (‰ of the
+// timeline's summed phase time), so golden comparisons stay integral.
+type PhaseDelta struct {
+	Phase           string `json:"phase"`
+	LiveNS          int64  `json:"live_ns"`
+	SimNS           int64  `json:"sim_ns"`
+	LiveShareMilli  int64  `json:"live_share_milli"`
+	SimShareMilli   int64  `json:"sim_share_milli"`
+	DeltaShareMilli int64  `json:"delta_share_milli"`
+}
+
+// Overlay is the diff of a live trace against a simulated scenario.
+type Overlay struct {
+	LiveRanks int `json:"live_ranks"`
+	SimRanks  int `json:"sim_ranks"`
+	LiveSteps int `json:"live_steps"`
+	SimSteps  int `json:"sim_steps"`
+	// Straggler agreement: do both timelines blame the same rank?
+	LiveSlowest int  `json:"live_slowest"`
+	SimSlowest  int  `json:"sim_slowest"`
+	Agree       bool `json:"agree"`
+	// Phases diffs compute/quant/comm/blocked shares, summed over
+	// ranks. Empty when the simulated result carries no per-rank
+	// timelines (worlds above 64 ranks).
+	Phases []PhaseDelta `json:"phases,omitempty"`
+}
+
+// BuildOverlay lays a live timeline over a simulated result.
+func BuildOverlay(live *LiveTimeline, res *ClusterResult) (*Overlay, error) {
+	if live == nil || res == nil {
+		return nil, fmt.Errorf("sim: overlay needs both a live timeline and a simulated result")
+	}
+	ov := &Overlay{
+		LiveRanks:   live.Ranks,
+		SimRanks:    res.Ranks,
+		LiveSteps:   live.Steps,
+		SimSteps:    res.StepsCompleted,
+		LiveSlowest: live.SlowestRank,
+		SimSlowest:  res.SlowestRank,
+		Agree:       live.SlowestRank == res.SlowestRank,
+	}
+	if len(res.PerRank) == 0 {
+		return ov, nil
+	}
+	var liveTot, simTot [4]int64
+	for _, lr := range live.PerRank {
+		liveTot[0] += lr.ComputeNS
+		liveTot[1] += lr.QuantNS
+		liveTot[2] += lr.CommNS
+		liveTot[3] += lr.BlockedNS
+	}
+	for _, rs := range res.PerRank {
+		simTot[0] += rs.ComputeNS
+		simTot[1] += rs.QuantNS
+		simTot[2] += rs.CommNS
+		simTot[3] += rs.BlockedNS
+	}
+	names := [4]string{"compute", "quant", "comm", "blocked"}
+	var liveSum, simSum int64
+	for i := 0; i < 4; i++ {
+		liveSum += liveTot[i]
+		simSum += simTot[i]
+	}
+	share := func(part, whole int64) int64 {
+		if whole <= 0 {
+			return 0
+		}
+		return part * 1000 / whole
+	}
+	for i := 0; i < 4; i++ {
+		pd := PhaseDelta{
+			Phase:          names[i],
+			LiveNS:         liveTot[i],
+			SimNS:          simTot[i],
+			LiveShareMilli: share(liveTot[i], liveSum),
+			SimShareMilli:  share(simTot[i], simSum),
+		}
+		pd.DeltaShareMilli = pd.LiveShareMilli - pd.SimShareMilli
+		ov.Phases = append(ov.Phases, pd)
+	}
+	return ov, nil
+}
+
+// WriteText renders the overlay as a human-readable report.
+func (o *Overlay) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "live: %d ranks, %d steps | sim: %d ranks, %d steps\n",
+		o.LiveRanks, o.LiveSteps, o.SimRanks, o.SimSteps); err != nil {
+		return err
+	}
+	for _, pd := range o.Phases {
+		if _, err := fmt.Fprintf(w, "%-8s live %5.1f%%  sim %5.1f%%  delta %+5.1f%%\n",
+			pd.Phase,
+			float64(pd.LiveShareMilli)/10,
+			float64(pd.SimShareMilli)/10,
+			float64(pd.DeltaShareMilli)/10); err != nil {
+			return err
+		}
+	}
+	verdict := "DISAGREE"
+	if o.Agree {
+		verdict = "AGREE"
+	}
+	_, err := fmt.Fprintf(w, "straggler attribution: live rank %d, sim rank %d — %s\n",
+		o.LiveSlowest, o.SimSlowest, verdict)
+	return err
+}
+
+// sortLiveRanksByGated is a report helper: ranks ordered worst-gater
+// first (ties by rank).
+func sortLiveRanksByGated(per []LiveRank) []LiveRank {
+	out := append([]LiveRank(nil), per...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].GatedSteps > out[j].GatedSteps })
+	return out
+}
+
+// WriteText renders the live timeline alone — what lpsgd-trace prints
+// when no scenario is given.
+func (tl *LiveTimeline) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "trace: %d spans, %d ranks, %d steps, %d transfer bytes\n",
+		tl.Spans, tl.Ranks, tl.Steps, tl.TransferBytes); err != nil {
+		return err
+	}
+	for _, lr := range sortLiveRanksByGated(tl.PerRank) {
+		if _, err := fmt.Fprintf(w, "rank %d: compute %dns quant %dns comm %dns blocked %dns, gated %d steps\n",
+			lr.Rank, lr.ComputeNS, lr.QuantNS, lr.CommNS, lr.BlockedNS, lr.GatedSteps); err != nil {
+			return err
+		}
+	}
+	if tl.SlowestRank >= 0 {
+		if _, err := fmt.Fprintf(w, "slowest rank: %d\n", tl.SlowestRank); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/obs"
+)
+
+// traceFixture builds a 3-rank, 2-step trace where rank 2's compute
+// dominates every step.
+func traceFixture(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	tr := obs.NewTracer(64)
+	for step := int64(1); step <= 2; step++ {
+		tr.SetStep(step)
+		for rank := 0; rank < 3; rank++ {
+			compute := int64(1000 * (rank + 1))
+			if rank == 2 {
+				compute = 50_000
+			}
+			tr.Record(rank, obs.PhaseCompute, "step", -1, 0, 0, compute)
+			tr.Record(rank, obs.PhaseQuantise, "mpi", -1, 0, 0, 500)
+			tr.Record(rank, obs.PhaseTransfer, "mpi", -1, 4096, 0, 2000)
+			tr.Record(rank, obs.PhaseDecode, "mpi", -1, 0, 0, 300)
+			tr.Record(rank, obs.PhaseBarrier, "exchange", -1, 0, 0, 10_000)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestReadLiveTraceAggregates(t *testing.T) {
+	tl, err := ReadLiveTrace(traceFixture(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Ranks != 3 || tl.Steps != 2 {
+		t.Fatalf("got %d ranks / %d steps, want 3/2", tl.Ranks, tl.Steps)
+	}
+	if tl.SlowestRank != 2 {
+		t.Fatalf("slowest rank %d, want 2", tl.SlowestRank)
+	}
+	r2 := tl.PerRank[2]
+	if r2.ComputeNS != 100_000 || r2.GatedSteps != 2 {
+		t.Fatalf("rank 2 summary %+v", r2)
+	}
+	if r0 := tl.PerRank[0]; r0.QuantNS != 1000 || r0.CommNS != 4600 {
+		t.Fatalf("rank 0 phase sums %+v", r0)
+	}
+	// Barrier 20000 (two steps) minus own quant (1000) and comm (4600).
+	if got := tl.PerRank[0].BlockedNS; got != 14400 {
+		t.Fatalf("rank 0 blocked %d, want 14400", got)
+	}
+	if tl.TransferBytes != 3*2*4096 {
+		t.Fatalf("transfer bytes %d", tl.TransferBytes)
+	}
+}
+
+func TestReadLiveTraceRejectsEmpty(t *testing.T) {
+	if _, err := ReadLiveTrace(strings.NewReader("")); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestOverlayAgreement(t *testing.T) {
+	tl, err := ReadLiveTrace(traceFixture(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunScenario(Scenario{
+		Name: "overlay", Ranks: 3, Steps: 4,
+		Stragglers: &StragglerModel{Slow: []SlowRank{{Rank: 2, Factor: 4}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := BuildOverlay(tl, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ov.Agree || ov.LiveSlowest != 2 || ov.SimSlowest != 2 {
+		t.Fatalf("overlay disagrees: %+v", ov)
+	}
+	if len(ov.Phases) != 4 {
+		t.Fatalf("got %d phase rows, want 4", len(ov.Phases))
+	}
+	var shareSum int64
+	for _, pd := range ov.Phases {
+		shareSum += pd.LiveShareMilli
+	}
+	// Integer division loses at most 1‰ per phase.
+	if shareSum < 996 || shareSum > 1000 {
+		t.Fatalf("live shares sum to %d milli, want ~1000", shareSum)
+	}
+	var report bytes.Buffer
+	if err := ov.WriteText(&report); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report.String(), "AGREE") {
+		t.Fatalf("report missing verdict:\n%s", report.String())
+	}
+}
+
+func TestOverlayDisagreement(t *testing.T) {
+	tl, err := ReadLiveTrace(traceFixture(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunScenario(Scenario{
+		Name: "overlay-miss", Ranks: 3, Steps: 4,
+		Stragglers: &StragglerModel{Slow: []SlowRank{{Rank: 1, Factor: 4}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := BuildOverlay(tl, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.Agree {
+		t.Fatal("overlay claims agreement with mismatched stragglers")
+	}
+}
