@@ -34,11 +34,13 @@ race: race-coverage
 race-coverage:
 	scripts/race_coverage.sh check
 
-# bench runs the tracer-overhead acceptance (the same training step
-# with the obs plane absent vs fully attached) and writes the paired
-# ns/op plus the relative overhead to BENCH_step.json.
+# bench runs the observability overhead acceptances: the same training
+# step with the obs plane absent vs fully attached (BENCH_step.json)
+# and with the convergence-telemetry sampler off vs on at its default
+# cadence (BENCH_telemetry.json).
 bench:
 	scripts/bench_step.sh
+	scripts/bench_telemetry.sh
 
 # lint is the whole static-analysis surface: formatting, the project's
 # own analyzer suite through the real `go vet -vettool` protocol, and

@@ -1,0 +1,224 @@
+package cluster_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os/exec"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/cluster"
+)
+
+// TestClusterTelemetryE2E is the acceptance test of the telemetry
+// plane: three worker processes train a long run with per-step
+// telemetry on, and the /cluster/metrics and /cluster/status
+// endpoints served by rank 0's observability plane must report every
+// rank, a sane loss series, and per-tensor compression ratios
+// consistent with the negotiated qsgd4b512 policy — all scraped live
+// from outside the process, the way an operator or lpsgd-top would.
+func TestClusterTelemetryE2E(t *testing.T) {
+	bin := buildWorker(t)
+
+	const world = 3
+	common := []string{
+		"-world", fmt.Sprint(world),
+		"-task", "image", "-epochs", "100000", "-batch", "24",
+		"-train-samples", "96", "-test-samples", "48", "-seed", "41",
+		"-accept", "qsgd4b512",
+		"-heartbeat", "100ms",
+		"-telemetry-every", "1",
+	}
+
+	var err0 syncBuffer
+	rank0 := exec.Command(bin, append([]string{
+		"-coordinator", "127.0.0.1:0", "-rank", "0",
+		"-metrics-addr", "127.0.0.1:0",
+	}, common...)...)
+	rank0.Stderr = &err0
+	rank0Out, err := rank0.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rank0.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		rank0.Process.Kill()
+		rank0.Wait()
+	}()
+
+	// Rank 0 announces the rendezvous port on stdout and the
+	// observability plane's bound address on stderr.
+	addrLine := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 256)
+		var acc strings.Builder
+		for {
+			n, err := rank0Out.Read(buf)
+			acc.Write(buf[:n])
+			if line, ok := strings.CutPrefix(acc.String(), "coordinator "); ok && strings.Contains(line, "\n") {
+				addrLine <- strings.TrimSpace(strings.SplitN(line, "\n", 2)[0])
+				// Keep draining so the pipe never blocks the worker.
+				for {
+					if _, err := rank0Out.Read(buf); err != nil {
+						return
+					}
+				}
+			}
+			if err != nil {
+				addrLine <- ""
+				return
+			}
+		}
+	}()
+	var coordAddr string
+	select {
+	case coordAddr = <-addrLine:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("rank 0 never announced its address:\n%s", err0.String())
+	}
+	if coordAddr == "" {
+		t.Fatalf("rank 0 exited before announcing its address:\n%s", err0.String())
+	}
+
+	waitForOutput(t, &err0, "observability plane on http://", 30*time.Second)
+	obsRe := regexp.MustCompile(`observability plane on http://(\S+)`)
+	m := obsRe.FindStringSubmatch(err0.String())
+	if m == nil {
+		t.Fatalf("no observability address in:\n%s", err0.String())
+	}
+	obsAddr := m[1]
+
+	var workers []*exec.Cmd
+	for rank := 1; rank < world; rank++ {
+		w := exec.Command(bin, append([]string{
+			"-coordinator", coordAddr, "-rank", fmt.Sprint(rank),
+		}, common...)...)
+		if err := w.Start(); err != nil {
+			t.Fatal(err)
+		}
+		workers = append(workers, w)
+		defer func(w *exec.Cmd) {
+			w.Process.Kill()
+			w.Wait()
+		}(w)
+	}
+
+	// Poll /cluster/status until every rank has reported a few steps.
+	client := &http.Client{Timeout: 5 * time.Second}
+	var st cluster.ClusterStatus
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := client.Get("http://" + obsAddr + "/cluster/status")
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err == nil && st.Reporting == world && st.MinStep >= 2 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never fully reported (last status %+v, err %v):\n%s", st, err, err0.String())
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	if st.Policy != "qsgd4b512" {
+		t.Errorf("status policy = %q, want the negotiated qsgd4b512", st.Policy)
+	}
+	if st.WorldSize != world || len(st.Ranks) != world {
+		t.Errorf("status world: %+v", st)
+	}
+	if st.MaxStep < st.MinStep || st.MinStep < 2 {
+		t.Errorf("step bounds insane: min %d max %d", st.MinStep, st.MaxStep)
+	}
+
+	// Loss series sanity: every reported loss and every trend point is
+	// finite and non-negative (cross-entropy on this task), and the
+	// aggregates bracket the per-rank values.
+	for _, r := range st.Ranks {
+		loss := float64(r.Loss)
+		if math.IsNaN(loss) || math.IsInf(loss, 0) || loss < 0 {
+			t.Errorf("rank %d loss %v not sane", r.Rank, loss)
+		}
+		if loss < float64(st.MinLoss)-1e-9 || loss > float64(st.MaxLoss)+1e-9 {
+			t.Errorf("rank %d loss %v outside aggregate bounds [%v, %v]",
+				r.Rank, loss, st.MinLoss, st.MaxLoss)
+		}
+		if len(r.Tensors) == 0 {
+			t.Errorf("rank %d reported no tensors", r.Rank)
+		}
+	}
+	if len(st.LossTrend) == 0 {
+		t.Error("no loss trend accumulated")
+	}
+	for i, v := range st.LossTrend {
+		if f := float64(v); math.IsNaN(f) || math.IsInf(f, 0) || f < 0 {
+			t.Errorf("loss trend[%d] = %v not sane", i, f)
+		}
+	}
+
+	// Compression ratios must match the negotiated policy: under
+	// qsgd4b512 every tensor either travels quantised (4-bit payload →
+	// ratio well above 1, approaching 8 for large tensors) or exempt at
+	// full precision (ratio exactly 1). The frame layout is
+	// deterministic, so the per-tensor ratio must also be identical
+	// across ranks.
+	quantised := 0
+	for _, tn := range st.Ranks[0].Tensors {
+		ratio := float64(tn.Compression)
+		switch {
+		case ratio < 1-1e-9:
+			t.Errorf("tensor %s compression %v < 1 — wire larger than raw", tn.Name, ratio)
+		case ratio > 1+1e-9:
+			quantised++
+			if ratio > 8+1e-9 {
+				t.Errorf("tensor %s compression %v exceeds the 4-bit ceiling of 8x", tn.Name, ratio)
+			}
+		}
+		for _, r := range st.Ranks[1:] {
+			for _, other := range r.Tensors {
+				if other.Name == tn.Name && math.Abs(float64(other.Compression)-ratio) > 1e-9 {
+					t.Errorf("tensor %s compression differs across ranks: %v vs %v",
+						tn.Name, ratio, other.Compression)
+				}
+			}
+		}
+	}
+	if quantised == 0 {
+		t.Error("no tensor shows compression > 1 under qsgd4b512")
+	}
+
+	// The Prometheus rendering must carry every rank too.
+	resp, err := client.Get("http://" + obsAddr + "/cluster/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	_, err = io.Copy(&sb, resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for rank := 0; rank < world; rank++ {
+		if !strings.Contains(text, fmt.Sprintf(`lpsgd_cluster_rank_step{rank="%d"}`, rank)) {
+			t.Errorf("rank %d missing from /cluster/metrics:\n%s", rank, text)
+		}
+	}
+	for _, want := range []string{
+		fmt.Sprintf("lpsgd_cluster_world %d\n", world),
+		`lpsgd_cluster_loss{agg="mean"}`,
+		`lpsgd_cluster_compression{tensor="`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in /cluster/metrics", want)
+		}
+	}
+}

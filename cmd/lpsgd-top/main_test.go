@@ -1,0 +1,114 @@
+package main
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/cluster"
+	"repro/health"
+)
+
+func TestNum(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{
+		{math.NaN(), "-"},
+		{0, "0.0000"},
+		{0.1234, "0.1234"},
+		{4.2e-5, "4.20e-05"},
+		{3.5e7, "3.5e+07"},
+	} {
+		if got := num(tc.v); got != tc.want {
+			t.Errorf("num(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := sparkline([]float64{0, 1, 2, 3}, 60)
+	if got := []rune(s); len(got) != 4 || got[0] != '▁' || got[3] != '█' {
+		t.Errorf("sparkline ramp = %q", s)
+	}
+	// Wider than the budget: only the newest points survive.
+	vals := make([]float64, 100)
+	if got := sparkline(vals, 10); len([]rune(got)) != 10 {
+		t.Errorf("sparkline did not clip to width: %q", got)
+	}
+	if got := sparkline([]float64{math.NaN(), math.NaN()}, 10); got != "··" {
+		t.Errorf("all-NaN sparkline = %q", got)
+	}
+}
+
+// TestRenderAgainstHub renders a frame from a real hub's status and
+// checks the load-bearing rows survive the round trip through the
+// HTTP JSON the dashboard actually consumes.
+func TestRenderAgainstHub(t *testing.T) {
+	hub := cluster.NewTelemetryHub(2, "qsgd4b512")
+	snap := func(step int64, loss float64) health.TelemetrySnapshot {
+		return health.TelemetrySnapshot{
+			Step: step, Loss: loss,
+			Compute: 3 * time.Millisecond, Exchange: time.Millisecond,
+			Tensors: []health.TensorTelemetry{
+				{Name: "fc1.W", GradL2: 0.5, GradInf: 0.1, RMSE: 0.001, Compression: 7.9},
+			},
+		}
+	}
+	hub.Observe(0, snap(10, 0.25))
+	hub.Observe(1, snap(12, 0.20))
+
+	srv := httptest.NewServer(hub.StatusHandler())
+	defer srv.Close()
+	st, err := fetch(srv.Client(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	render(&b, st, "test")
+	out := b.String()
+	for _, want := range []string{
+		"policy=qsgd4b512",
+		"ranks 2/2 reporting",
+		"step 10..12",
+		"fc1.W",
+		"7.9000x",
+		"(* rank 0 gated the sampled step)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRenderEmpty: a hub nobody has reported to yet renders a waiting
+// banner, not a panic.
+func TestRenderEmpty(t *testing.T) {
+	var b strings.Builder
+	render(&b, cluster.ClusterStatus{WorldSize: 3, Straggler: -1}, "test")
+	if !strings.Contains(b.String(), "waiting for the first telemetry snapshot") {
+		t.Errorf("empty frame: %q", b.String())
+	}
+}
+
+// TestFetchErrors: a non-200 answer and a bad document are both loud.
+func TestFetchErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	if _, err := fetch(srv.Client(), srv.URL); err == nil {
+		t.Error("non-200 response fetched without error")
+	}
+	srv2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("{not json"))
+	}))
+	defer srv2.Close()
+	if _, err := fetch(srv2.Client(), srv2.URL); err == nil {
+		t.Error("malformed document fetched without error")
+	}
+}

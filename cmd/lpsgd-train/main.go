@@ -33,6 +33,18 @@
 // port or interleave in the file); rank 0's plane observes its own
 // ranks only.
 //
+// -telemetry-every N samples convergence telemetry (step loss,
+// per-tensor gradient norms, live quantisation RMSE and compression
+// of the negotiated policy) every N steps. Unlike the plane flags it
+// IS forwarded to forked workers: each rank broadcasts its snapshots
+// over the heartbeat control links, rank 0 aggregates the whole
+// cluster, and with -metrics-addr the view is served at
+// /cluster/metrics and /cluster/status. Watch it live:
+//
+//	lpsgd-train -task image -codec qsgd4 -cluster 3 \
+//	    -telemetry-every 10 -metrics-addr 127.0.0.1:9090 &
+//	lpsgd-top -addr 127.0.0.1:9090
+//
 // Cluster runs carry a health plane: -heartbeat/-heartbeat-timeout
 // tune the failure detector (a dead rank aborts every survivor with a
 // typed verdict instead of hanging the mesh), and -step-deadline
@@ -93,6 +105,7 @@ func main() {
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text), /debug/vars, /debug/pprof and /trace on this address (e.g. 127.0.0.1:9090); not forwarded to forked workers")
 		traceOut    = flag.String("trace-out", "", "append the step-phase trace as JSONL to this file (convert/diff with lpsgd-trace); not forwarded to forked workers")
+		teleEvery   = flag.Int("telemetry-every", 0, "sample convergence telemetry (loss, gradient norms, live quantisation error) every N steps; forwarded to forked cluster workers, aggregated at /cluster/metrics and /cluster/status under -metrics-addr, watchable with lpsgd-top (0 = off)")
 	)
 	flag.Parse()
 
@@ -122,6 +135,20 @@ func main() {
 		lpsgd.WithSeed(*seed),
 		lpsgd.WithStepDeadline(*stepWait),
 	}
+	if *teleEvery < 0 {
+		fmt.Fprintln(os.Stderr, "lpsgd-train: -telemetry-every must not be negative")
+		os.Exit(2)
+	}
+	var teleHub *cluster.TelemetryHub
+	if *teleEvery > 0 {
+		opts = append(opts, lpsgd.WithTelemetry(*teleEvery))
+		// The hub aggregates every rank's snapshots into the
+		// /cluster/{metrics,status} view; forked workers ship theirs
+		// over the control plane, so only this process needs one. The
+		// negotiated policy is stamped once the session settles.
+		teleHub = cluster.NewTelemetryHub(max(*clusterN, 1), "")
+		opts = append(opts, lpsgd.WithTelemetryObserver(teleHub.Observe))
+	}
 
 	// Observability plane: one registry+tracer pair per process. The
 	// tracer ring is sized for the /trace endpoint; -trace-out streams
@@ -140,7 +167,11 @@ func main() {
 		}
 		opts = append(opts, lpsgd.WithMetrics(reg), lpsgd.WithTracer(obsTracer))
 		if *metricsAddr != "" {
-			srv, err := obs.Serve(*metricsAddr, reg, obsTracer)
+			var extra []obs.Endpoint
+			if teleHub != nil {
+				extra = teleHub.Endpoints()
+			}
+			srv, err := obs.Serve(*metricsAddr, reg, obsTracer, extra...)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(2)
@@ -224,6 +255,7 @@ func main() {
 				"-heartbeat", heartbeat.String(), "-heartbeat-timeout", hbTimeout.String(),
 				"-step-deadline", stepWait.String(),
 				"-rejoin-window", rejoinWindow.String(), "-max-rejoins", strconv.Itoa(*maxRejoins),
+				"-telemetry-every", strconv.Itoa(*teleEvery),
 			}
 			if rejoin {
 				args = append(args, "-cluster-rejoin")
@@ -260,6 +292,9 @@ func main() {
 		os.Exit(1)
 	}
 	defer trainer.Close()
+	if teleHub != nil {
+		teleHub.SetPolicy(trainer.Policy().Name())
+	}
 	if restore != nil {
 		if err := trainer.Restore(restore); err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -61,6 +61,17 @@
 // Each rank needs its own address (or none) — the plane is per
 // process.
 //
+// -telemetry-every N additionally samples convergence telemetry every
+// N steps — step loss, per-tensor gradient norms, and the live
+// quantisation RMSE and compression ratio of the negotiated policy,
+// probed on a scratch copy of the gradients so training stays
+// bit-identical — and broadcasts the snapshot to every peer over the
+// heartbeat control links (the bytes count under the control-plane
+// ledger, never the data mesh). Every rank therefore holds the whole
+// cluster's view; with -metrics-addr it is served at /cluster/metrics
+// (Prometheus text) and /cluster/status (JSON) beside the per-process
+// endpoints. Watch it live with cmd/lpsgd-top.
+//
 // The replacement receives the full session state (weights, momentum,
 // step and data cursors) from a surviving donor and training resumes;
 // under residual-free policies (32bit, the QSGD family) the final
@@ -156,6 +167,7 @@ func main() {
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text), /debug/vars, /debug/pprof and /trace on this address (per process — every rank needs its own)")
 		traceOut    = flag.String("trace-out", "", "append the step-phase trace as JSONL to this file (convert/diff with lpsgd-trace)")
+		teleEvery   = flag.Int("telemetry-every", 0, "sample convergence telemetry (loss, gradient norms, live quantisation error) every N steps and ship it over the control plane; with -metrics-addr the aggregated cluster view is served at /cluster/metrics and /cluster/status (0 = off)")
 	)
 	flag.Parse()
 
@@ -165,6 +177,9 @@ func main() {
 	}
 	if *heartbeat < 0 || *hbTimeout < 0 || *stepWait < 0 || *rejoinWin < 0 {
 		fail(exitUsage, fmt.Errorf("lpsgd-worker: -heartbeat, -heartbeat-timeout, -step-deadline and -rejoin-window must not be negative"))
+	}
+	if *teleEvery < 0 {
+		fail(exitUsage, fmt.Errorf("lpsgd-worker: -telemetry-every must not be negative"))
 	}
 	if *rejoin && *loadFrom != "" {
 		fail(exitUsage, fmt.Errorf("lpsgd-worker: -rejoin receives its state from the session snapshot; -load would overwrite it"))
@@ -185,7 +200,12 @@ func main() {
 	var (
 		obsTracer *obs.Tracer
 		obsReg    *obs.Registry
+		teleHub   *cluster.TelemetryHub
 	)
+	if *teleEvery > 0 {
+		// The policy is stamped after the rendezvous settles.
+		teleHub = cluster.NewTelemetryHub(*world, "")
+	}
 	if *metricsAddr != "" || *traceOut != "" {
 		obsReg = obs.NewRegistry()
 		obsTracer = obs.NewTracer(1 << 16)
@@ -197,7 +217,11 @@ func main() {
 			obsTracer.SetSink(f)
 		}
 		if *metricsAddr != "" {
-			srv, err := obs.Serve(*metricsAddr, obsReg, obsTracer)
+			var extra []obs.Endpoint
+			if teleHub != nil {
+				extra = teleHub.Endpoints()
+			}
+			srv, err := obs.Serve(*metricsAddr, obsReg, obsTracer, extra...)
 			if err != nil {
 				fail(exitUsage, err)
 			}
@@ -261,7 +285,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "lpsgd-worker: rank %d/%d %s, negotiated policy %s (%s)\n",
 		sess.Rank(), sess.World(), role, sess.PolicyName(), hbNote)
 
-	trainer, err := lpsgd.NewTrainer(model,
+	opts := []lpsgd.Option{
 		lpsgd.WithClusterSession(sess),
 		lpsgd.WithElastic(*maxRejoin, *rejoinWin),
 		lpsgd.WithStepDeadline(*stepWait),
@@ -271,7 +295,15 @@ func main() {
 		lpsgd.WithSeed(*seed),
 		lpsgd.WithMetrics(obsReg),
 		lpsgd.WithTracer(obsTracer),
-	)
+	}
+	if teleHub != nil {
+		teleHub.SetPolicy(sess.PolicyName())
+		opts = append(opts,
+			lpsgd.WithTelemetry(*teleEvery),
+			lpsgd.WithTelemetryObserver(teleHub.Observe),
+		)
+	}
+	trainer, err := lpsgd.NewTrainer(model, opts...)
 	if err != nil {
 		sess.Close()
 		fail(exitInternal, err)

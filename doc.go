@@ -48,7 +48,12 @@
 // obs.Serve as /metrics, /debug/vars, /debug/pprof and /trace, and
 // provably inert when absent: digest-parity and byte-parity tests plus
 // a paired step benchmark hold the enabled plane under 2% overhead;
-// cmd/lpsgd-trace diffs a captured trace against a simulated scenario),
+// cmd/lpsgd-trace diffs a captured trace against a simulated scenario,
+// and the telemetry plane on top — lpsgd.WithTelemetry samples step
+// loss, gradient norms and live quantisation RMSE/compression, ships
+// the snapshots over the heartbeat control links, and
+// cluster.TelemetryHub aggregates them into /cluster/metrics and
+// /cluster/status for the cmd/lpsgd-top terminal dashboard),
 // and nn/tensor/data/rng (the deep-learning substrate). The experiment machinery stays under
 // internal/: workload (machine and network calibration data), harness
 // (one runner per table and figure) and lint (the project's static

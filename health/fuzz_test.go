@@ -10,17 +10,26 @@ import (
 // control-plane wire decoder: whatever bytes arrive on a control link —
 // a corrupted peer, a stray connection, a truncated stream — the
 // decoder must return an error or a message, never panic, index out of
-// range, or allocate from an attacker-controlled length (all control
-// bodies are fixed-size, and the fuzzer holds it to that).
+// range, or allocate from an attacker-controlled length (fixed bodies
+// for ping/abort/bye, an explicit wire bound for the length-prefixed
+// telemetry extension — the fuzzer holds it to both).
 func FuzzReadMessage(f *testing.F) {
 	// Every real message kind seeds the corpus.
 	f.Add(encodePing(nil, 2, 41, StepReport{Step: 7, Compute: time.Millisecond, Exchange: 2 * time.Millisecond}))
 	f.Add(encodeAbort(nil, 0, 3, time.Now().UnixNano()))
 	f.Add(encodeBye(nil, 1))
+	tele, _ := encodeTelemetry(nil, 1, TelemetrySnapshot{
+		Step: 12, Loss: 0.25, Compute: time.Millisecond, Exchange: time.Millisecond,
+		Tensors: []TensorTelemetry{{Name: "dense1.w", GradL2: 1.5, GradInf: 0.5, RMSE: 0.01, Compression: 7.9}},
+	})
+	f.Add(append([]byte(nil), tele...))
 	f.Add([]byte{})
 	f.Add([]byte("LPSH"))
 	f.Add([]byte{byte('L'), byte('P'), byte('S'), byte('H'), 1, 99})
 	f.Add(append(encodeBye(nil, 1), encodePing(nil, 0, 1, StepReport{})...))
+	// A telemetry message whose body opens with an unknown snapshot
+	// version: must decode as a skipped (HasTelemetry=false) message.
+	f.Add([]byte{byte('L'), byte('P'), byte('S'), byte('H'), 1, kindTelemetry, 2, 0, 0, 0, 0xFE, 0x07})
 	f.Fuzz(func(t *testing.T, wire []byte) {
 		defer func() {
 			if p := recover(); p != nil {
@@ -33,8 +42,12 @@ func FuzzReadMessage(f *testing.F) {
 			if err != nil {
 				return // rejected or exhausted inputs only need to not panic
 			}
-			if m.Kind != kindPing && m.Kind != kindAbort && m.Kind != kindBye {
-				t.Fatalf("decoder accepted unknown kind %d", m.Kind)
+			if m.Kind < kindTelemetry &&
+				m.Kind != kindPing && m.Kind != kindAbort && m.Kind != kindBye {
+				t.Fatalf("decoder accepted unknown fixed kind %d", m.Kind)
+			}
+			if m.HasTelemetry && len(m.Telemetry.Tensors) > maxTelemetryTensors {
+				t.Fatalf("decoder accepted %d tensors past the wire bound", len(m.Telemetry.Tensors))
 			}
 		}
 	})

@@ -159,6 +159,14 @@ type Monitor struct {
 	departed []bool
 	started  bool
 	closing  bool
+	// teleBuf holds the encoded pending telemetry message (header and
+	// all); teleSeq identifies it so each sendLoop ships a given
+	// snapshot to its peer exactly once. teleSnaps/teleKnown mirror
+	// reports/known for the richer telemetry payloads.
+	teleBuf   []byte
+	teleSeq   uint64
+	teleSnaps []TelemetrySnapshot
+	teleKnown []bool
 
 	dead  chan struct{}
 	stop  chan struct{}
@@ -168,6 +176,9 @@ type Monitor struct {
 	// beat is the optional heartbeat observer (see OnHeartbeat) — an
 	// atomic.Pointer so the per-ping path never takes mu for it.
 	beat atomic.Pointer[func(peer int, gap time.Duration)]
+	// tele is the optional telemetry observer (see OnTelemetry), same
+	// discipline as beat.
+	tele atomic.Pointer[func(peer int, s TelemetrySnapshot)]
 	// bcast tracks in-flight abort-broadcast writes so Close can wait
 	// for them (bounded by the write deadline) before cutting the
 	// links: an elastic survivor closes its monitor moments after the
@@ -195,15 +206,17 @@ func NewMonitor(local, world int, conns []net.Conn, cfg Config) (*Monitor, error
 		return nil, fmt.Errorf("health: monitor built with a disabled config")
 	}
 	m := &Monitor{
-		local:    local,
-		world:    world,
-		cfg:      cfg,
-		links:    make([]*link, world),
-		reports:  make([]StepReport, world),
-		known:    make([]bool, world),
-		departed: make([]bool, world),
-		dead:     make(chan struct{}),
-		stop:     make(chan struct{}),
+		local:     local,
+		world:     world,
+		cfg:       cfg,
+		links:     make([]*link, world),
+		reports:   make([]StepReport, world),
+		known:     make([]bool, world),
+		departed:  make([]bool, world),
+		teleSnaps: make([]TelemetrySnapshot, world),
+		teleKnown: make([]bool, world),
+		dead:      make(chan struct{}),
+		stop:      make(chan struct{}),
 	}
 	for p, c := range conns {
 		if p == local {
@@ -332,6 +345,55 @@ func (m *Monitor) Straggler() (rank int, r StepReport, ok bool) {
 	return rank, r, ok
 }
 
+// ReportTelemetry records the local rank's latest convergence snapshot.
+// Each peer's next heartbeat cycle ships it once, right behind the
+// ping, over the same control socket (bytes under ControlBytes); the
+// local OnTelemetry observer — if any — sees it immediately, so a hub
+// aggregates local and remote ranks through one attach point. A
+// snapshot that violates the wire bounds is rejected, not truncated.
+func (m *Monitor) ReportTelemetry(s TelemetrySnapshot) error {
+	m.mu.Lock()
+	buf, err := encodeTelemetry(m.teleBuf, m.local, s)
+	if err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	m.teleBuf = buf
+	m.teleSeq++
+	m.teleSnaps[m.local] = s
+	m.teleKnown[m.local] = true
+	m.mu.Unlock()
+	if fn := m.tele.Load(); fn != nil {
+		(*fn)(m.local, s)
+	}
+	return nil
+}
+
+// OnTelemetry registers an observer invoked for every telemetry
+// snapshot: the local rank's own (synchronously from ReportTelemetry)
+// and every peer's (from that peer's read loop). At most one observer
+// is active; nil detaches it. Like OnHeartbeat, the package stays free
+// of repro dependencies — the cluster telemetry hub attaches here.
+func (m *Monitor) OnTelemetry(fn func(peer int, s TelemetrySnapshot)) {
+	if fn == nil {
+		m.tele.Store(nil)
+		return
+	}
+	m.tele.Store(&fn)
+}
+
+// Telemetry returns the latest convergence snapshot known for a rank —
+// the local rank's own, or the copy its most recent telemetry message
+// carried — and whether one exists yet.
+func (m *Monitor) Telemetry(rank int) (TelemetrySnapshot, bool) {
+	if rank < 0 || rank >= m.world {
+		return TelemetrySnapshot{}, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.teleSnaps[rank], m.teleKnown[rank]
+}
+
 // Start launches the heartbeat senders, the per-peer readers and the
 // detector sweep. It may be called once.
 func (m *Monitor) Start() {
@@ -364,12 +426,14 @@ func (m *Monitor) Start() {
 }
 
 // sendLoop pings one peer every Interval, piggybacking the latest local
-// step report.
+// step report — and, when ReportTelemetry has published a snapshot this
+// peer has not seen, ships that snapshot right behind the ping.
 func (m *Monitor) sendLoop(peer int, l *link) {
 	defer m.wg.Done()
 	ticker := time.NewTicker(m.cfg.Interval)
 	defer ticker.Stop()
-	var buf []byte
+	var buf, teleScratch []byte
+	var teleSent uint64
 	for {
 		select {
 		case <-m.stop:
@@ -380,12 +444,21 @@ func (m *Monitor) sendLoop(peer int, l *link) {
 		}
 		m.mu.Lock()
 		r := m.reports[m.local]
+		var tele []byte
+		teleSeq := m.teleSeq
+		if teleSeq != teleSent && len(m.teleBuf) > 0 {
+			tele = append(teleScratch[:0], m.teleBuf...)
+			teleScratch = tele
+		}
 		m.mu.Unlock()
 		buf = encodePing(buf, m.local, m.seq.Add(1), r)
 		// A write failure here is not a verdict by itself — the reader's
 		// EOF or the detector's silence deadline decides — but there is
 		// no point pinging a broken link any faster than the ticker.
 		m.write(l, buf) //lint:allow commerr a failed ping is not a verdict; the read loop and silence deadline decide
+		if tele != nil && m.write(l, tele) {
+			teleSent = teleSeq
+		}
 	}
 }
 
@@ -436,6 +509,18 @@ func (m *Monitor) readLoop(peer int, l *link) {
 		case kindAbort:
 			m.adoptVerdict(msg.Dead, time.Unix(0, msg.LastSeenNano))
 			return
+		case kindTelemetry:
+			// HasTelemetry is false for a skipped snapshot version — a
+			// newer peer's richer telemetry is ignored, never fatal.
+			if msg.HasTelemetry {
+				m.mu.Lock()
+				m.teleSnaps[peer] = msg.Telemetry
+				m.teleKnown[peer] = true
+				m.mu.Unlock()
+				if fn := m.tele.Load(); fn != nil {
+					(*fn)(peer, msg.Telemetry)
+				}
+			}
 		case kindBye:
 			m.mu.Lock()
 			m.departed[peer] = true

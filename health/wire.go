@@ -7,10 +7,11 @@ import (
 	"time"
 )
 
-// This file defines the control-plane wire protocol: fixed-size,
-// little-endian, magic-tagged and versioned messages travelling over
-// the dedicated per-peer control links the cluster rendezvous
-// establishes alongside the data mesh. Three message kinds exist:
+// This file defines the control-plane wire protocol: little-endian,
+// magic-tagged and versioned messages travelling over the dedicated
+// per-peer control links the cluster rendezvous establishes alongside
+// the data mesh. Three fixed-size message kinds exist (a fourth,
+// length-prefixed telemetry kind is described in telemetry.go):
 //
 //	ping (every rank → every peer, each heartbeat interval):
 //	  uint32  magic "LPSH"
@@ -50,11 +51,20 @@ const (
 	kindPing  = 0
 	kindAbort = 1
 	kindBye   = 2
+	// kindTelemetry opens the extension-kind range: every kind from
+	// here on is framed with an explicit uint32 body length so unknown
+	// kinds can be skipped instead of desynchronising the stream (see
+	// telemetry.go for the body layout).
+	kindTelemetry = 3
 
 	// pingBody/abortBody/byeBody are the fixed payload sizes per kind.
 	pingBody  = 4 + 8 + 8 + 8 + 8
 	abortBody = 4 + 4 + 8
 	byeBody   = 4
+
+	// maxExtensionBody bounds any length-prefixed extension body; a
+	// larger claim is stream corruption, not a big message.
+	maxExtensionBody = maxTelemetryBody
 )
 
 // message is one decoded control-plane message.
@@ -68,6 +78,10 @@ type message struct {
 	// Abort fields.
 	Dead         int
 	LastSeenNano int64
+	// Telemetry fields. HasTelemetry is false for an extension message
+	// that was skipped (unknown kind or unknown snapshot version).
+	Telemetry    TelemetrySnapshot
+	HasTelemetry bool
 }
 
 func appendHeader(buf []byte, kind byte) []byte {
@@ -136,7 +150,32 @@ func readMessage(r io.Reader) (message, error) {
 	case kindBye:
 		want = byeBody
 	default:
-		return m, fmt.Errorf("health: unknown control message kind %d", m.Kind)
+		if m.Kind < kindTelemetry {
+			return m, fmt.Errorf("health: unknown control message kind %d", m.Kind)
+		}
+		// Extension kinds carry an explicit body length: read it, bound
+		// it, consume the body. Kinds this build does not know are
+		// skipped — a newer peer's extra messages must not read as death.
+		var lb [4]byte
+		if _, err := io.ReadFull(r, lb[:]); err != nil {
+			return m, fmt.Errorf("health: extension message length: %w", err)
+		}
+		n := binary.LittleEndian.Uint32(lb[:])
+		if n > maxExtensionBody {
+			return m, fmt.Errorf("health: extension message body of %d bytes exceeds the %d-byte wire bound", n, maxExtensionBody)
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return m, fmt.Errorf("health: extension message body: %w", err)
+		}
+		if m.Kind == kindTelemetry {
+			from, snap, ok, err := decodeTelemetry(body)
+			if err != nil {
+				return m, err
+			}
+			m.From, m.Telemetry, m.HasTelemetry = from, snap, ok
+		}
+		return m, nil
 	}
 	body := make([]byte, want)
 	if _, err := io.ReadFull(r, body); err != nil {

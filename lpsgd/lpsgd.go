@@ -456,6 +456,41 @@ func WithTracer(tr *obs.Tracer) Option {
 	return func(c *config) { c.cfg.Tracer = tr }
 }
 
+// WithTelemetry turns on the convergence-telemetry sampler: every
+// everySteps steps the trainer snapshots the step loss, per-tensor
+// gradient norms and the live quantisation error of the negotiated
+// codec (probed on a scratch copy of the gradients — training bits
+// and data-plane traffic are untouched), publishes the sample to the
+// local metrics registry (WithMetrics) and, in cluster mode, ships it
+// to every peer over the heartbeat control plane, where the bytes
+// count under ControlBytes. Zero (the default) disables sampling.
+func WithTelemetry(everySteps int) Option {
+	return func(c *config) {
+		if everySteps < 0 {
+			c.fail(fmt.Errorf("lpsgd: telemetry cadence must be non-negative, got %d", everySteps))
+			return
+		}
+		c.cfg.TelemetryEvery = everySteps
+	}
+}
+
+// WithTelemetryObserver registers a callback invoked once per
+// telemetry snapshot this rank learns about — synchronously for its
+// own samples, from the control-plane read loop for a peer's. Feed it
+// to cluster.TelemetryHub.Observe to aggregate a cluster-wide view.
+// Like WithHealthHandler, the observer survives elastic rejoins: it
+// is re-registered on every replacement monitor. No effect outside
+// cluster mode or when telemetry is off.
+func WithTelemetryObserver(fn func(peer int, s health.TelemetrySnapshot)) Option {
+	return func(c *config) {
+		if fn == nil {
+			c.fail(fmt.Errorf("lpsgd: nil telemetry observer"))
+			return
+		}
+		c.cfg.TelemetryObserver = fn
+	}
+}
+
 // WithAcceptedPolicies sets the policy strings (quant.ParsePolicy
 // grammar — bare codec names included) this rank advertises during the
 // cluster rendezvous; the session settles on the cheapest policy every

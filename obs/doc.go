@@ -44,7 +44,15 @@
 //
 // Serve binds an HTTP listener with /metrics (Prometheus text),
 // /debug/vars (expvar), /debug/pprof/* (runtime profiles) and /trace
-// (the tracer ring as a JSONL download). Its one goroutine is joined
-// by Close — the golifecycle contract the lint suite enforces for this
+// (the tracer ring as a JSONL download — by default the newest
+// DefaultTraceLimit spans; ?limit=N narrows or widens the window and
+// ?limit=0 downloads the whole ring). Its one goroutine is joined by
+// Close — the golifecycle contract the lint suite enforces for this
 // package.
+//
+// Callers with extra surfaces mount them through Serve's variadic
+// Endpoint arguments; cluster.TelemetryHub uses this to serve its
+// aggregated /cluster/metrics and /cluster/status beside the
+// per-process endpoints (see cmd/lpsgd-top for the dashboard that
+// consumes them).
 package obs

@@ -53,8 +53,12 @@ func (h *Histogram) Sum() int64 {
 }
 
 // appendText renders the series in cumulative Prometheus form:
-// name_bucket{le="..."} lines (one per bound plus +Inf), then
-// name_sum and name_count.
+// name_bucket{le="..."} lines (one per bound plus an explicit +Inf),
+// then name_sum and name_count. The +Inf bucket and name_count are by
+// Prometheus convention the same number; both are rendered from the
+// one cumulative bucket total, so a scrape racing concurrent Observe
+// calls can never show them disagreeing (the separate count atomic
+// briefly lags the bucket adds).
 func (h *Histogram) appendText(b []byte, name, labels string) []byte {
 	var cum int64
 	for i, bound := range h.bounds {
@@ -64,7 +68,7 @@ func (h *Histogram) appendText(b []byte, name, labels string) []byte {
 	cum += h.counts[len(h.bounds)].Load()
 	b = appendBucket(b, name, labels, "+Inf", cum)
 	b = appendSample(b, name+"_sum", labels, h.sum.Load())
-	b = appendSample(b, name+"_count", labels, h.count.Load())
+	b = appendSample(b, name+"_count", labels, cum)
 	return b
 }
 

@@ -167,3 +167,26 @@ func TestExpBuckets(t *testing.T) {
 		}
 	}
 }
+
+// TestHistogramInfBucketMatchesCount: the +Inf bucket and _count are
+// the same number by Prometheus convention, even when a scrape races a
+// half-finished Observe (bucket bumped, count atomic not yet) — both
+// render from the one cumulative bucket total.
+func TestHistogramInfBucketMatchesCount(t *testing.T) {
+	h := newHistogram([]int64{10})
+	h.Observe(5)
+	h.Observe(50)
+	// An Observe caught mid-flight: the bucket add landed, the count
+	// atomic has not.
+	h.counts[1].Add(1)
+	out := string(h.appendText(nil, "m", ""))
+	for _, want := range []string{
+		`m_bucket{le="10"} 1`,
+		`m_bucket{le="+Inf"} 3`,
+		"m_count 3",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

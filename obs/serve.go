@@ -6,18 +6,37 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync"
 	"time"
 )
+
+// DefaultTraceLimit caps how many spans an un-parameterised /trace
+// request returns. The span ring can hold far more (the CLIs size it
+// in the tens of thousands); a dashboard poll that wants the whole
+// ring must say so with ?limit=N.
+const DefaultTraceLimit = 4096
+
+// Endpoint mounts one extra handler on the Serve mux — the hook the
+// cluster coordinator uses to expose /cluster/metrics and
+// /cluster/status beside the per-process endpoints.
+type Endpoint struct {
+	// Pattern is the mux pattern (e.g. "/cluster/metrics").
+	Pattern string
+	// Handler serves it.
+	Handler http.Handler
+}
 
 // Server exposes a registry and tracer over HTTP:
 //
 //	/metrics        Prometheus text exposition
 //	/debug/vars     expvar JSON
 //	/debug/pprof/*  runtime profiles (explicit handlers; no global mux)
-//	/trace          tracer ring as a JSONL download
+//	/trace          tracer ring as a JSONL download (newest
+//	                DefaultTraceLimit spans; ?limit=N overrides)
 //
-// Close stops the listener and joins the serve goroutine.
+// plus any extra Endpoints the caller mounts. Close stops the listener
+// and joins the serve goroutine.
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
@@ -26,8 +45,9 @@ type Server struct {
 
 // Serve binds addr (e.g. ":9090", or ":0" for an ephemeral port — see
 // Addr) and starts serving. reg and tr may each be nil; their
-// endpoints then return empty bodies.
-func Serve(addr string, reg *Registry, tr *Tracer) (*Server, error) {
+// endpoints then return empty bodies. extra endpoints are mounted on
+// the same mux.
+func Serve(addr string, reg *Registry, tr *Tracer, extra ...Endpoint) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
@@ -43,10 +63,22 @@ func Serve(addr string, reg *Registry, tr *Tracer) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		limit := DefaultTraceLimit
+		if raw := r.URL.Query().Get("limit"); raw != "" {
+			n, err := strconv.Atoi(raw)
+			if err != nil || n < 0 {
+				http.Error(w, "limit must be a non-negative integer (0 = whole ring)", http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
-		tr.WriteJSONL(w)
+		tr.WriteJSONLTail(w, limit)
 	})
+	for _, e := range extra {
+		mux.Handle(e.Pattern, e.Handler)
+	}
 	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
 	s.wg.Add(1)
 	go func() {

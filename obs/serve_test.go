@@ -90,3 +90,72 @@ func TestServeCloseIdempotentAddr(t *testing.T) {
 	}
 	s2.Close()
 }
+
+// TestServeTraceLimit: /trace is bounded — the default response is
+// capped at DefaultTraceLimit, ?limit=N returns the newest N spans,
+// ?limit=0 dumps the whole ring, and garbage limits are a 400.
+func TestServeTraceLimit(t *testing.T) {
+	tr := NewTracer(DefaultTraceLimit + 64)
+	for i := 0; i < DefaultTraceLimit+10; i++ {
+		tr.Record(0, PhaseCompute, "step", -1, 0, int64(i), 1)
+	}
+	s, err := Serve("127.0.0.1:0", nil, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	countSpans := func(url string) []Span {
+		t.Helper()
+		code, body := get(t, url)
+		if code != http.StatusOK {
+			t.Fatalf("%s: code=%d", url, code)
+		}
+		spans, err := ReadSpans(strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return spans
+	}
+
+	if spans := countSpans(base + "/trace"); len(spans) != DefaultTraceLimit {
+		t.Fatalf("default /trace returned %d spans, want the %d cap", len(spans), DefaultTraceLimit)
+	}
+	spans := countSpans(base + "/trace?limit=3")
+	if len(spans) != 3 {
+		t.Fatalf("limit=3 returned %d spans", len(spans))
+	}
+	// The newest spans, oldest of them first.
+	if spans[2].StartNS != int64(DefaultTraceLimit+9) || spans[0].StartNS != int64(DefaultTraceLimit+7) {
+		t.Fatalf("limit=3 returned the wrong tail: %+v", spans)
+	}
+	if spans := countSpans(base + "/trace?limit=0"); len(spans) != DefaultTraceLimit+10 {
+		t.Fatalf("limit=0 returned %d spans, want the whole ring", len(spans))
+	}
+	if code, _ := get(t, base+"/trace?limit=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("limit=bogus: code=%d, want 400", code)
+	}
+	if code, _ := get(t, base+"/trace?limit=-1"); code != http.StatusBadRequest {
+		t.Fatalf("limit=-1: code=%d, want 400", code)
+	}
+}
+
+// TestServeExtraEndpoints: caller-mounted endpoints are served beside
+// the built-ins — the hook /cluster/metrics and /cluster/status use.
+func TestServeExtraEndpoints(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", nil, nil, Endpoint{
+		Pattern: "/cluster/ping",
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			io.WriteString(w, "pong")
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	code, body := get(t, "http://"+s.Addr()+"/cluster/ping")
+	if code != http.StatusOK || body != "pong" {
+		t.Fatalf("extra endpoint: code=%d body=%q", code, body)
+	}
+}

@@ -237,7 +237,18 @@ func (t *Tracer) Snapshot() []Span {
 // WriteJSONL writes the ring's spans to w, one JSON object per line,
 // oldest first.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
+	return t.WriteJSONLTail(w, 0)
+}
+
+// WriteJSONLTail writes the newest limit spans (oldest of them first)
+// to w, one JSON object per line. limit <= 0 writes the whole ring —
+// the /trace endpoint passes its response cap here so a large ring
+// does not turn a dashboard poll into a megabyte download.
+func (t *Tracer) WriteJSONLTail(w io.Writer, limit int) error {
 	spans := t.Snapshot()
+	if limit > 0 && len(spans) > limit {
+		spans = spans[len(spans)-limit:]
+	}
 	var buf []byte
 	for i := range spans {
 		buf = appendSpanJSON(buf[:0], &spans[i])

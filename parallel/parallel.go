@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -169,6 +170,25 @@ type Config struct {
 	// counters and phase histograms, health phi per peer. Nil disables
 	// registration; all instruments are obs nil-safe.
 	Metrics *obs.Registry
+	// TelemetryEvery samples convergence telemetry every this many
+	// completed steps (0 disables it): the step's mean loss, each
+	// tensor's aggregated-gradient L2/inf norms, and the live
+	// quantisation RMSE/compression of the negotiated codecs
+	// (quant.MeasureError over a scratch copy of the gradients — the
+	// training bits are untouched; digest and TCP byte parity with
+	// telemetry on are pinned by test). Samples feed the registry's
+	// lpsgd_telemetry_* gauges and, in cluster mode, ship to every peer
+	// over the heartbeat control links (Monitor.ReportTelemetry, bytes
+	// under ControlBytes) for cluster-wide aggregation by
+	// cluster.TelemetryHub. Negative is rejected.
+	TelemetryEvery int
+	// TelemetryObserver, when set with a Monitor attached, receives
+	// every telemetry snapshot the control plane sees — the local
+	// rank's own and each peer's (cluster.TelemetryHub.Observe is the
+	// intended consumer). The trainer registers it on the monitor at
+	// construction and again on every replacement monitor a rejoin
+	// round installs, the same liveness contract as HealthHandler.
+	TelemetryObserver func(peer int, s health.TelemetrySnapshot)
 }
 
 func (c *Config) fillDefaults() error {
@@ -215,6 +235,9 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.EvalEvery <= 0 {
 		c.EvalEvery = 1
+	}
+	if c.TelemetryEvery < 0 {
+		return fmt.Errorf("parallel: TelemetryEvery must be non-negative, got %d", c.TelemetryEvery)
 	}
 	return nil
 }
@@ -341,6 +364,17 @@ type Trainer struct {
 	computeHist  *obs.Histogram
 	exchangeHist *obs.Histogram
 	beatHist     *obs.Histogram
+	// Convergence-telemetry instruments, registered when
+	// Config.TelemetryEvery > 0 (see captureTelemetry). teleScratch is
+	// the reusable gradient copy quant.MeasureError probes so the
+	// codecs never see — let alone touch — live training state.
+	lossGauge   *obs.Gauge
+	teleStepG   *obs.Gauge
+	gradL2G     []*obs.Gauge
+	gradInfG    []*obs.Gauge
+	rmseG       []*obs.Gauge
+	compG       []*obs.Gauge
+	teleScratch []float32
 
 	// Elastic cursor (guarded by statsMu): where in the data schedule
 	// the last completed step happened. curEpoch is the running epoch,
@@ -548,6 +582,26 @@ func (t *Trainer) registerMetrics() {
 	t.beatHist = m.Histogram("lpsgd_heartbeat_gap_ns",
 		"Gap between consecutive heartbeats from any peer.",
 		obs.ExpBuckets(1_000_000, 2, 14))
+	// Convergence-telemetry gauges, sampled every TelemetryEvery steps.
+	// The registry is int64-only by design, so the floats are published
+	// fixed-point (the wire snapshot keeps full float64 precision).
+	if t.cfg.TelemetryEvery > 0 {
+		t.teleStepG = m.Gauge("lpsgd_telemetry_step",
+			"Step index of the latest convergence-telemetry sample.")
+		t.lossGauge = m.Gauge("lpsgd_telemetry_loss_micro",
+			"Sampled mean minibatch loss of the local ranks, x1e6.")
+		for _, spec := range t.specs {
+			lbl := obs.Label{Key: "tensor", Value: spec.Name}
+			t.gradL2G = append(t.gradL2G, m.Gauge("lpsgd_telemetry_grad_l2_micro",
+				"Sampled aggregated-gradient L2 norm, x1e6.", lbl))
+			t.gradInfG = append(t.gradInfG, m.Gauge("lpsgd_telemetry_grad_inf_micro",
+				"Sampled aggregated-gradient max-absolute value, x1e6.", lbl))
+			t.rmseG = append(t.rmseG, m.Gauge("lpsgd_telemetry_quant_rmse_nano",
+				"Live-measured quantisation RMSE against the negotiated codec, x1e9.", lbl))
+			t.compG = append(t.compG, m.Gauge("lpsgd_telemetry_compression_milli",
+				"Achieved raw/wire compression ratio of the tensor's codec, x1000.", lbl))
+		}
+	}
 }
 
 // wireMonitorObs attaches the observability hooks to the current
@@ -568,6 +622,9 @@ func (t *Trainer) wireMonitorObs() {
 			now := tr.Now()
 			tr.Record(rank, obs.PhaseControl, "verdict", -1, 0, now, 0)
 		})
+	}
+	if t.cfg.TelemetryObserver != nil {
+		t.monitor.OnTelemetry(t.cfg.TelemetryObserver)
 	}
 }
 
@@ -1194,7 +1251,77 @@ func (t *Trainer) step(train *data.Dataset, batch []int) (float64, error) {
 	for _, l := range losses {
 		sum += l
 	}
-	return sum / float64(len(t.ranks)), nil
+	mean := sum / float64(len(t.ranks))
+	if every := t.cfg.TelemetryEvery; every > 0 {
+		if step := t.currentStep(); step%int64(every) == 0 {
+			t.captureTelemetry(step, mean, compute[0], exchange[0])
+		}
+	}
+	return mean, nil
+}
+
+// captureTelemetry samples the convergence signals of the step that
+// just completed: the mean local loss, each tensor's aggregated
+// gradient norms, and the distortion the negotiated codec would
+// introduce on exactly those gradients (quant.MeasureError with a
+// step-keyed seed, so the sample is deterministic per step). It runs
+// on the step driver after the worker goroutines joined — the
+// aggregated gradients are stable until the next step's ZeroGrads —
+// and probes the codecs over a scratch copy, so training state is
+// bit-for-bit untouched and no byte reaches the data mesh; the
+// snapshot travels the control plane only (ControlBytes).
+func (t *Trainer) captureTelemetry(step int64, loss float64, compute, exchange time.Duration) {
+	params := t.replicas[0].Params()
+	tensors := make([]health.TensorTelemetry, 0, len(params))
+	for i, p := range params {
+		src := p.Grad.Data
+		l2, inf := quant.GradNorms(src)
+		if cap(t.teleScratch) < len(src) {
+			t.teleScratch = make([]float32, len(src))
+		}
+		scratch := t.teleScratch[:len(src)]
+		copy(scratch, src)
+		seed := t.cfg.Seed ^ uint64(step)*0x9E3779B97F4A7C15 ^ uint64(i)<<32
+		es := quant.MeasureError(t.plan.CodecFor(i), scratch, t.specs[i].Wire, 1, seed)
+		tensors = append(tensors, health.TensorTelemetry{
+			Name: p.Name, GradL2: l2, GradInf: inf,
+			RMSE: es.RMSE, Compression: es.CompressionRatio,
+		})
+		t.gradL2G[i].Set(scaledInt(l2, 1e6))
+		t.gradInfG[i].Set(scaledInt(inf, 1e6))
+		t.rmseG[i].Set(scaledInt(es.RMSE, 1e9))
+		t.compG[i].Set(scaledInt(es.CompressionRatio, 1e3))
+	}
+	t.teleStepG.Set(step)
+	t.lossGauge.Set(scaledInt(loss, 1e6))
+	snap := health.TelemetrySnapshot{
+		Step: step, Loss: loss, Compute: compute, Exchange: exchange,
+		Tensors: tensors,
+	}
+	switch {
+	case t.monitor != nil:
+		// The bounds only reject models with >1024 exchanged tensors or
+		// names past 255 bytes; such a model deserves a loud report once,
+		// not a silent telemetry gap.
+		if err := t.monitor.ReportTelemetry(snap); err != nil && step == int64(t.cfg.TelemetryEvery) {
+			fmt.Printf("parallel: telemetry disabled on the wire: %v\n", err)
+		}
+	case t.cfg.TelemetryObserver != nil:
+		// No control plane (single-process mode): feed the observer
+		// directly so a local hub still sees this rank.
+		t.cfg.TelemetryObserver(t.cfg.Rank, snap)
+	}
+}
+
+// scaledInt converts a telemetry float to a fixed-point gauge value,
+// clamping non-finite values to 0 (the int64 registry cannot carry
+// them; the wire snapshot keeps the full float64).
+func scaledInt(v, scale float64) int64 {
+	v *= scale
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return int64(v)
 }
 
 // recordStep folds one completed step's local timings — and, in

@@ -62,3 +62,20 @@ func MeasureError(c Codec, src []float32, shape Shape, rounds int, seed uint64) 
 		CompressionRatio: ratio,
 	}
 }
+
+// GradNorms returns the L2 and max-absolute (inf) norms of one
+// gradient vector — the per-tensor convergence signals the telemetry
+// plane samples and the adaptive-precision roadmap item consumes.
+// Accumulation is in float64 so catastrophic cancellation on large
+// tensors does not distort the telemetry.
+func GradNorms(src []float32) (l2, inf float64) {
+	var sq float64
+	for _, v := range src {
+		f := float64(v)
+		sq += f * f
+		if a := math.Abs(f); a > inf {
+			inf = a
+		}
+	}
+	return math.Sqrt(sq), inf
+}

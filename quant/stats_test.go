@@ -1,6 +1,7 @@
 package quant
 
 import (
+	"math"
 	"testing"
 
 	"repro/rng"
@@ -69,5 +70,22 @@ func TestMeasureErrorDegenerate(t *testing.T) {
 	s = MeasureError(FP32{}, []float32{1}, Shape{Rows: 1, Cols: 1}, 0, 0)
 	if s.RMSE != 0 {
 		t.Fatal("zero rounds should be neutral")
+	}
+}
+
+// TestGradNorms pins the norm helper against hand-computed values and
+// the empty/degenerate cases.
+func TestGradNorms(t *testing.T) {
+	l2, inf := GradNorms(nil)
+	if l2 != 0 || inf != 0 {
+		t.Fatalf("empty: l2=%v inf=%v", l2, inf)
+	}
+	l2, inf = GradNorms([]float32{3, -4})
+	if math.Abs(l2-5) > 1e-12 || inf != 4 {
+		t.Fatalf("3,-4: l2=%v inf=%v", l2, inf)
+	}
+	l2, inf = GradNorms([]float32{-2, 0, 2, 1})
+	if math.Abs(l2-3) > 1e-12 || inf != 2 {
+		t.Fatalf("-2,0,2,1: l2=%v inf=%v", l2, inf)
 	}
 }

@@ -1,0 +1,41 @@
+#!/bin/sh
+# bench_telemetry.sh — the telemetry-overhead acceptance as a
+# machine-readable artifact. Runs the paired step benchmarks
+# (parallel.BenchmarkStepTelemetryOff vs BenchmarkStepTelemetryOn: the
+# same 4-worker training step with the convergence-telemetry sampler
+# off and on at the default 25-step cadence) and writes the ns/op of
+# both plus the relative overhead in per-mille to a JSON file. The
+# telemetry PR's acceptance bar is the same <= 2% (20 per-mille) as
+# the tracer's; pass `-check` to enforce it.
+#
+# Usage:
+#   scripts/bench_telemetry.sh [-check] [output.json]   # default BENCH_telemetry.json
+set -eu
+
+check=0
+if [ "${1:-}" = "-check" ]; then
+    check=1
+    shift
+fi
+out="${1:-BENCH_telemetry.json}"
+
+raw=$(go test ./parallel -run '^$' -bench '^BenchmarkStepTelemetry(Off|On)$' \
+    -benchtime "${BENCHTIME:-1s}" -count 1)
+printf '%s\n' "$raw"
+
+off=$(printf '%s\n' "$raw" | awk '$1 ~ /^BenchmarkStepTelemetryOff/ {print $3}')
+on=$(printf '%s\n' "$raw" | awk '$1 ~ /^BenchmarkStepTelemetryOn/ {print $3}')
+if [ -z "$off" ] || [ -z "$on" ]; then
+    echo "bench_telemetry.sh: benchmark output missing ns/op lines" >&2
+    exit 1
+fi
+
+overhead=$(awk -v u="$off" -v t="$on" 'BEGIN { printf "%d", (t - u) * 1000 / u }')
+printf '{\n  "benchmark": "parallel.BenchmarkStepTelemetry",\n  "telemetry_off_ns_per_op": %d,\n  "telemetry_on_ns_per_op": %d,\n  "overhead_milli": %d\n}\n' \
+    "${off%.*}" "${on%.*}" "$overhead" >"$out"
+echo "wrote $out (telemetry overhead: ${overhead} per-mille)"
+
+if [ "$check" = 1 ] && [ "$overhead" -gt 20 ]; then
+    echo "bench_telemetry.sh: telemetry overhead ${overhead} per-mille exceeds the 20 per-mille (2%) bar" >&2
+    exit 1
+fi

@@ -21,6 +21,7 @@ repro/cluster
 repro/cmd/lpsgd-experiments
 repro/cmd/lpsgd-quant
 repro/cmd/lpsgd-sim
+repro/cmd/lpsgd-top
 repro/cmd/lpsgd-trace
 repro/cmd/lpsgd-train
 repro/cmd/lpsgd-vet
